@@ -1,0 +1,159 @@
+// svard-char regenerates the paper's characterization tables and
+// figures (Table 5, Figs. 3-10, Table 3, and the §6.4 hardware costs)
+// on the simulated module fleet.
+//
+// Usage:
+//
+//	svard-char [-modules H0,M1,S0] [-rows N] [-stride N] [-all] [-fig5] ...
+//
+// By default every module is built at a scaled bank size for speed; use
+// -rows 0 for the full Table 5 bank sizes (slower; see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"svard/internal/charz"
+	"svard/internal/core"
+	"svard/internal/profile"
+	"svard/internal/report"
+)
+
+func main() {
+	var (
+		modules = flag.String("modules", "", "comma-separated module labels (default: all 15)")
+		rows    = flag.Int("rows", 8192, "rows per bank (0 = full Table 5 sizes)")
+		cells   = flag.Int("cells", 8192, "cells per row for the model")
+		stride  = flag.Int("stride", 1, "row sampling stride")
+		seed    = flag.Uint64("seed", 1, "fleet seed")
+		all     = flag.Bool("all", false, "run every experiment")
+		fTab5   = flag.Bool("table5", false, "Table 5: module inventory")
+		fFig3   = flag.Bool("fig3", false, "Fig. 3: BER across rows and banks")
+		fFig4   = flag.Bool("fig4", false, "Fig. 4: BER by row location")
+		fFig5   = flag.Bool("fig5", false, "Fig. 5: HCfirst distribution")
+		fFig6   = flag.Bool("fig6", false, "Fig. 6: HCfirst by row location")
+		fFig7   = flag.Bool("fig7", false, "Fig. 7: RowPress effect")
+		fFig8   = flag.Bool("fig8", false, "Fig. 8: subarray clustering silhouette")
+		fFig9   = flag.Bool("fig9", false, "Fig. 9 + Table 3: spatial feature F1")
+		fFig10  = flag.Bool("fig10", false, "Fig. 10: aging")
+		fCost   = flag.Bool("cost", false, "§6.4: Svärd hardware cost")
+	)
+	flag.Parse()
+	if !*all && !(*fTab5 || *fFig3 || *fFig4 || *fFig5 || *fFig6 || *fFig7 || *fFig8 || *fFig9 || *fFig10 || *fCost) {
+		*all = true
+	}
+
+	labels := selectedLabels(*modules)
+	mods := make([]*profile.Module, 0, len(labels))
+	for _, l := range labels {
+		spec, ok := profile.SpecByLabel(l)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown module %q\n", l)
+			os.Exit(1)
+		}
+		var (
+			m   *profile.Module
+			err error
+		)
+		if *rows <= 0 {
+			fmt.Fprintf(os.Stderr, "building %s (full size)...\n", l)
+			m, err = profile.Build(spec, *seed)
+		} else {
+			fmt.Fprintf(os.Stderr, "building %s (%d rows/bank)...\n", l, *rows)
+			m, err = profile.BuildScaled(spec, *seed, *rows, *cells)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		mods = append(mods, m)
+	}
+
+	if *all || *fTab5 {
+		var trows []charz.Table5Row
+		for _, m := range mods {
+			trows = append(trows, charz.Table5(m, *stride))
+		}
+		fmt.Println(report.Table5(trows))
+	}
+	if *all || *fFig3 {
+		for _, m := range mods {
+			fmt.Println(report.Fig3(charz.Fig3(m, *stride)))
+		}
+	}
+	if *all || *fFig4 {
+		for _, m := range mods {
+			fmt.Println(report.Fig4(m.Spec.Label, charz.Fig4(m, 200), 20))
+		}
+	}
+	if *all || *fFig5 {
+		for _, m := range mods {
+			fmt.Println(report.Fig5(m.Spec.Label, charz.Fig5(m, *stride)))
+		}
+	}
+	if *all || *fFig6 {
+		for _, m := range mods {
+			pts := charz.Fig6(m, 24)
+			fmt.Printf("Fig. 6 (%s): HCfirst (norm. to min) vs location samples:\n", m.Spec.Label)
+			for _, p := range pts {
+				fmt.Printf("  loc=%.2f norm=%.1fx\n", p.X, p.Y)
+			}
+			fmt.Println()
+		}
+	}
+	if *all || *fFig7 {
+		for _, m := range mods {
+			fmt.Println(report.Fig7(m.Spec.Label, charz.Fig7(m, *stride)))
+		}
+	}
+	if *all || *fFig8 {
+		for _, m := range mods {
+			fmt.Println(report.Fig8(m.Spec.Label, charz.Fig8(m, 4)))
+		}
+	}
+	if *all || *fFig9 {
+		var data []charz.Fig9Data
+		for _, m := range mods {
+			d := charz.Fig9(m)
+			data = append(data, d)
+			fmt.Println(report.Fig9(d))
+		}
+		fmt.Println(report.Table3(data))
+	}
+	if *all || *fFig10 {
+		for _, m := range mods {
+			if m.Spec.Label != "H3" && len(mods) > 1 {
+				continue // the paper ages module H3
+			}
+			fmt.Println(report.Fig10(m.Spec.Label, charz.Fig10(m, 68, *stride)))
+		}
+	}
+	if *all || *fCost {
+		cfg := core.DefaultCostConfig()
+		tc := core.TableImplementation(cfg)
+		dc := core.DRAMBitsImplementation(cfg)
+		fmt.Printf("§6.4 Svärd metadata cost:\n")
+		fmt.Printf("  MC table:    %.3f mm²/bank, %.2f mm² total, %.2f%% of CPU die, %.2f ns lookup (hidden by ACT: %v)\n",
+			tc.PerBankMM2, tc.TotalMM2, tc.CPUAreaFrac*100, tc.AccessNs, tc.HiddenByACT)
+		fmt.Printf("  In-DRAM bits: %.4f%% array overhead, %.0f ns added latency\n\n",
+			dc.ArrayOverheadFrac*100, dc.AddedLatencyNs)
+	}
+}
+
+func selectedLabels(arg string) []string {
+	if arg == "" {
+		var out []string
+		for _, s := range profile.Table5() {
+			out = append(out, s.Label)
+		}
+		return out
+	}
+	parts := strings.Split(arg, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

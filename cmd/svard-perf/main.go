@@ -1,0 +1,128 @@
+// svard-perf regenerates the paper's performance evaluation: Fig. 12
+// (five defenses with and without Svärd across worst-case HCfirst
+// values), Obsv. 15's residual overheads, and Fig. 13 (adversarial
+// access patterns).
+//
+// Usage:
+//
+//	svard-perf [-mixes N] [-instr N] [-defenses para,rrs] [-nrhs 1024,64] [-fig13]
+//
+// Defaults are scaled for minutes-scale runs; raise -mixes/-instr toward
+// the paper's 120 mixes x 200M instructions as budget allows (see
+// EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"svard/internal/report"
+	"svard/internal/sim"
+	"svard/internal/trace"
+)
+
+func main() {
+	var (
+		mixes    = flag.Int("mixes", 4, "number of 8-core workload mixes (paper: 120)")
+		instr    = flag.Uint64("instr", 150_000, "instructions per core (paper: 200M)")
+		warmup   = flag.Uint64("warmup", 30_000, "warmup instructions per core (paper: 100M)")
+		cores    = flag.Int("cores", 8, "cores per mix")
+		rows     = flag.Int("rows", 8192, "rows per bank")
+		seed     = flag.Uint64("seed", 1, "seed")
+		defenses = flag.String("defenses", "", "comma-separated defense subset (default all)")
+		nrhs     = flag.String("nrhs", "", "comma-separated HCfirst sweep (default 4096..64)")
+		fig12    = flag.Bool("fig12", false, "run Fig. 12")
+		fig13    = flag.Bool("fig13", false, "run Fig. 13 (adversarial patterns)")
+		obsv15   = flag.Bool("obsv15", false, "print Obsv. 15 overheads at HCfirst=64")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+	if !*fig12 && !*fig13 && !*obsv15 {
+		*fig12, *fig13, *obsv15 = true, true, true
+	}
+
+	base := sim.DefaultConfig()
+	base.Cores = *cores
+	base.RowsPerBank = *rows
+	base.InstrPerCore = *instr
+	base.WarmupPerCore = *warmup
+	base.Seed = *seed
+
+	progress := func(msg string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\r%-60s", msg)
+		}
+	}
+
+	fmt.Println("Table 4 simulated system: 8 cores 3.2GHz 4-wide 128-entry window,")
+	fmt.Println("2MiB LLC/core; DDR4 1 channel, 2 ranks, 4 bank groups x 4 banks,")
+	fmt.Printf("%d rows/bank (scaled; Table 4 uses 128K); FR-FCFS cap 16, MOP.\n\n", *rows)
+
+	if *fig12 || *obsv15 {
+		opt := sim.Fig12Options{
+			Base:     base,
+			Mixes:    trace.Mixes(*mixes, *cores, *seed),
+			Progress: progress,
+		}
+		if *defenses != "" {
+			opt.Defenses = splitList(*defenses)
+		}
+		if *nrhs != "" {
+			for _, s := range splitList(*nrhs) {
+				v, err := strconv.ParseFloat(s, 64)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				opt.NRHs = append(opt.NRHs, v)
+			}
+		}
+		cells, err := sim.RunFig12(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+		if *fig12 {
+			names := opt.Defenses
+			if len(names) == 0 {
+				names = sim.DefenseNames
+			}
+			for _, d := range names {
+				fmt.Println(report.Fig12(d, cells))
+			}
+		}
+		if *obsv15 {
+			low := 64.0
+			if len(opt.NRHs) > 0 {
+				low = opt.NRHs[len(opt.NRHs)-1]
+			}
+			fmt.Println(report.Obsv15(cells, low))
+		}
+	}
+
+	if *fig13 {
+		cells, err := sim.RunFig13(sim.Fig13Options{Base: base, Progress: progress})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+		fmt.Println(report.Fig13(cells))
+	}
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

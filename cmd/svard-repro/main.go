@@ -1,0 +1,38 @@
+// svard-repro runs the end-to-end reproduction: the characterization
+// campaign on a representative module subset followed by the
+// performance evaluation, printing every table and figure. It is the
+// one-command version of EXPERIMENTS.md.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+)
+
+func main() {
+	run := func(name string, args ...string) {
+		fmt.Printf("==> %s %v\n\n", name, args)
+		cmd := exec.Command(name, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	_ = self
+	// The sibling binaries are expected on PATH or built via `go run`.
+	if _, err := exec.LookPath("svard-char"); err == nil {
+		run("svard-char", "-all", "-stride", "2")
+		run("svard-perf", "-mixes", "3", "-instr", "120000")
+		return
+	}
+	run("go", "run", "./cmd/svard-char", "-all", "-stride", "2")
+	run("go", "run", "./cmd/svard-perf", "-mixes", "3", "-instr", "120000")
+}

@@ -1,0 +1,57 @@
+// Characterize: run the paper's characterization pipeline on one
+// module — spatial BER/HCfirst variation, RowPress, subarray reverse
+// engineering with k-means + RowClone validation, and the spatial
+// feature correlation analysis.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"svard"
+	"svard/internal/charz"
+	"svard/internal/report"
+	"svard/internal/reveng"
+	"svard/internal/testbench"
+)
+
+func main() {
+	module, err := svard.BuildModuleScaled("S4", 1, 4096, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure-style analyses (analytic full-bank sweeps).
+	fmt.Println(report.Fig3(charz.Fig3(module, 1)))
+	fmt.Println(report.Fig5(module.Spec.Label, charz.Fig5(module, 1)))
+	fmt.Println(report.Fig7(module.Spec.Label, charz.Fig7(module, 2)))
+
+	// Subarray reverse engineering (Key Insights 1 and 2): estimate the
+	// subarray count by clustering, then validate candidate boundaries
+	// with RowClone probes through the real command interface.
+	fig8 := charz.Fig8(module, 4)
+	fmt.Println(report.Fig8(module.Spec.Label, fig8))
+
+	dev, model, err := module.NewDevice()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench := testbench.New(dev, model)
+	fp := reveng.AnalyticFootprints(module.Geom)
+	candidates := reveng.BoundariesFromFootprints(fp)
+	surviving, err := reveng.ValidateBoundaries(bench, 1, candidates, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := module.Geom.SubarrayStarts()
+	fmt.Printf("RowClone validation: %d candidate boundaries, %d survive, %d in ground truth\n\n",
+		len(candidates), len(surviving), len(truth))
+
+	// Spatial feature correlation (Fig. 9 / Table 3): S4's subarray
+	// parity is its strong feature.
+	d := charz.Fig9(module)
+	fmt.Println(report.Fig9(d))
+	for _, s := range d.Strong {
+		fmt.Printf("strong feature: %v (F1 %.2f)\n", s.Feature, s.F1)
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a Table 5 module, hammer one row through the
+// testbench exactly as Alg. 1 does, and capture its Svärd profile.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"svard"
+)
+
+func main() {
+	// Build the Samsung S0 module at a reduced bank size (fast); pass
+	// svard.BuildModule for the full 64K-row banks.
+	module, err := svard.BuildModuleScaled("S0", 1, 4096, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("module %s: %d banks x %d rows, %d subarrays/bank\n",
+		module.Spec.Label, module.Geom.Banks(), module.Geom.RowsPerBank, module.Geom.Subarrays())
+
+	// Mount it on the DRAM-Bender-style testbench.
+	bench, model, err := svard.NewBench(module)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measure one row's HCfirst: the sweep over the paper's 14 hammer
+	// counts with the worst-case data pattern (Alg. 1).
+	const bank = 1
+	victim := 1000
+	res, err := bench.MeasureHCFirst(bank, victim, svard.HammerLevels(), 36)
+	if err != nil {
+		log.Fatal(err)
+	}
+	levels := svard.HammerLevels()
+	if res.FirstFlipIdx < len(levels) {
+		fmt.Printf("row %d: WCDP=%v, first bitflip at %.0fK hammers (BER %.2e)\n",
+			victim, res.WCDP, levels[res.FirstFlipIdx]/1024, res.BER[res.FirstFlipIdx])
+	} else {
+		fmt.Printf("row %d: no bitflip up to 128K hammers\n", victim)
+	}
+	// Cross-check against the analytic model (they agree by construction).
+	fmt.Printf("analytic HCfirst: %.1fK hammers\n", model.HCFirst(bank, victim)/1024)
+
+	// Capture the per-row vulnerability profile and build Svärd for a
+	// future chip whose worst-case HCfirst is 512.
+	prof := svard.CaptureProfile(module)
+	sv, err := svard.NewSvard(prof, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Svärd budgets around row %d:", victim)
+	for r := victim - 2; r <= victim+2; r++ {
+		fmt.Printf(" %d->%.0f", r, sv.ActivationBudget(bank, r))
+	}
+	fmt.Printf("\nworst-case budget (what a profile-oblivious defense must assume): %.0f\n", sv.MinBudget())
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"svard/internal/profile"
+	"svard/internal/rng"
+)
+
+// BloomStore compresses Svärd's per-row bin metadata with one Bloom
+// filter per vulnerability bin, as suggested in §6.1 ("Svärd's
+// classification metadata storage can be optimized by using Bloom
+// filters"). Membership is queried from the weakest bin upward and the
+// first hit wins, so a false positive can only *lower* the reported
+// threshold — conservative, hence security-preserving — while rows in no
+// filter fall back to the strongest observed bin.
+type BloomStore struct {
+	p     *profile.ScaledProfile
+	bins  []uint8 // distinct bin indices present, ascending (weakest first)
+	bits  []uint64
+	nbits int
+	k     int // hash functions
+}
+
+// NewBloomStore builds the compressed store with bitsPerBin bits per
+// distinct bin.
+func NewBloomStore(p *profile.ScaledProfile, bitsPerBin int) *BloomStore {
+	if bitsPerBin < 64 {
+		bitsPerBin = 64
+	}
+	// Collect the distinct bins, weakest (below-grid) first.
+	present := map[uint8]bool{}
+	for _, bankBins := range p.P.Bins {
+		for _, b := range bankBins {
+			present[b] = true
+		}
+	}
+	var bins []uint8
+	if present[profile.BinBelowGrid] {
+		bins = append(bins, profile.BinBelowGrid)
+	}
+	for idx := 0; idx < len(p.P.Levels); idx++ {
+		if present[uint8(idx)] {
+			bins = append(bins, uint8(idx))
+		}
+	}
+	s := &BloomStore{
+		p:     p,
+		bins:  bins,
+		nbits: bitsPerBin,
+		k:     4,
+	}
+	words := (bitsPerBin + 63) / 64
+	s.bits = make([]uint64, words*len(bins))
+
+	// Populate: every characterized row joins its bin's filter, except
+	// rows of the strongest bin, which is the fallback and needs no bits.
+	for bi, bank := range p.P.Banks {
+		for row, bin := range p.P.Bins[bi] {
+			slot := s.binSlot(bin)
+			if slot < 0 || slot == len(s.bins)-1 {
+				continue
+			}
+			s.insert(slot, bank, row)
+		}
+	}
+	return s
+}
+
+func (s *BloomStore) binSlot(bin uint8) int {
+	for i, b := range s.bins {
+		if b == bin {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *BloomStore) bitPositions(bank, row int) [4]int {
+	var pos [4]int
+	h := rng.Hash64(uint64(bank), uint64(row))
+	for i := range pos {
+		pos[i] = int(h % uint64(s.nbits))
+		h = rng.Mix64(h)
+	}
+	return pos
+}
+
+func (s *BloomStore) insert(slot, bank, row int) {
+	base := slot * ((s.nbits + 63) / 64)
+	for _, p := range s.bitPositions(bank, row) {
+		s.bits[base+p/64] |= 1 << (p % 64)
+	}
+}
+
+func (s *BloomStore) contains(slot, bank, row int) bool {
+	base := slot * ((s.nbits + 63) / 64)
+	for _, p := range s.bitPositions(bank, row) {
+		if s.bits[base+p/64]&(1<<(p%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SafeThreshold implements Store: first matching filter from the
+// weakest bin up; fallback to the strongest bin.
+func (s *BloomStore) SafeThreshold(bank, row int) float64 {
+	// Normalize the bank to a characterized one, like the exact table.
+	bankPos := -1
+	for i, b := range s.p.P.Banks {
+		if b == bank {
+			bankPos = i
+			break
+		}
+	}
+	if bankPos < 0 {
+		bankPos = bank % len(s.p.P.Banks)
+	}
+	cb := s.p.P.Banks[bankPos]
+	row %= s.p.P.RowsPerBank
+	for slot := 0; slot < len(s.bins)-1; slot++ {
+		if s.contains(slot, cb, row) {
+			return s.binThreshold(s.bins[slot])
+		}
+	}
+	return s.binThreshold(s.bins[len(s.bins)-1])
+}
+
+func (s *BloomStore) binThreshold(bin uint8) float64 {
+	if bin == profile.BinBelowGrid {
+		return s.p.P.Levels[0] / 2 * s.Factor()
+	}
+	return s.p.P.Levels[bin] * s.Factor()
+}
+
+// Factor exposes the profile's scaling factor.
+func (s *BloomStore) Factor() float64 { return s.p.Factor }
+
+// SizeBits returns the total metadata size in bits.
+func (s *BloomStore) SizeBits() int { return len(s.bits) * 64 }

@@ -1,0 +1,151 @@
+// Package core implements Svärd, the paper's contribution (§6): a
+// mechanism that supplies existing read disturbance defenses with a
+// per-row HCfirst classification instead of the module-wide worst case,
+// dynamically tuning their aggressiveness to each potential victim row's
+// actual vulnerability.
+//
+// Svärd sits next to the defense (in the memory controller or in the
+// DRAM chip, §6.2). On every row activation it reports the activation
+// budget: the largest hammer count guaranteed safe for every potential
+// victim of that aggressor row. Defenses replace their global nRH with
+// this per-activation value. Security is preserved by construction: the
+// budget is the minimum of the victims' profiled safe thresholds, each
+// of which lower-bounds the victim's true HCfirst (§6.3).
+package core
+
+import (
+	"fmt"
+
+	"svard/internal/profile"
+)
+
+// Thresholds supplies a defense with the hammer-count budget for an
+// activation of (bank, row). Implementations: Fixed (the conventional
+// single worst-case nRH) and Svard (per-row, profile-driven).
+type Thresholds interface {
+	// ActivationBudget returns the number of activations of (bank, row)
+	// that are guaranteed safe for all of the row's potential victims.
+	ActivationBudget(bank, row int) float64
+	// MinBudget returns the smallest budget any activation can have
+	// (used for sizing defense structures).
+	MinBudget() float64
+}
+
+// Fixed is the profile-oblivious baseline: every row gets the module's
+// worst-case threshold.
+type Fixed float64
+
+// ActivationBudget implements Thresholds.
+func (f Fixed) ActivationBudget(bank, row int) float64 { return float64(f) }
+
+// MinBudget implements Thresholds.
+func (f Fixed) MinBudget() float64 { return float64(f) }
+
+// BlastRadius is how far (in physical rows) an aggressor's disturbance
+// reaches victims. Svärd budgets for victims at distance 1 and 2,
+// matching the device model.
+const BlastRadius = 2
+
+// Distance2Coupling is the assumed fraction of an aggressor's
+// disturbance that reaches a distance-2 victim, with a 2x safety margin
+// over the characterized coupling (~5% on the modelled chips): a
+// distance-2 victim with safe threshold T tolerates T/Distance2Coupling
+// activations of the aggressor.
+const Distance2Coupling = 0.1
+
+// Svard answers activation-budget queries from a captured (and
+// optionally scaled) vulnerability profile.
+type Svard struct {
+	prof        *profile.ScaledProfile
+	rowsPerBank int
+	store       Store
+}
+
+// Store abstracts where the per-row classification metadata lives
+// (§6.1 A/B): an exact table in the memory controller, in-DRAM
+// integrity bits, or a Bloom-filter-compressed table. All stores must be
+// conservative: they may under-report a row's safe threshold, never
+// over-report it.
+type Store interface {
+	// SafeThreshold returns the stored safe threshold for one row.
+	SafeThreshold(bank, row int) float64
+}
+
+// Option configures New.
+type Option func(*config)
+
+type config struct {
+	store func(*profile.ScaledProfile) Store
+}
+
+// WithBloomStore compresses the metadata with per-bin Bloom filters
+// (bitsPerBin bits each); false positives only ever lower a row's
+// reported threshold, preserving security at some performance cost.
+func WithBloomStore(bitsPerBin int) Option {
+	return func(c *config) {
+		c.store = func(p *profile.ScaledProfile) Store {
+			return NewBloomStore(p, bitsPerBin)
+		}
+	}
+}
+
+// New builds Svärd over a scaled vulnerability profile. By default the
+// metadata lives in an exact MC-side table (§6.1 option A).
+func New(prof *profile.ScaledProfile, opts ...Option) (*Svard, error) {
+	if prof == nil || prof.P == nil {
+		return nil, fmt.Errorf("core: nil profile")
+	}
+	cfg := config{store: func(p *profile.ScaledProfile) Store { return tableStore{p} }}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Svard{
+		prof:        prof,
+		rowsPerBank: prof.P.RowsPerBank,
+		store:       cfg.store(prof),
+	}, nil
+}
+
+// tableStore is the exact MC-side table (§6.1 option A / §6.4 table
+// implementation).
+type tableStore struct{ p *profile.ScaledProfile }
+
+func (t tableStore) SafeThreshold(bank, row int) float64 {
+	return t.p.SafeThreshold(bank, row)
+}
+
+// ActivationBudget implements Thresholds: the tightest constraint over
+// the activated row's potential victims — each victim's safe threshold
+// divided by the coupling its distance receives (distance-1 victims
+// couple fully; distance-2 victims receive Distance2Coupling of the
+// disturbance, so they tolerate proportionally more activations).
+func (s *Svard) ActivationBudget(bank, row int) float64 {
+	budget := -1.0
+	for d := -BlastRadius; d <= BlastRadius; d++ {
+		if d == 0 {
+			continue
+		}
+		v := row + d
+		if v < 0 || v >= s.rowsPerBank {
+			continue
+		}
+		th := s.store.SafeThreshold(bank, v)
+		if d == -2 || d == 2 {
+			th /= Distance2Coupling
+		}
+		if budget < 0 || th < budget {
+			budget = th
+		}
+	}
+	if budget < 0 {
+		// A bank with a single row has no victims; any budget is safe.
+		return s.prof.MinSafeThreshold()
+	}
+	return budget
+}
+
+// MinBudget implements Thresholds.
+func (s *Svard) MinBudget() float64 { return s.prof.MinSafeThreshold() }
+
+// Profile exposes the underlying scaled profile.
+func (s *Svard) Profile() *profile.ScaledProfile { return s.prof }

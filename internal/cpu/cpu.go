@@ -1,0 +1,303 @@
+// Package cpu models the simulated cores of Table 4: 4-wide issue with
+// a 128-entry instruction window, trace-driven, each with a private
+// 2 MiB last-level cache slice. The model follows the standard
+// simplified out-of-order abstraction used by DRAM studies (and
+// Ramulator's O3 core): non-memory instructions retire at full width,
+// memory instructions occupy window entries until their data returns,
+// and a full window stalls issue.
+package cpu
+
+import "math"
+
+// Config sizes a core.
+type Config struct {
+	IssueWidth int
+	Window     int
+	LLCBytes   int
+	LLCWays    int
+	LLCHitLat  uint64
+	MSHRs      int
+	// Uncached makes every access bypass the LLC — the model of a
+	// clflush-based RowHammer attacker, whose accesses always reach
+	// DRAM (Fig. 13's adversarial patterns).
+	Uncached bool
+}
+
+// DefaultConfig returns Table 4's core configuration.
+func DefaultConfig() Config {
+	return Config{
+		IssueWidth: 4,
+		Window:     128,
+		LLCBytes:   2 << 20,
+		LLCWays:    16,
+		LLCHitLat:  30,
+		MSHRs:      16,
+	}
+}
+
+// Generator produces the core's instruction stream: gap non-memory
+// instructions followed by one memory access.
+type Generator interface {
+	Next() (gap int, addr uint64, write bool)
+}
+
+// MemPort is the core's connection to the memory controller.
+type MemPort interface {
+	// Read requests a cache line; done fires with the completion cycle.
+	// False means the controller queue was full (retry next cycle).
+	Read(addr uint64, done func(cycle uint64), cycle uint64) bool
+	// Write posts a writeback; false when the queue is full.
+	Write(addr uint64, cycle uint64) bool
+}
+
+const pendingMem = math.MaxUint64
+
+// Core is one simulated core.
+type Core struct {
+	ID  int
+	Cfg Config
+
+	gen  Generator
+	port MemPort
+	llc  *llc
+
+	rob   []uint64 // completion cycle per entry; pendingMem = in flight
+	head  int
+	count int
+
+	gap      int
+	haveMem  bool
+	memAddr  uint64
+	memWrite bool
+
+	inflight int
+
+	Retired       uint64
+	WarmupTarget  uint64
+	MeasureTarget uint64
+	startCycle    uint64
+	doneCycle     uint64
+	started       bool
+	finished      bool
+
+	DroppedWB uint64
+}
+
+// New builds a core over its trace and memory port.
+func New(id int, cfg Config, gen Generator, port MemPort) *Core {
+	return &Core{
+		ID:   id,
+		Cfg:  cfg,
+		gen:  gen,
+		port: port,
+		llc:  newLLC(cfg.LLCBytes, cfg.LLCWays),
+		rob:  make([]uint64, cfg.Window),
+	}
+}
+
+// Finished reports whether the core has retired its measurement target.
+func (c *Core) Finished() bool { return c.finished }
+
+// IPC returns the measured instructions per cycle (0 until finished).
+func (c *Core) IPC() float64 {
+	if !c.finished || c.doneCycle <= c.startCycle {
+		return 0
+	}
+	return float64(c.MeasureTarget) / float64(c.doneCycle-c.startCycle)
+}
+
+// MeasuredCycles returns the cycles spent in the measurement region.
+func (c *Core) MeasuredCycles() uint64 {
+	if !c.finished {
+		return 0
+	}
+	return c.doneCycle - c.startCycle
+}
+
+// Tick advances the core one cycle: retire from the window head, then
+// issue into the window.
+func (c *Core) Tick(cycle uint64) {
+	// Retire.
+	for n := 0; n < c.Cfg.IssueWidth && c.count > 0; n++ {
+		if c.rob[c.head] > cycle {
+			break
+		}
+		c.head = (c.head + 1) % len(c.rob)
+		c.count--
+		c.Retired++
+		if !c.started && c.Retired >= c.WarmupTarget {
+			c.started = true
+			c.startCycle = cycle
+		}
+		if c.started && !c.finished && c.Retired >= c.WarmupTarget+c.MeasureTarget {
+			c.finished = true
+			c.doneCycle = cycle
+		}
+	}
+	// Issue.
+	for n := 0; n < c.Cfg.IssueWidth && c.count < len(c.rob); n++ {
+		if c.gap == 0 && !c.haveMem {
+			g, addr, wr := c.gen.Next()
+			c.gap = g
+			c.haveMem = true
+			c.memAddr = addr &^ 63
+			c.memWrite = wr
+		}
+		if c.gap > 0 {
+			c.push(cycle + 1)
+			c.gap--
+			continue
+		}
+		if !c.issueMem(cycle) {
+			break // memory system back-pressure: retry next cycle
+		}
+	}
+}
+
+func (c *Core) push(doneAt uint64) int {
+	slot := (c.head + c.count) % len(c.rob)
+	c.rob[slot] = doneAt
+	c.count++
+	return slot
+}
+
+// issueMem tries to issue the pending memory instruction; false on
+// back-pressure.
+func (c *Core) issueMem(cycle uint64) bool {
+	addr := c.memAddr
+	if !c.Cfg.Uncached && c.llc.lookup(addr, c.memWrite) {
+		c.push(cycle + c.Cfg.LLCHitLat)
+		c.haveMem = false
+		return true
+	}
+	if c.inflight >= c.Cfg.MSHRs {
+		return false
+	}
+	if c.memWrite {
+		// Write miss: fetch for ownership; the store itself is posted
+		// and completes like a hit, while the line fetch proceeds in
+		// the background.
+		if !c.fetchLine(addr, true, cycle, -1) {
+			return false
+		}
+		c.push(cycle + c.Cfg.LLCHitLat)
+		c.haveMem = false
+		return true
+	}
+	slot := c.push(pendingMem)
+	if !c.fetchLine(addr, false, cycle, slot) {
+		// Roll back the issue.
+		c.count--
+		return false
+	}
+	c.haveMem = false
+	return true
+}
+
+// fetchLine requests a line from memory; on completion it installs the
+// line (emitting a writeback for a dirty eviction) and wakes the window
+// slot (slot < 0 for stores).
+func (c *Core) fetchLine(addr uint64, dirty bool, cycle uint64, slot int) bool {
+	ok := c.port.Read(addr, func(done uint64) {
+		c.inflight--
+		if !c.Cfg.Uncached {
+			if evicted, wb := c.llc.install(addr, dirty); evicted {
+				if !c.port.Write(wb, done) {
+					c.DroppedWB++
+				}
+			}
+		}
+		if slot >= 0 {
+			c.rob[slot] = done
+		}
+	}, cycle)
+	if ok {
+		c.inflight++
+	}
+	return ok
+}
+
+// llc is a set-associative LRU cache.
+type llc struct {
+	sets  int
+	ways  int
+	tags  []uint64 // tag per way; 0 = invalid (tags store line|1)
+	dirty []bool
+	lru   []uint8
+}
+
+func newLLC(bytes, ways int) *llc {
+	sets := bytes / 64 / ways
+	if sets < 1 {
+		sets = 1
+	}
+	return &llc{
+		sets:  sets,
+		ways:  ways,
+		tags:  make([]uint64, sets*ways),
+		dirty: make([]bool, sets*ways),
+		lru:   make([]uint8, sets*ways),
+	}
+}
+
+func (l *llc) setOf(addr uint64) int { return int(addr >> 6 % uint64(l.sets)) }
+
+// lookup probes the cache, updating LRU and the dirty bit on a write
+// hit.
+func (l *llc) lookup(addr uint64, write bool) bool {
+	set := l.setOf(addr)
+	base := set * l.ways
+	key := addr>>6 | 1<<63
+	for w := 0; w < l.ways; w++ {
+		if l.tags[base+w] == key {
+			l.touch(base, w)
+			if write {
+				l.dirty[base+w] = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// install fills a line, returning a writeback address if a dirty line
+// was evicted.
+func (l *llc) install(addr uint64, dirty bool) (evictedDirty bool, wbAddr uint64) {
+	set := l.setOf(addr)
+	base := set * l.ways
+	key := addr>>6 | 1<<63
+	victim, maxAge := 0, uint8(0)
+	for w := 0; w < l.ways; w++ {
+		if l.tags[base+w] == 0 {
+			victim = w
+			break
+		}
+		if l.tags[base+w] == key {
+			// Already present (racing fill); refresh state.
+			l.dirty[base+w] = l.dirty[base+w] || dirty
+			l.touch(base, w)
+			return false, 0
+		}
+		if l.lru[base+w] >= maxAge {
+			victim, maxAge = w, l.lru[base+w]
+		}
+	}
+	if l.tags[base+victim] != 0 && l.dirty[base+victim] {
+		evictedDirty = true
+		wbAddr = l.tags[base+victim] &^ (1 << 63) << 6
+	}
+	l.tags[base+victim] = key
+	l.dirty[base+victim] = dirty
+	l.touch(base, victim)
+	return evictedDirty, wbAddr
+}
+
+// touch ages the set and zeroes the touched way (LRU).
+func (l *llc) touch(base, way int) {
+	for w := 0; w < l.ways; w++ {
+		if l.lru[base+w] < 255 {
+			l.lru[base+w]++
+		}
+	}
+	l.lru[base+way] = 0
+}

@@ -1,0 +1,178 @@
+package cpu
+
+import "testing"
+
+// scriptGen yields a fixed access script.
+type scriptGen struct {
+	gap  int
+	step uint64
+	next uint64
+}
+
+func (g *scriptGen) Next() (int, uint64, bool) {
+	a := g.next
+	g.next += g.step
+	return g.gap, a, false
+}
+
+// instantPort satisfies every read after a fixed latency.
+type instantPort struct {
+	latency uint64
+	pending []func(uint64)
+	at      []uint64
+	refused bool
+}
+
+func (p *instantPort) Read(addr uint64, done func(uint64), cycle uint64) bool {
+	if p.refused {
+		return false
+	}
+	p.pending = append(p.pending, done)
+	p.at = append(p.at, cycle+p.latency)
+	return true
+}
+
+func (p *instantPort) Write(addr uint64, cycle uint64) bool { return !p.refused }
+
+func (p *instantPort) tick(cycle uint64) {
+	for i := 0; i < len(p.pending); {
+		if cycle >= p.at[i] {
+			p.pending[i](cycle)
+			p.pending = append(p.pending[:i], p.pending[i+1:]...)
+			p.at = append(p.at[:i], p.at[i+1:]...)
+		} else {
+			i++
+		}
+	}
+}
+
+func runCore(c *Core, p *instantPort, cycles uint64) {
+	for cyc := uint64(0); cyc < cycles; cyc++ {
+		p.tick(cyc)
+		c.Tick(cyc)
+		if c.Finished() {
+			return
+		}
+	}
+}
+
+func TestComputeBoundIPCNearWidth(t *testing.T) {
+	// A stream of pure cache hits (tiny footprint) retires near full
+	// width.
+	cfg := DefaultConfig()
+	p := &instantPort{latency: 100}
+	c := New(0, cfg, &scriptGen{gap: 40, step: 64}, p) // footprint cycles inside the LLC after warmup
+	gen := c.gen.(*scriptGen)
+	gen.next = 0
+	gen.step = 0 // always the same line: all hits after the first fill
+	c.WarmupTarget = 1000
+	c.MeasureTarget = 20_000
+	runCore(c, p, 1_000_000)
+	if !c.Finished() {
+		t.Fatal("core did not finish")
+	}
+	if ipc := c.IPC(); ipc < 2.0 {
+		t.Errorf("compute-bound IPC = %v, want near issue width", ipc)
+	}
+}
+
+func TestMemoryBoundIPCLow(t *testing.T) {
+	cfg := DefaultConfig()
+	p := &instantPort{latency: 400}
+	// Every access a new line far apart: all misses, gap 0.
+	c := New(0, cfg, &scriptGen{gap: 0, step: 1 << 20}, p)
+	c.WarmupTarget = 100
+	c.MeasureTarget = 5_000
+	runCore(c, p, 10_000_000)
+	if !c.Finished() {
+		t.Fatal("core did not finish")
+	}
+	if ipc := c.IPC(); ipc > 1.0 {
+		t.Errorf("miss-bound IPC = %v, expected well below 1", ipc)
+	}
+}
+
+func TestBackPressureStallsWithoutLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	p := &instantPort{latency: 10, refused: true}
+	c := New(0, cfg, &scriptGen{gap: 0, step: 1 << 20}, p)
+	c.WarmupTarget = 0
+	c.MeasureTarget = 1000
+	for cyc := uint64(0); cyc < 2000; cyc++ {
+		p.tick(cyc)
+		c.Tick(cyc)
+	}
+	retiredWhileRefused := c.Retired
+	// Un-refuse: the core must make progress again.
+	p.refused = false
+	runCore(c, p, 5_000_000)
+	if !c.Finished() {
+		t.Fatalf("core stuck after back-pressure lifted (retired %d)", c.Retired)
+	}
+	if retiredWhileRefused > 64 {
+		t.Errorf("retired %d instructions with memory refusing", retiredWhileRefused)
+	}
+}
+
+func TestWindowLimitsOutstanding(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MSHRs = 1000 // remove the MSHR limit; the window must bind
+	p := &instantPort{latency: 1 << 40}
+	c := New(0, cfg, &scriptGen{gap: 0, step: 1 << 20}, p)
+	c.MeasureTarget = 1 << 40
+	for cyc := uint64(0); cyc < 10_000; cyc++ {
+		c.Tick(cyc)
+	}
+	if len(p.pending) > cfg.Window {
+		t.Errorf("%d outstanding reads exceed the %d-entry window", len(p.pending), cfg.Window)
+	}
+	if len(p.pending) == 0 {
+		t.Error("no reads issued")
+	}
+}
+
+func TestLLCEvictionsWriteBack(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LLCBytes = 64 * 16 * 4 // 4 sets
+	p := &instantPort{latency: 10}
+	writes := 0
+	wp := &countingPort{inner: p, writes: &writes}
+	gen := &scriptGen{gap: 0, step: 64 * 4} // march through sets
+	c := New(0, cfg, gen, wp)
+	c.MeasureTarget = 1 << 40
+	// Make every access a write so lines are dirty.
+	c2 := New(0, cfg, &writeGen{step: 64 * 4}, wp)
+	c2.MeasureTarget = 1 << 40
+	for cyc := uint64(0); cyc < 300_000; cyc++ {
+		p.tick(cyc)
+		c2.Tick(cyc)
+	}
+	if writes == 0 {
+		t.Error("dirty evictions produced no writebacks")
+	}
+	_ = c
+}
+
+type writeGen struct {
+	step uint64
+	next uint64
+}
+
+func (g *writeGen) Next() (int, uint64, bool) {
+	a := g.next
+	g.next += g.step
+	return 0, a, true
+}
+
+type countingPort struct {
+	inner  *instantPort
+	writes *int
+}
+
+func (p *countingPort) Read(addr uint64, done func(uint64), cycle uint64) bool {
+	return p.inner.Read(addr, done, cycle)
+}
+func (p *countingPort) Write(addr uint64, cycle uint64) bool {
+	*p.writes++
+	return p.inner.Write(addr, cycle)
+}

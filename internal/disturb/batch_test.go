@@ -1,0 +1,127 @@
+package disturb
+
+import (
+	"math"
+	"testing"
+
+	"svard/internal/dram"
+)
+
+// loopSink exposes only the per-command DisturbSink interface of a
+// Model, hiding the batch fast path so the device falls back to issuing
+// every ACT/PRE.
+type loopSink struct{ m *Model }
+
+func (s loopSink) RowClosed(bank, row int, onTime float64) { s.m.RowClosed(bank, row, onTime) }
+func (s loopSink) RowRestored(bank, row int)               { s.m.RowRestored(bank, row) }
+func (s loopSink) RowWritten(bank, row int)                { s.m.RowWritten(bank, row) }
+func (s loopSink) Flips(bank, row int, p dram.Pattern) []int {
+	return s.m.Flips(bank, row, p)
+}
+func (s loopSink) FlipCount(bank, row int, p dram.Pattern) int {
+	return s.m.FlipCount(bank, row, p)
+}
+
+func relDiff(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestBatchMatchesLoop drives two identical models — one through the
+// command-by-command hammer loop, one through the batch fast path — and
+// requires identical disturbance state on every row near the victim.
+func TestBatchMatchesLoop(t *testing.T) {
+	g := testGeom()
+	mLoop := NewModel(DefaultParams(7), g)
+	mBatch := NewModel(DefaultParams(7), g)
+	devLoop, err := dram.NewDevice(g, dram.DDR4Timing(3200), dram.IdentityMapping{}, loopSink{mLoop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devBatch, err := dram.NewDevice(g, dram.DDR4Timing(3200), dram.IdentityMapping{}, mBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const bank, victim, pairs = 0, 700, 500
+	for _, tAggOn := range []float64{36, 500} {
+		if err := devLoop.HammerDoubleSided(bank, victim-1, victim+1, pairs, tAggOn); err != nil {
+			t.Fatal(err)
+		}
+		if err := devBatch.HammerDoubleSided(bank, victim-1, victim+1, pairs, tAggOn); err != nil {
+			t.Fatal(err)
+		}
+		for row := victim - 3; row <= victim+3; row++ {
+			curL, curB := mLoop.Accumulated(bank, row), mBatch.Accumulated(bank, row)
+			if relDiff(curL, curB) > 1e-9 {
+				t.Errorf("tAggOn=%v row %+d: cur loop=%v batch=%v", tAggOn, row-victim, curL, curB)
+			}
+			effL, effB := mLoop.Effective(bank, row), mBatch.Effective(bank, row)
+			if relDiff(effL, effB) > 1e-9 {
+				t.Errorf("tAggOn=%v row %+d: eff loop=%v batch=%v", tAggOn, row-victim, effL, effB)
+			}
+		}
+		// Device clocks advance identically.
+		if relDiff(devLoop.Now(), devBatch.Now()) > 1e-9 {
+			t.Errorf("tAggOn=%v: device time loop=%v batch=%v", tAggOn, devLoop.Now(), devBatch.Now())
+		}
+		if devLoop.Activates() != devBatch.Activates() {
+			t.Errorf("activation counts differ: %d vs %d", devLoop.Activates(), devBatch.Activates())
+		}
+	}
+}
+
+func TestSingleSidedBatchMatchesLoop(t *testing.T) {
+	g := testGeom()
+	mLoop := NewModel(DefaultParams(8), g)
+	mBatch := NewModel(DefaultParams(8), g)
+	devLoop, err := dram.NewDevice(g, dram.DDR4Timing(3200), dram.IdentityMapping{}, loopSink{mLoop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devBatch, err := dram.NewDevice(g, dram.DDR4Timing(3200), dram.IdentityMapping{}, mBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bank, agg, acts = 1, 400, 300
+	if err := devLoop.HammerSingleSided(bank, agg, acts, 36); err != nil {
+		t.Fatal(err)
+	}
+	if err := devBatch.HammerSingleSided(bank, agg, acts, 36); err != nil {
+		t.Fatal(err)
+	}
+	for row := agg - 3; row <= agg+3; row++ {
+		if relDiff(mLoop.Effective(bank, row), mBatch.Effective(bank, row)) > 1e-9 {
+			t.Errorf("row %+d: eff loop=%v batch=%v", row-agg,
+				mLoop.Effective(bank, row), mBatch.Effective(bank, row))
+		}
+	}
+}
+
+func TestHammerRejectsShortOnTime(t *testing.T) {
+	g := testGeom()
+	m := NewModel(DefaultParams(9), g)
+	dev, err := dram.NewDevice(g, dram.DDR4Timing(3200), dram.IdentityMapping{}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.HammerDoubleSided(0, 10, 12, 5, 10); err == nil {
+		t.Error("tAggOn below tRAS accepted")
+	}
+	if err := dev.HammerSingleSided(0, 10, 5, 10); err == nil {
+		t.Error("single-sided tAggOn below tRAS accepted")
+	}
+}
+
+func TestSingleSidedHalfRate(t *testing.T) {
+	// A single-sided victim accrues exactly half the per-hammer rate of a
+	// double-sided victim (one hammer = a pair of activations).
+	g := testGeom()
+	m := NewModel(DefaultParams(10), g)
+	m.SingleSidedBatch(0, 500, 100, 36)
+	if got := m.Accumulated(0, 501); got != 50 {
+		t.Errorf("single-sided accrual = %v, want 50", got)
+	}
+}

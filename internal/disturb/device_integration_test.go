@@ -1,0 +1,158 @@
+package disturb
+
+import (
+	"math"
+	"testing"
+
+	"svard/internal/dram"
+)
+
+// These tests close the loop between the command-level device and the
+// analytic model: hammering through ACT/PRE must observe exactly the
+// bitflip behaviour the closed forms predict (DESIGN.md §5, invariant 1).
+
+func newDeviceAndModel(t *testing.T) (*dram.Device, *Model) {
+	t.Helper()
+	g := testGeom()
+	m := NewModel(DefaultParams(42), g)
+	d, err := dram.NewDevice(g, dram.DDR4Timing(3200), dram.IdentityMapping{}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, m
+}
+
+// hammerPair performs one double-sided hammer (one activation of each
+// aggressor) per Alg. 1's hammer_doublesided inner loop.
+func hammerPair(t *testing.T, d *dram.Device, bank, victim int, tAggOn float64) {
+	t.Helper()
+	for _, agg := range [...]int{victim + 1, victim - 1} {
+		if err := d.Activate(bank, agg); err != nil {
+			t.Fatal(err)
+		}
+		d.Wait(tAggOn - d.Tim.TCK)
+		if err := d.Precharge(bank); err != nil {
+			t.Fatal(err)
+		}
+		d.Wait(d.Tim.TRP)
+	}
+}
+
+func TestDeviceHammerMatchesAnalyticHCFirst(t *testing.T) {
+	d, m := newDeviceAndModel(t)
+	const bank = 0
+	// Pick an interior victim with a smallish HCfirst to keep the loop fast.
+	victim, bestHCF := -1, math.Inf(1)
+	for row := 2; row < m.Geom.RowsPerBank-2; row++ {
+		if !m.Geom.SameSubarray(row-1, row+1) {
+			continue
+		}
+		if hcf := m.HCFirst(bank, row); hcf < bestHCF {
+			victim, bestHCF = row, hcf
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no interior victim found")
+	}
+	pat := m.WCDP(bank, victim)
+
+	// Initialize the victim row.
+	if err := d.Activate(bank, victim); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait(d.Tim.TRCD)
+	if err := d.WriteOpenRow(bank, pat); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait(d.Tim.TRAS)
+	if err := d.Precharge(bank); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait(d.Tim.TRP)
+
+	// Hammer to just below HCfirst: no flips. The device's minimum
+	// on-time is tAggOn (wait accounts for the ACT clock), so each pair
+	// contributes at least 1.0 effective hammers; stop a few short.
+	below := int(bestHCF) - 2
+	for i := 0; i < below; i++ {
+		hammerPair(t, d, bank, victim, 36)
+	}
+	if err := d.Activate(bank, victim); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait(d.Tim.TRCD)
+	n, _, err := d.ReadOpenRowFlips(bank, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("flips below HCfirst: %d (acc=%v hcf=%v)", n, m.Accumulated(bank, victim), bestHCF)
+	}
+	// Reading re-activated (and restored) the victim, so resume from zero:
+	// hammer past HCfirst and expect flips.
+	d.Wait(d.Tim.TRAS)
+	if err := d.Precharge(bank); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait(d.Tim.TRP)
+	above := int(bestHCF) + 2
+	for i := 0; i < above; i++ {
+		hammerPair(t, d, bank, victim, 36)
+	}
+	if err := d.Activate(bank, victim); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait(d.Tim.TRCD)
+	n, positions, err := d.ReadOpenRowFlips(bank, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 {
+		t.Fatalf("no flips above HCfirst (acc=%v hcf=%v)", m.Accumulated(bank, victim), bestHCF)
+	}
+	if len(positions) != n {
+		t.Fatalf("positions %d != count %d", len(positions), n)
+	}
+}
+
+func TestDeviceVictimActivationRestores(t *testing.T) {
+	d, m := newDeviceAndModel(t)
+	const bank, victim = 1, 600
+	if !m.Geom.SameSubarray(victim-1, victim+1) {
+		t.Skip("victim not interior")
+	}
+	for i := 0; i < 100; i++ {
+		hammerPair(t, d, bank, victim, 36)
+	}
+	if m.Accumulated(bank, victim) == 0 {
+		t.Fatal("no disturbance accrued")
+	}
+	// Activating the victim itself restores it.
+	if err := d.Activate(bank, victim); err != nil {
+		t.Fatal(err)
+	}
+	if m.Accumulated(bank, victim) != 0 {
+		t.Error("victim activation did not restore the row")
+	}
+}
+
+func TestDeviceRowPressAcceleratesFlips(t *testing.T) {
+	d, m := newDeviceAndModel(t)
+	const bank, victim = 0, 900
+	if !m.Geom.SameSubarray(victim-1, victim+1) {
+		t.Skip("victim not interior")
+	}
+	const pairs = 200
+	for i := 0; i < pairs; i++ {
+		hammerPair(t, d, bank, victim, 2000) // RowPress: 2us on-time
+	}
+	accPress := m.Accumulated(bank, victim)
+	m.RowRestored(bank, victim)
+	for i := 0; i < pairs; i++ {
+		hammerPair(t, d, bank, victim, 36)
+	}
+	accHammer := m.Accumulated(bank, victim)
+	if accPress < 5*accHammer {
+		t.Errorf("RowPress amplification too small: press=%v hammer=%v", accPress, accHammer)
+	}
+}

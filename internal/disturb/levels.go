@@ -1,0 +1,46 @@
+// Package disturb models DRAM read disturbance physics: per-row
+// vulnerability (HCfirst and BER), the RowHammer accumulation of
+// double-sided activations, the RowPress amplification of long aggressor
+// on-times, data-pattern coupling, temperature sensitivity, and aging.
+//
+// The model is procedural: every per-row and per-cell quantity is a pure
+// function of (module seed, bank, physical row, ...), so full-bank sweeps
+// evaluate lazily and reproducibly, and the analytic view (HCFirst, BERAt)
+// provably agrees with the command-level view (a Device hammering rows
+// through the DisturbSink interface).
+package disturb
+
+// K follows the paper's convention: K is 2^10, not 10^3 (footnote 7).
+const K = 1024
+
+// HammerLevels returns the paper's 14 tested hammer counts (Alg. 1):
+// 1K..128K where one hammer is a pair of activations to the two
+// aggressor rows.
+func HammerLevels() []float64 {
+	return []float64{
+		1 * K, 2 * K, 4 * K, 8 * K, 12 * K, 16 * K, 24 * K,
+		32 * K, 40 * K, 48 * K, 56 * K, 64 * K, 96 * K, 128 * K,
+	}
+}
+
+// LevelIndex returns the index of the smallest tested level >= hc, or
+// len(levels) when hc exceeds every level (the row would show no bitflip
+// in any test; callers treat it as right-censored).
+func LevelIndex(levels []float64, hc float64) int {
+	for i, l := range levels {
+		if hc <= l {
+			return i
+		}
+	}
+	return len(levels)
+}
+
+// Quantize returns the smallest tested level >= hc and ok=true, or
+// (0, false) when hc exceeds every tested level.
+func Quantize(levels []float64, hc float64) (float64, bool) {
+	i := LevelIndex(levels, hc)
+	if i >= len(levels) {
+		return 0, false
+	}
+	return levels[i], true
+}

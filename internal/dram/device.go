@@ -1,0 +1,355 @@
+package dram
+
+import (
+	"fmt"
+)
+
+// DisturbSink receives the disturbance-relevant events of a device and
+// answers bitflip queries. Package disturb provides the physical model;
+// tests may substitute simpler fakes.
+//
+// All rows in this interface are physical.
+type DisturbSink interface {
+	// RowClosed reports that a row was activated and then precharged
+	// after being open for onTimeNs nanoseconds. This is where both
+	// RowHammer (the activation itself) and RowPress (the on-time)
+	// disturbance accrue to the row's physical neighbours.
+	RowClosed(bank, physRow int, onTimeNs float64)
+	// RowRestored reports that a row's cells were recharged: the row was
+	// activated (charge restoration) or refreshed. Restoration recharges
+	// cells to the value they currently hold — cells that already
+	// flipped stay flipped — so it resets the in-progress disturbance
+	// accumulation without clearing committed flips.
+	RowRestored(bank, physRow int)
+	// RowWritten reports that new data was driven into the row (a write
+	// or a successful RowClone), clearing all committed flips.
+	RowWritten(bank, physRow int)
+	// Flips returns the indices of the cells of the row that currently
+	// read back flipped, given the stored data pattern.
+	Flips(bank, physRow int, pattern Pattern) []int
+	// FlipCount returns len(Flips) without materializing positions.
+	FlipCount(bank, physRow int, pattern Pattern) int
+}
+
+// NopSink ignores all events and reports no flips; the device is then a
+// pure timing/state model.
+type NopSink struct{}
+
+// RowClosed implements DisturbSink.
+func (NopSink) RowClosed(int, int, float64) {}
+
+// RowRestored implements DisturbSink.
+func (NopSink) RowRestored(int, int) {}
+
+// RowWritten implements DisturbSink.
+func (NopSink) RowWritten(int, int) {}
+
+// Flips implements DisturbSink.
+func (NopSink) Flips(int, int, Pattern) []int { return nil }
+
+// FlipCount implements DisturbSink.
+func (NopSink) FlipCount(int, int, Pattern) int { return 0 }
+
+// TimingError reports a command issued in violation of a timing
+// parameter or protocol state.
+type TimingError struct {
+	Cmd    string
+	Bank   int
+	Reason string
+}
+
+func (e *TimingError) Error() string {
+	return fmt.Sprintf("dram: %s on bank %d: %s", e.Cmd, e.Bank, e.Reason)
+}
+
+type bankState struct {
+	openRow    int     // physical row, -1 when precharged
+	actAt      float64 // time of last ACT
+	actReadyAt float64 // earliest time for the next ACT
+	colReadyAt float64 // earliest time for the next RD/WR
+	preReadyAt float64 // earliest time for PRE (tRAS / tRTP / tWR)
+}
+
+type rowKey struct{ bank, row int }
+
+// rowData records what was last written to a row. The device stores data
+// as a repeated byte pattern; flips relative to it come from the sink.
+type rowData struct {
+	pattern   Pattern
+	written   bool
+	corrupted bool // clobbered by a failed RowClone; reads back garbage
+}
+
+// Device is a command-level DDR4 module: the unit DRAM Bender talks to.
+// All exported row parameters are logical addresses; the device applies
+// the module's internal scrambling before touching physical state.
+//
+// Time is explicit and driven by the caller: commands execute at the
+// device's current time and advance it by one clock; Wait advances it
+// further. The device enforces the timing parameters relevant to
+// characterization (tRC, tRAS, tRP, tRCD, tFAW, tRRD) and returns
+// *TimingError on violations rather than silently accepting them.
+type Device struct {
+	Geom    *Geometry
+	Tim     Timing
+	Map     RowMapping
+	sink    DisturbSink
+	now     float64
+	banks   []bankState
+	rows    map[rowKey]*rowData
+	actHist []float64 // times of recent ACTs, for tFAW
+	lastAct float64   // time of last ACT on any bank, for tRRD
+	lastBG  int       // bank group of last ACT
+
+	refreshOn   bool
+	refRowNext  int // next row index to refresh (all banks refresh in lockstep)
+	refsPerCmd  int
+	acts, pres  uint64 // command counters
+	refreshedAt float64
+	seed        uint64 // device identity, for analog idiosyncrasies
+}
+
+// NewDevice builds a device over the given geometry, timing, and row
+// mapping, attached to sink. A nil sink behaves like NopSink.
+func NewDevice(geom *Geometry, tim Timing, mapping RowMapping, sink DisturbSink) (*Device, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tim.Validate(); err != nil {
+		return nil, err
+	}
+	if mapping == nil {
+		mapping = IdentityMapping{}
+	}
+	if sink == nil {
+		sink = NopSink{}
+	}
+	d := &Device{
+		Geom:  geom,
+		Tim:   tim,
+		Map:   mapping,
+		sink:  sink,
+		banks: make([]bankState, geom.Banks()),
+		rows:  make(map[rowKey]*rowData),
+	}
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+	}
+	// One REF refreshes rowsPerBank / (tREFW / tREFI) rows per bank so
+	// that the full bank is covered once per refresh window.
+	cmds := int(tim.TREFW / tim.TREFI)
+	if cmds <= 0 {
+		cmds = 1
+	}
+	d.refsPerCmd = (geom.RowsPerBank + cmds - 1) / cmds
+	return d, nil
+}
+
+// Now returns the device's current time in nanoseconds.
+func (d *Device) Now() float64 { return d.now }
+
+// Wait advances the device clock by ns nanoseconds.
+func (d *Device) Wait(ns float64) {
+	if ns > 0 {
+		d.now += ns
+	}
+}
+
+// Activates returns the number of ACT commands issued so far.
+func (d *Device) Activates() uint64 { return d.acts }
+
+// SetRefreshEnabled turns autonomous refresh bookkeeping on or off.
+// Characterization runs disable refresh (§4.1) to expose circuit-level
+// behaviour; the performance simulator keeps it on.
+func (d *Device) SetRefreshEnabled(on bool) { d.refreshOn = on }
+
+func (d *Device) bankCheck(bank int) error {
+	if bank < 0 || bank >= len(d.banks) {
+		return fmt.Errorf("dram: bank %d out of range [0,%d)", bank, len(d.banks))
+	}
+	return nil
+}
+
+// Activate opens the logical row in bank. It enforces tRP (bank must be
+// precharged and ready), tRRD between activations, and tFAW.
+func (d *Device) Activate(bank, logicalRow int) error {
+	if err := d.bankCheck(bank); err != nil {
+		return err
+	}
+	if logicalRow < 0 || logicalRow >= d.Geom.RowsPerBank {
+		return fmt.Errorf("dram: row %d out of range [0,%d)", logicalRow, d.Geom.RowsPerBank)
+	}
+	b := &d.banks[bank]
+	if b.openRow >= 0 {
+		return &TimingError{Cmd: "ACT", Bank: bank, Reason: "bank already has an open row"}
+	}
+	if d.now < b.actReadyAt {
+		return &TimingError{Cmd: "ACT", Bank: bank,
+			Reason: fmt.Sprintf("tRP/tRC not satisfied: now=%.2f ready=%.2f", d.now, b.actReadyAt)}
+	}
+	if d.acts > 0 {
+		rrd := d.Tim.TRRDS
+		if d.Geom.BankGroupOf(bank) == d.lastBG {
+			rrd = d.Tim.TRRDL
+		}
+		if d.now < d.lastAct+rrd {
+			return &TimingError{Cmd: "ACT", Bank: bank, Reason: "tRRD not satisfied"}
+		}
+	}
+	if len(d.actHist) >= 4 && d.now < d.actHist[len(d.actHist)-4]+d.Tim.TFAW {
+		return &TimingError{Cmd: "ACT", Bank: bank, Reason: "tFAW not satisfied"}
+	}
+
+	phys := d.Map.LogicalToPhysical(logicalRow)
+	b.openRow = phys
+	b.actAt = d.now
+	b.colReadyAt = d.now + d.Tim.TRCD
+	b.preReadyAt = d.now + d.Tim.TRAS
+	d.lastAct = d.now
+	d.lastBG = d.Geom.BankGroupOf(bank)
+	d.actHist = append(d.actHist, d.now)
+	if len(d.actHist) > 8 {
+		d.actHist = d.actHist[len(d.actHist)-8:]
+	}
+	d.acts++
+	// Activation restores the row's own cells (charge restoration).
+	d.sink.RowRestored(bank, phys)
+	d.now += d.Tim.TCK
+	return nil
+}
+
+// Precharge closes the open row of bank, reporting its on-time to the
+// disturbance sink. It enforces tRAS (and read/write recovery folded
+// into preReadyAt).
+func (d *Device) Precharge(bank int) error {
+	if err := d.bankCheck(bank); err != nil {
+		return err
+	}
+	b := &d.banks[bank]
+	if b.openRow < 0 {
+		return &TimingError{Cmd: "PRE", Bank: bank, Reason: "no open row"}
+	}
+	if d.now < b.preReadyAt {
+		return &TimingError{Cmd: "PRE", Bank: bank,
+			Reason: fmt.Sprintf("tRAS not satisfied: now=%.2f ready=%.2f", d.now, b.preReadyAt)}
+	}
+	onTime := d.now - b.actAt
+	d.sink.RowClosed(bank, b.openRow, onTime)
+	b.openRow = -1
+	b.actReadyAt = d.now + d.Tim.TRP
+	d.pres++
+	d.now += d.Tim.TCK
+	return nil
+}
+
+// OpenRow returns the physical open row of bank, or -1.
+func (d *Device) OpenRow(bank int) int {
+	return d.banks[bank].openRow
+}
+
+// WriteOpenRow writes the pattern's victim byte across the open row of
+// bank (the testbench writes whole rows; per-column writes are not
+// needed by any experiment). It enforces tRCD.
+func (d *Device) WriteOpenRow(bank int, p Pattern) error {
+	if err := d.bankCheck(bank); err != nil {
+		return err
+	}
+	b := &d.banks[bank]
+	if b.openRow < 0 {
+		return &TimingError{Cmd: "WR", Bank: bank, Reason: "no open row"}
+	}
+	if d.now < b.colReadyAt {
+		return &TimingError{Cmd: "WR", Bank: bank, Reason: "tRCD not satisfied"}
+	}
+	d.rows[rowKey{bank, b.openRow}] = &rowData{pattern: p, written: true}
+	// Writing drives fresh data into every cell, clearing committed flips.
+	d.sink.RowWritten(bank, b.openRow)
+	// Full-row write: one burst per 8 bytes.
+	bursts := float64(d.Geom.RowBytes() / 8)
+	d.now += d.Tim.TCWL + bursts*d.Tim.TCCDL + d.Tim.TWR
+	if t := d.now; t > b.preReadyAt {
+		b.preReadyAt = t
+	}
+	return nil
+}
+
+// ReadOpenRowFlips reads back the open row of bank and returns the
+// number of cells that differ from the last written pattern, plus the
+// flipped cell indices if wantPositions is set. It enforces tRCD. A row
+// that was never written reads back clean (0 flips) by definition.
+func (d *Device) ReadOpenRowFlips(bank int, wantPositions bool) (int, []int, error) {
+	if err := d.bankCheck(bank); err != nil {
+		return 0, nil, err
+	}
+	b := &d.banks[bank]
+	if b.openRow < 0 {
+		return 0, nil, &TimingError{Cmd: "RD", Bank: bank, Reason: "no open row"}
+	}
+	if d.now < b.colReadyAt {
+		return 0, nil, &TimingError{Cmd: "RD", Bank: bank, Reason: "tRCD not satisfied"}
+	}
+	bursts := float64(d.Geom.RowBytes() / 8)
+	d.now += d.Tim.TCL + bursts*d.Tim.TCCDL
+	if t := d.now + d.Tim.TRTP; t > b.preReadyAt {
+		b.preReadyAt = t
+	}
+	rd, ok := d.rows[rowKey{bank, b.openRow}]
+	if !ok || !rd.written {
+		return 0, nil, nil
+	}
+	if rd.corrupted {
+		// A failed RowClone leaves indeterminate data: report half the
+		// cells as mismatching, which is what comparing against the
+		// intended pattern would show on real hardware.
+		return d.Geom.CellsPerRow / 2, nil, nil
+	}
+	if wantPositions {
+		flips := d.sink.Flips(bank, b.openRow, rd.pattern)
+		return len(flips), flips, nil
+	}
+	return d.sink.FlipCount(bank, b.openRow, rd.pattern), nil, nil
+}
+
+// PatternOf returns the pattern last written to the logical row and
+// whether the row has been written at all.
+func (d *Device) PatternOf(bank, logicalRow int) (Pattern, bool) {
+	rd, ok := d.rows[rowKey{bank, d.Map.LogicalToPhysical(logicalRow)}]
+	if !ok {
+		return 0, false
+	}
+	return rd.pattern, rd.written
+}
+
+// Refresh executes one REF command: it refreshes the next refsPerCmd
+// rows of every bank (lock-step, round-robin), restoring their cells.
+// All banks must be precharged. The device clock advances by tRFC.
+func (d *Device) Refresh() error {
+	for bank := range d.banks {
+		if d.banks[bank].openRow >= 0 {
+			return &TimingError{Cmd: "REF", Bank: bank, Reason: "bank has an open row"}
+		}
+	}
+	for i := 0; i < d.refsPerCmd; i++ {
+		row := (d.refRowNext + i) % d.Geom.RowsPerBank
+		for bank := range d.banks {
+			d.sink.RowRestored(bank, row)
+		}
+	}
+	d.refRowNext = (d.refRowNext + d.refsPerCmd) % d.Geom.RowsPerBank
+	d.refreshedAt = d.now
+	d.now += d.Tim.TRFC
+	return nil
+}
+
+// RefreshAll restores every row of every bank (e.g., between test
+// iterations) without advancing time realistically; it advances by one
+// full refresh window worth of REF latencies.
+func (d *Device) RefreshAll() {
+	for row := 0; row < d.Geom.RowsPerBank; row++ {
+		for bank := range d.banks {
+			d.sink.RowRestored(bank, row)
+		}
+	}
+	d.refRowNext = 0
+	d.now += d.Tim.TRFC * d.Tim.TREFW / d.Tim.TREFI
+}

@@ -1,0 +1,470 @@
+package dram
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testGeometry() *Geometry {
+	g := &Geometry{BankGroups: 2, BanksPerGroup: 2, RowsPerBank: 1024, CellsPerRow: 256}
+	g.SetSubarrayStarts([]int{0, 256, 512, 768})
+	return g
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := testGeometry().Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	bad := &Geometry{BankGroups: 0, BanksPerGroup: 4, RowsPerBank: 10, CellsPerRow: 8}
+	if bad.Validate() == nil {
+		t.Error("zero bank groups accepted")
+	}
+	bad2 := &Geometry{BankGroups: 4, BanksPerGroup: 4, RowsPerBank: 10, CellsPerRow: 7}
+	if bad2.Validate() == nil {
+		t.Error("non-byte-multiple cells accepted")
+	}
+}
+
+func TestSubarrayLookup(t *testing.T) {
+	g := testGeometry()
+	cases := []struct{ row, want int }{
+		{0, 0}, {255, 0}, {256, 1}, {511, 1}, {512, 2}, {767, 2}, {768, 3}, {1023, 3},
+	}
+	for _, c := range cases {
+		if got := g.SubarrayOf(c.row); got != c.want {
+			t.Errorf("SubarrayOf(%d) = %d, want %d", c.row, got, c.want)
+		}
+	}
+	if !g.SameSubarray(0, 255) || g.SameSubarray(255, 256) {
+		t.Error("SameSubarray boundary logic wrong")
+	}
+}
+
+func TestDistanceToSenseAmps(t *testing.T) {
+	g := testGeometry()
+	if got := g.DistanceToSenseAmps(0); got != 0 {
+		t.Errorf("edge row distance = %d, want 0", got)
+	}
+	if got := g.DistanceToSenseAmps(255); got != 0 {
+		t.Errorf("edge row distance = %d, want 0", got)
+	}
+	if got := g.DistanceToSenseAmps(128); got != 127 {
+		t.Errorf("middle row distance = %d, want 127", got)
+	}
+}
+
+func TestBuildSubarraysCoversBank(t *testing.T) {
+	g := &Geometry{BankGroups: 4, BanksPerGroup: 4, RowsPerBank: 65536, CellsPerRow: 64}
+	g.BuildSubarrays(7, 330, 1027)
+	starts := g.SubarrayStarts()
+	if len(starts) == 0 || starts[0] != 0 {
+		t.Fatalf("bad starts: %v", starts[:min(4, len(starts))])
+	}
+	for i := 1; i < len(starts); i++ {
+		size := starts[i] - starts[i-1]
+		if size < 330 || size > 1027 {
+			t.Fatalf("subarray %d size %d outside [330,1027]", i-1, size)
+		}
+		if starts[i] >= g.RowsPerBank {
+			t.Fatalf("start %d beyond bank", starts[i])
+		}
+	}
+	// Paper: 32 to 206 subarrays per bank for the real modules; 64K rows
+	// with these bounds lands inside that range.
+	if n := g.Subarrays(); n < 32 || n > 206 {
+		t.Errorf("subarray count %d outside paper range [32,206]", n)
+	}
+	// Deterministic for the same seed.
+	g2 := &Geometry{BankGroups: 4, BanksPerGroup: 4, RowsPerBank: 65536, CellsPerRow: 64}
+	g2.BuildSubarrays(7, 330, 1027)
+	s2 := g2.SubarrayStarts()
+	if len(s2) != len(starts) {
+		t.Fatal("subarray layout not deterministic")
+	}
+	for i := range s2 {
+		if s2[i] != starts[i] {
+			t.Fatal("subarray layout not deterministic")
+		}
+	}
+}
+
+func TestRelativeLocation(t *testing.T) {
+	g := testGeometry()
+	if got := g.RelativeLocation(0); got != 0 {
+		t.Errorf("rel(0) = %v", got)
+	}
+	if got := g.RelativeLocation(1023); got != 1 {
+		t.Errorf("rel(last) = %v", got)
+	}
+}
+
+func TestPatternTable(t *testing.T) {
+	// Table 2 byte values.
+	checks := []struct {
+		p                 Pattern
+		aggressor, victim byte
+	}{
+		{RowStripe, 0xFF, 0x00},
+		{RowStripeInv, 0x00, 0xFF},
+		{ColStripe, 0xAA, 0xAA},
+		{ColStripeInv, 0x55, 0x55},
+		{Checkerboard, 0xAA, 0x55},
+		{CheckerboardInv, 0x55, 0xAA},
+	}
+	for _, c := range checks {
+		if c.p.AggressorByte() != c.aggressor || c.p.VictimByte() != c.victim {
+			t.Errorf("%v bytes = %02X/%02X, want %02X/%02X",
+				c.p, c.p.AggressorByte(), c.p.VictimByte(), c.aggressor, c.victim)
+		}
+		if c.p.Inverse().Inverse() != c.p {
+			t.Errorf("%v double inverse != identity", c.p)
+		}
+	}
+}
+
+func TestTimingPresets(t *testing.T) {
+	for _, mts := range []int{2400, 2666, 2933, 3200} {
+		tim := DDR4Timing(mts)
+		if err := tim.Validate(); err != nil {
+			t.Errorf("DDR4-%d invalid: %v", mts, err)
+		}
+		if tim.TRAS != 36.0 {
+			t.Errorf("DDR4-%d TRAS = %v, want paper's 36 ns", mts, tim.TRAS)
+		}
+		if tim.TRC() != tim.TRAS+tim.TRP {
+			t.Errorf("TRC mismatch")
+		}
+	}
+}
+
+func TestScrambleMappingBijective(t *testing.T) {
+	const rows = 4096
+	m := NewScrambleMapping(99, rows, 6)
+	seen := make([]bool, rows)
+	for l := 0; l < rows; l++ {
+		p := m.LogicalToPhysical(l)
+		if p < 0 || p >= rows {
+			t.Fatalf("physical %d out of range", p)
+		}
+		if seen[p] {
+			t.Fatalf("mapping not injective at %d", l)
+		}
+		seen[p] = true
+		if back := m.PhysicalToLogical(p); back != l {
+			t.Fatalf("inverse broken: %d -> %d -> %d", l, p, back)
+		}
+	}
+}
+
+func TestQuickScrambleRoundTrip(t *testing.T) {
+	m := NewScrambleMapping(5, 1<<16, 8)
+	f := func(l uint16) bool {
+		return m.PhysicalToLogical(m.LogicalToPhysical(int(l))) == int(l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScrambleZeroOpsIsIdentity(t *testing.T) {
+	m := NewScrambleMapping(1, 256, 0)
+	for i := 0; i < 256; i++ {
+		if m.LogicalToPhysical(i) != i {
+			t.Fatal("0-op scramble is not the identity")
+		}
+	}
+}
+
+// recordSink records disturbance events for inspection.
+type recordSink struct {
+	closed []struct {
+		bank, row int
+		onTime    float64
+	}
+	restored []struct{ bank, row int }
+	written  []struct{ bank, row int }
+}
+
+func (s *recordSink) RowClosed(bank, row int, onTime float64) {
+	s.closed = append(s.closed, struct {
+		bank, row int
+		onTime    float64
+	}{bank, row, onTime})
+}
+func (s *recordSink) RowRestored(bank, row int) {
+	s.restored = append(s.restored, struct{ bank, row int }{bank, row})
+}
+func (s *recordSink) RowWritten(bank, row int) {
+	s.written = append(s.written, struct{ bank, row int }{bank, row})
+}
+func (s *recordSink) Flips(int, int, Pattern) []int   { return nil }
+func (s *recordSink) FlipCount(int, int, Pattern) int { return 0 }
+
+func newTestDevice(t *testing.T, sink DisturbSink) *Device {
+	t.Helper()
+	d, err := NewDevice(testGeometry(), DDR4Timing(3200), IdentityMapping{}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDeviceActPreCycle(t *testing.T) {
+	sink := &recordSink{}
+	d := newTestDevice(t, sink)
+	if err := d.Activate(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait(d.Tim.TRAS)
+	if err := d.Precharge(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.closed) != 1 {
+		t.Fatalf("RowClosed events = %d, want 1", len(sink.closed))
+	}
+	ev := sink.closed[0]
+	if ev.bank != 0 || ev.row != 100 {
+		t.Errorf("closed event = %+v", ev)
+	}
+	if ev.onTime < d.Tim.TRAS {
+		t.Errorf("onTime %v < tRAS", ev.onTime)
+	}
+}
+
+func TestDeviceTimingViolations(t *testing.T) {
+	d := newTestDevice(t, nil)
+	if err := d.Activate(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Immediate PRE violates tRAS.
+	err := d.Precharge(0)
+	var te *TimingError
+	if !errors.As(err, &te) {
+		t.Fatalf("expected TimingError for early PRE, got %v", err)
+	}
+	// Second ACT on an open bank is a protocol violation.
+	d.Wait(d.Tim.TRAS)
+	if err := d.Activate(0, 2); err == nil {
+		t.Error("ACT on open bank accepted")
+	}
+	if err := d.Precharge(0); err != nil {
+		t.Fatal(err)
+	}
+	// ACT before tRP is a violation.
+	if err := d.Activate(0, 2); !errors.As(err, &te) {
+		t.Errorf("expected TimingError for early ACT, got %v", err)
+	}
+	d.Wait(d.Tim.TRP)
+	if err := d.Activate(0, 2); err != nil {
+		t.Errorf("legal ACT rejected: %v", err)
+	}
+}
+
+func TestDeviceRRDEnforced(t *testing.T) {
+	d := newTestDevice(t, nil)
+	if err := d.Activate(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Immediately activating another bank in the same group violates tRRD_L
+	// (TCK advance from the first ACT is smaller than tRRD_L).
+	if err := d.Activate(1, 1); err == nil {
+		t.Error("back-to-back same-group ACT accepted")
+	}
+	d.Wait(d.Tim.TRRDL)
+	if err := d.Activate(1, 1); err != nil {
+		t.Errorf("legal second ACT rejected: %v", err)
+	}
+}
+
+func TestDeviceBoundsChecks(t *testing.T) {
+	d := newTestDevice(t, nil)
+	if err := d.Activate(-1, 0); err == nil {
+		t.Error("negative bank accepted")
+	}
+	if err := d.Activate(99, 0); err == nil {
+		t.Error("out-of-range bank accepted")
+	}
+	if err := d.Activate(0, -1); err == nil {
+		t.Error("negative row accepted")
+	}
+	if err := d.Activate(0, 1024); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+}
+
+func TestDeviceWriteReadClean(t *testing.T) {
+	d := newTestDevice(t, nil)
+	if err := d.Activate(2, 7); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait(d.Tim.TRCD)
+	if err := d.WriteOpenRow(2, Checkerboard); err != nil {
+		t.Fatal(err)
+	}
+	n, _, err := d.ReadOpenRowFlips(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("clean row reads %d flips", n)
+	}
+	p, written := d.PatternOf(2, 7)
+	if !written || p != Checkerboard {
+		t.Errorf("PatternOf = %v/%v", p, written)
+	}
+}
+
+func TestDeviceUnwrittenRowReadsClean(t *testing.T) {
+	d := newTestDevice(t, nil)
+	if err := d.Activate(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait(d.Tim.TRCD)
+	n, _, err := d.ReadOpenRowFlips(0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("unwritten row reads %d flips", n)
+	}
+}
+
+func TestDeviceActivationRestoresOwnRow(t *testing.T) {
+	sink := &recordSink{}
+	d := newTestDevice(t, sink)
+	if err := d.Activate(1, 50); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range sink.restored {
+		if ev.bank == 1 && ev.row == 50 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("activation did not restore the activated row")
+	}
+}
+
+func TestDeviceRefresh(t *testing.T) {
+	sink := &recordSink{}
+	d := newTestDevice(t, sink)
+	if err := d.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.restored) == 0 {
+		t.Fatal("refresh restored no rows")
+	}
+	// REF with an open row is illegal.
+	d.Wait(d.Tim.TRP)
+	if err := d.Activate(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Refresh(); err == nil {
+		t.Error("REF with open row accepted")
+	}
+}
+
+func TestRefreshAllCoversEveryRow(t *testing.T) {
+	sink := &recordSink{}
+	d := newTestDevice(t, sink)
+	d.RefreshAll()
+	want := d.Geom.RowsPerBank * d.Geom.Banks()
+	if len(sink.restored) != want {
+		t.Errorf("RefreshAll restored %d rows, want %d", len(sink.restored), want)
+	}
+}
+
+func TestRowCloneSameSubarray(t *testing.T) {
+	d := newTestDevice(t, nil)
+	d.SetSeed(11)
+	// Write a pattern into the source.
+	if err := d.Activate(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait(d.Tim.TRCD)
+	if err := d.WriteOpenRow(0, RowStripe); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait(d.Tim.TRAS)
+	if err := d.Precharge(0); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait(d.Tim.TRP)
+
+	// Find an intra-subarray pair that clones successfully (85% of pairs do).
+	success := false
+	for dst := 11; dst < 40 && !success; dst++ {
+		res, err := d.TryRowClone(0, 10, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Copied {
+			success = true
+			p, written := d.PatternOf(0, dst)
+			if !written || p != RowStripe {
+				t.Errorf("clone did not copy data: %v/%v", p, written)
+			}
+		}
+		d.Wait(d.Tim.TRP)
+	}
+	if !success {
+		t.Error("no intra-subarray clone succeeded in 29 attempts (rate should be ~0.85)")
+	}
+}
+
+func TestRowCloneAcrossSubarrayAlwaysFails(t *testing.T) {
+	d := newTestDevice(t, nil)
+	d.SetSeed(12)
+	for dst := 256; dst < 280; dst++ { // rows 10 and 256+ are in different subarrays
+		res, err := d.TryRowClone(0, 10, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Copied {
+			t.Fatalf("cross-subarray clone to %d succeeded", dst)
+		}
+		d.Wait(d.Tim.TRP)
+	}
+}
+
+func TestRowCloneFailureCorrupts(t *testing.T) {
+	d := newTestDevice(t, nil)
+	d.SetSeed(13)
+	// Write the destination first, then corrupt it with a cross-subarray clone.
+	if err := d.Activate(0, 300); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait(d.Tim.TRCD)
+	if err := d.WriteOpenRow(0, ColStripe); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait(d.Tim.TRAS)
+	if err := d.Precharge(0); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait(d.Tim.TRP)
+	if _, err := d.TryRowClone(0, 10, 300); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait(d.Tim.TRP)
+	if err := d.Activate(0, 300); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait(d.Tim.TRCD)
+	n, _, err := d.ReadOpenRowFlips(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != d.Geom.CellsPerRow/2 {
+		t.Errorf("corrupted row reads %d flips, want %d", n, d.Geom.CellsPerRow/2)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

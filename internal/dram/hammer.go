@@ -1,0 +1,124 @@
+package dram
+
+// HammerBatchSink is an optional fast path a DisturbSink can provide:
+// the exact end state of hammer_doublesided (Alg. 1) applied pairs
+// times — and of a single-sided hammer burst — without issuing every
+// command. Package disturb implements it with loop-identical semantics;
+// the equivalence is asserted by tests.
+type HammerBatchSink interface {
+	DoubleSidedBatch(bank, aggLo, aggHi, pairs int, onTimeNs float64)
+	SingleSidedBatch(bank, agg, acts int, onTimeNs float64)
+}
+
+// HammerDoubleSided performs Alg. 1's hammer_doublesided: pairs
+// iterations of {ACT aggHi, wait tAggOn, PRE, wait tRP, ACT aggLo, wait
+// tAggOn, PRE, wait tRP}, with aggressor rows given as logical
+// addresses. The bank must be precharged and ready. When the sink
+// supports batching the device applies the disturbance in one step and
+// advances its clock by the exact loop duration; otherwise it falls back
+// to issuing every command.
+//
+// tAggOnNs below tRAS is a timing violation, as in the real testbench
+// (36 ns is the minimum).
+func (d *Device) HammerDoubleSided(bank, aggLoLogical, aggHiLogical, pairs int, tAggOnNs float64) error {
+	if err := d.bankCheck(bank); err != nil {
+		return err
+	}
+	if pairs <= 0 {
+		return nil
+	}
+	if tAggOnNs < d.Tim.TRAS {
+		return &TimingError{Cmd: "HAMMER", Bank: bank, Reason: "tAggOn below tRAS"}
+	}
+	for _, r := range [...]int{aggLoLogical, aggHiLogical} {
+		if r < 0 || r >= d.Geom.RowsPerBank {
+			return &TimingError{Cmd: "HAMMER", Bank: bank, Reason: "aggressor row out of range"}
+		}
+	}
+	b := &d.banks[bank]
+	if b.openRow >= 0 {
+		return &TimingError{Cmd: "HAMMER", Bank: bank, Reason: "bank has an open row"}
+	}
+	if d.now < b.actReadyAt {
+		return &TimingError{Cmd: "HAMMER", Bank: bank, Reason: "tRP not satisfied"}
+	}
+
+	batch, ok := d.sink.(HammerBatchSink)
+	if !ok {
+		return d.hammerLoop(bank, aggLoLogical, aggHiLogical, pairs, tAggOnNs)
+	}
+	loPhys := d.Map.LogicalToPhysical(aggLoLogical)
+	hiPhys := d.Map.LogicalToPhysical(aggHiLogical)
+	batch.DoubleSidedBatch(bank, loPhys, hiPhys, pairs, tAggOnNs+d.Tim.TCK)
+	// Loop duration: each activation occupies one clock, stays open
+	// tAggOn, precharges (one clock), then waits tRP.
+	perAct := d.Tim.TCK + tAggOnNs + d.Tim.TCK + d.Tim.TRP
+	d.now += float64(2*pairs) * perAct
+	d.acts += uint64(2 * pairs)
+	d.pres += uint64(2 * pairs)
+	b.actReadyAt = d.now
+	return nil
+}
+
+// HammerSingleSided activates one aggressor row acts times, holding it
+// open tAggOn each time, per the single-sided tests of the subarray
+// reverse engineering (§5.4.1, Key Insight 1). Preconditions as for
+// HammerDoubleSided.
+func (d *Device) HammerSingleSided(bank, aggLogical, acts int, tAggOnNs float64) error {
+	if err := d.bankCheck(bank); err != nil {
+		return err
+	}
+	if acts <= 0 {
+		return nil
+	}
+	if tAggOnNs < d.Tim.TRAS {
+		return &TimingError{Cmd: "HAMMER1S", Bank: bank, Reason: "tAggOn below tRAS"}
+	}
+	if aggLogical < 0 || aggLogical >= d.Geom.RowsPerBank {
+		return &TimingError{Cmd: "HAMMER1S", Bank: bank, Reason: "aggressor row out of range"}
+	}
+	b := &d.banks[bank]
+	if b.openRow >= 0 {
+		return &TimingError{Cmd: "HAMMER1S", Bank: bank, Reason: "bank has an open row"}
+	}
+	if d.now < b.actReadyAt {
+		return &TimingError{Cmd: "HAMMER1S", Bank: bank, Reason: "tRP not satisfied"}
+	}
+	batch, ok := d.sink.(HammerBatchSink)
+	if !ok {
+		for i := 0; i < acts; i++ {
+			if err := d.Activate(bank, aggLogical); err != nil {
+				return err
+			}
+			d.Wait(tAggOnNs)
+			if err := d.Precharge(bank); err != nil {
+				return err
+			}
+			d.Wait(d.Tim.TRP)
+		}
+		return nil
+	}
+	batch.SingleSidedBatch(bank, d.Map.LogicalToPhysical(aggLogical), acts, tAggOnNs+d.Tim.TCK)
+	perAct := d.Tim.TCK + tAggOnNs + d.Tim.TCK + d.Tim.TRP
+	d.now += float64(acts) * perAct
+	d.acts += uint64(acts)
+	d.pres += uint64(acts)
+	b.actReadyAt = d.now
+	return nil
+}
+
+func (d *Device) hammerLoop(bank, aggLo, aggHi, pairs int, tAggOnNs float64) error {
+	for i := 0; i < pairs; i++ {
+		for _, row := range [...]int{aggHi, aggLo} {
+			if err := d.Activate(bank, row); err != nil {
+				return err
+			}
+			d.Wait(tAggOnNs)
+			if err := d.Precharge(bank); err != nil {
+				return err
+			}
+			d.Wait(d.Tim.TRP)
+		}
+	}
+	return nil
+}

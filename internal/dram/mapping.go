@@ -1,0 +1,102 @@
+package dram
+
+import "svard/internal/rng"
+
+// RowMapping translates between logical row addresses (what the memory
+// controller and DRAM Bender see on the interface) and physical row
+// locations inside the bank. Manufacturers scramble this mapping for
+// repair and cost reasons (§4.2), so both the characterization and the
+// attacks must reverse-engineer physical adjacency.
+type RowMapping interface {
+	// LogicalToPhysical maps an interface row address to the physical row.
+	LogicalToPhysical(logical int) int
+	// PhysicalToLogical inverts LogicalToPhysical.
+	PhysicalToLogical(physical int) int
+}
+
+// IdentityMapping maps logical addresses straight through.
+type IdentityMapping struct{}
+
+// LogicalToPhysical returns logical unchanged.
+func (IdentityMapping) LogicalToPhysical(logical int) int { return logical }
+
+// PhysicalToLogical returns physical unchanged.
+func (IdentityMapping) PhysicalToLogical(physical int) int { return physical }
+
+// bitOp is one invertible step of a scrambling pipeline.
+type bitOp struct {
+	kind int // 0: xor dst ^= bit(src); 1: swap bits a and b
+	a, b int
+}
+
+// ScrambleMapping is a composition of invertible bit-level transforms
+// (bit swaps and conditional XORs), the two families observed in real
+// in-DRAM address remapping (e.g., the classic "bit 3 XOR into bit 2 of
+// odd-numbered 8-row groups" scheme reported for DDR3/DDR4 parts).
+type ScrambleMapping struct {
+	bits int // row address width
+	ops  []bitOp
+}
+
+// NewScrambleMapping derives a deterministic scrambling for a bank of
+// rowsPerBank rows (which must be a power of two) from seed. nOps
+// transforms are composed; nOps = 0 yields the identity.
+func NewScrambleMapping(seed uint64, rowsPerBank, nOps int) *ScrambleMapping {
+	bits := 0
+	for 1<<bits < rowsPerBank {
+		bits++
+	}
+	if 1<<bits != rowsPerBank {
+		panic("dram: NewScrambleMapping requires power-of-two rowsPerBank")
+	}
+	m := &ScrambleMapping{bits: bits}
+	r := rng.At(seed, 0x3A9) // sub-seed domain for row scrambling
+	for i := 0; i < nOps; i++ {
+		a := r.Intn(bits)
+		b := r.Intn(bits)
+		if a == b {
+			b = (b + 1) % bits
+		}
+		if r.Bool(0.5) {
+			m.ops = append(m.ops, bitOp{kind: 0, a: a, b: b}) // a ^= bit b
+		} else {
+			m.ops = append(m.ops, bitOp{kind: 1, a: a, b: b}) // swap a, b
+		}
+	}
+	return m
+}
+
+// LogicalToPhysical applies the transform pipeline.
+func (m *ScrambleMapping) LogicalToPhysical(logical int) int {
+	v := logical
+	for _, op := range m.ops {
+		v = applyOp(v, op)
+	}
+	return v
+}
+
+// PhysicalToLogical applies the inverse pipeline (each op is an
+// involution, so reversing the order inverts the composition).
+func (m *ScrambleMapping) PhysicalToLogical(physical int) int {
+	v := physical
+	for i := len(m.ops) - 1; i >= 0; i-- {
+		v = applyOp(v, m.ops[i])
+	}
+	return v
+}
+
+func applyOp(v int, op bitOp) int {
+	switch op.kind {
+	case 0: // v.bit[a] ^= v.bit[b]
+		if v>>op.b&1 == 1 {
+			v ^= 1 << op.a
+		}
+	case 1: // swap bits a and b
+		ba := v >> op.a & 1
+		bb := v >> op.b & 1
+		if ba != bb {
+			v ^= 1<<op.a | 1<<op.b
+		}
+	}
+	return v
+}

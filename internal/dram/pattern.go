@@ -1,0 +1,71 @@
+package dram
+
+import "fmt"
+
+// Pattern is one of the six data patterns of Table 2. A pattern fixes
+// the byte written to the victim row and to the aggressor rows; the
+// paper initializes aggressors and victim with opposite data to
+// exacerbate read disturbance.
+type Pattern int
+
+// The six data patterns of Table 2.
+const (
+	RowStripe Pattern = iota // aggressors 0xFF, victim 0x00
+	RowStripeInv
+	ColStripe
+	ColStripeInv
+	Checkerboard
+	CheckerboardInv
+
+	NumPatterns = 6
+)
+
+// AllPatterns lists the patterns in Table 2 order.
+var AllPatterns = [NumPatterns]Pattern{
+	RowStripe, RowStripeInv, ColStripe, ColStripeInv, Checkerboard, CheckerboardInv,
+}
+
+var patternNames = [NumPatterns]string{"RS", "RSI", "CS", "CSI", "CB", "CBI"}
+
+var patternBytes = [NumPatterns]struct{ aggressor, victim byte }{
+	{0xFF, 0x00}, // RS
+	{0x00, 0xFF}, // RSI
+	{0xAA, 0xAA}, // CS
+	{0x55, 0x55}, // CSI
+	{0xAA, 0x55}, // CB
+	{0x55, 0xAA}, // CBI
+}
+
+// String returns the Table 2 abbreviation.
+func (p Pattern) String() string {
+	if p < 0 || int(p) >= NumPatterns {
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+	return patternNames[p]
+}
+
+// VictimByte returns the byte stored in every victim-row byte position.
+func (p Pattern) VictimByte() byte { return patternBytes[p].victim }
+
+// AggressorByte returns the byte stored in every aggressor-row byte
+// position, the bitwise inverse of the victim byte for the stripe and
+// checkerboard patterns of Table 2.
+func (p Pattern) AggressorByte() byte { return patternBytes[p].aggressor }
+
+// Inverse returns the pattern with aggressor/victim bytes inverted.
+func (p Pattern) Inverse() Pattern {
+	switch p {
+	case RowStripe:
+		return RowStripeInv
+	case RowStripeInv:
+		return RowStripe
+	case ColStripe:
+		return ColStripeInv
+	case ColStripeInv:
+		return ColStripe
+	case Checkerboard:
+		return CheckerboardInv
+	default:
+		return Checkerboard
+	}
+}

@@ -1,0 +1,74 @@
+package dram
+
+import "svard/internal/rng"
+
+// cloneSuccessRate is the probability that an intra-subarray RowClone
+// succeeds for a given (src, dst) pair. RowClone is not an official DDR4
+// operation; prior work shows it works in off-the-shelf chips for many
+// but not all row pairs, which is why a failed clone does not prove the
+// rows are in different subarrays (§5.4.1, Key Insight 2).
+const cloneSuccessRate = 0.85
+
+// RowCloneResult describes the outcome of a RowClone attempt.
+type RowCloneResult struct {
+	Copied bool // destination now holds the source data, bit exact
+}
+
+// TryRowClone attempts an intra-subarray RowClone from srcLogical to
+// dstLogical in bank by activating the two rows in quick succession with
+// violated timing. The bank must be precharged. Physics: the copy can
+// only succeed when both rows share local bitlines (same subarray), and
+// even then only for pairs where the analog margin works out, modelled
+// as a deterministic per-pair coin with rate cloneSuccessRate. A failed
+// attempt leaves the destination row corrupted.
+func (d *Device) TryRowClone(bank, srcLogical, dstLogical int) (RowCloneResult, error) {
+	if err := d.bankCheck(bank); err != nil {
+		return RowCloneResult{}, err
+	}
+	b := &d.banks[bank]
+	if b.openRow >= 0 {
+		return RowCloneResult{}, &TimingError{Cmd: "ROWCLONE", Bank: bank, Reason: "bank has an open row"}
+	}
+	if d.now < b.actReadyAt {
+		return RowCloneResult{}, &TimingError{Cmd: "ROWCLONE", Bank: bank, Reason: "tRP not satisfied"}
+	}
+	srcPhys := d.Map.LogicalToPhysical(srcLogical)
+	dstPhys := d.Map.LogicalToPhysical(dstLogical)
+
+	// The back-to-back ACT/PRE/ACT sequence takes roughly one tRC.
+	d.now += d.Tim.TRC()
+	b.actReadyAt = d.now + d.Tim.TRP
+
+	sameSub := d.Geom.SameSubarray(srcPhys, dstPhys)
+	ok := sameSub && srcPhys != dstPhys &&
+		rng.UniformAt(d.cloneSeed(), uint64(bank), uint64(srcPhys), uint64(dstPhys)) < cloneSuccessRate
+
+	dstKey := rowKey{bank, dstPhys}
+	if ok {
+		if src, written := d.rows[rowKey{bank, srcPhys}]; written {
+			cp := *src
+			d.rows[dstKey] = &cp
+		} else {
+			delete(d.rows, dstKey)
+		}
+		// A successful clone fully drives the destination cells.
+		d.sink.RowWritten(bank, dstPhys)
+		return RowCloneResult{Copied: true}, nil
+	}
+	// Failure corrupts the destination: the two wordlines fought over
+	// the bitlines without a clean copy.
+	if dst, written := d.rows[dstKey]; written {
+		dst.corrupted = true
+	} else {
+		d.rows[dstKey] = &rowData{written: true, corrupted: true}
+	}
+	return RowCloneResult{Copied: false}, nil
+}
+
+func (d *Device) cloneSeed() uint64 {
+	return rng.Hash64(d.seed, 0xC107E)
+}
+
+// SetSeed installs the device's identity seed, which parameterizes
+// analog idiosyncrasies such as RowClone pair reliability.
+func (d *Device) SetSeed(seed uint64) { d.seed = seed }

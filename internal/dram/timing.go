@@ -1,0 +1,82 @@
+package dram
+
+import "fmt"
+
+// Timing holds the DDR4 timing parameters the device model enforces, in
+// nanoseconds. The presets approximate JEDEC DDR4 speed bins for the
+// module frequencies of Table 5; exact vendor values are proprietary,
+// but every relationship the experiments depend on (activation rate,
+// minimum on-time, refresh cadence, retention window) is respected.
+type Timing struct {
+	TCK   float64 // clock period
+	TRCD  float64 // ACT to column command
+	TRAS  float64 // ACT to PRE (minimum row on-time)
+	TRP   float64 // PRE to ACT
+	TCL   float64 // column read latency
+	TCWL  float64 // column write latency
+	TBL   float64 // burst transfer time (BL8)
+	TCCDS float64 // column-to-column, different bank group
+	TCCDL float64 // column-to-column, same bank group
+	TRRDS float64 // ACT-to-ACT, different bank group
+	TRRDL float64 // ACT-to-ACT, same bank group
+	TFAW  float64 // rolling four-activate window
+	TWR   float64 // write recovery
+	TRTP  float64 // read to precharge
+	TRFC  float64 // refresh command latency
+	TREFI float64 // refresh command interval
+	TREFW float64 // refresh window (retention budget per row)
+}
+
+// TRC returns the minimum ACT-to-ACT time on the same bank.
+func (t Timing) TRC() float64 { return t.TRAS + t.TRP }
+
+// Validate reports whether the timing set is self-consistent.
+func (t Timing) Validate() error {
+	switch {
+	case t.TCK <= 0:
+		return fmt.Errorf("dram: TCK must be positive, got %v", t.TCK)
+	case t.TRAS < t.TRCD:
+		return fmt.Errorf("dram: TRAS %v < TRCD %v", t.TRAS, t.TRCD)
+	case t.TREFW < t.TREFI:
+		return fmt.Errorf("dram: TREFW %v < TREFI %v", t.TREFW, t.TREFI)
+	case t.TRP <= 0 || t.TRAS <= 0:
+		return fmt.Errorf("dram: TRP/TRAS must be positive")
+	}
+	return nil
+}
+
+// DDR4Timing returns the timing preset for a DDR4 speed grade given in
+// MT/s (3200, 2933, 2666, 2400). Unknown rates fall back to 3200.
+// The 36 ns TRAS matches the paper's "minimum tRAS value" used as the
+// baseline tAggOn in all RowHammer tests.
+func DDR4Timing(mts int) Timing {
+	tck := 2000.0 / float64(mts) // DDR: two transfers per clock
+	t := Timing{
+		TCK:   tck,
+		TRCD:  13.75,
+		TRAS:  36.0,
+		TRP:   13.75,
+		TCL:   13.75,
+		TCWL:  10.0,
+		TBL:   4 * tck, // BL8 = 4 clocks
+		TCCDS: 4 * tck,
+		TCCDL: 6 * tck,
+		TRRDS: 4 * tck,
+		TRRDL: 6 * tck,
+		TFAW:  25.0,
+		TWR:   15.0,
+		TRTP:  7.5,
+		TRFC:  350.0, // 8-16 Gb parts
+		TREFI: 7800.0,
+		TREFW: 64e6, // 64 ms at normal operating temperature
+	}
+	switch mts {
+	case 2400:
+		t.TRCD, t.TRP, t.TCL = 14.16, 14.16, 14.16
+	case 2666:
+		t.TRCD, t.TRP, t.TCL = 14.25, 14.25, 14.25
+	case 2933:
+		t.TRCD, t.TRP, t.TCL = 13.64, 13.64, 13.64
+	}
+	return t
+}

@@ -1,0 +1,239 @@
+package mem
+
+// Bank is the cycle-level state of one DRAM bank: the open row and the
+// earliest cycles at which each command class may issue.
+type Bank struct {
+	OpenRow   int    // -1 when precharged
+	ActAt     uint64 // cycle of the last ACT (for row on-time accounting)
+	ActReady  uint64 // earliest next ACT
+	ColReady  uint64 // earliest next RD/WR to the open row
+	PreReady  uint64 // earliest next PRE
+	BusyUntil uint64 // bank blocked (refresh, row migration)
+	HitStreak int    // consecutive row-hit column commands (FR-FCFS cap)
+	ActCount  uint64 // statistics
+	PreCount  uint64
+}
+
+// Rank tracks rank-level activation windows shared by its banks.
+type Rank struct {
+	actTimes [4]uint64 // rolling window of the last four ACT cycles
+	actIdx   int
+	actCount uint64
+	lastAct  uint64
+	lastBG   int
+	anyAct   bool
+
+	NextREF    uint64 // next refresh deadline
+	Refreshing bool
+	RefUntil   uint64
+}
+
+// Channel is the shared command/data bus state.
+type Channel struct {
+	DataFree  uint64 // earliest cycle the data bus is free
+	lastRdEnd uint64
+	lastWrEnd uint64
+}
+
+// System is the cycle-level DRAM device array: ranks × banks with
+// shared channel state.
+type System struct {
+	T           Timing
+	BankGroups  int
+	BanksPerGG  int // banks per bank group
+	Ranks       []Rank
+	Banks       []Bank // [rank*banksPerRank + bank]
+	Chan        Channel
+	RowsPerBank int
+}
+
+// NewSystem builds a DRAM system with the given organization.
+func NewSystem(t Timing, ranks, bankGroups, banksPerGroup, rowsPerBank int) *System {
+	s := &System{
+		T:           t,
+		BankGroups:  bankGroups,
+		BanksPerGG:  banksPerGroup,
+		Ranks:       make([]Rank, ranks),
+		Banks:       make([]Bank, ranks*bankGroups*banksPerGroup),
+		RowsPerBank: rowsPerBank,
+	}
+	for i := range s.Banks {
+		s.Banks[i].OpenRow = -1
+	}
+	for r := range s.Ranks {
+		s.Ranks[r].NextREF = t.REFI
+	}
+	return s
+}
+
+// BanksPerRank returns the banks in one rank.
+func (s *System) BanksPerRank() int { return s.BankGroups * s.BanksPerGG }
+
+// TotalBanks returns the number of banks across all ranks.
+func (s *System) TotalBanks() int { return len(s.Banks) }
+
+// RankOf returns the rank of a global bank index.
+func (s *System) RankOf(bank int) int { return bank / s.BanksPerRank() }
+
+// GroupOf returns the bank group (within its rank) of a global bank.
+func (s *System) GroupOf(bank int) int { return bank % s.BanksPerRank() / s.BanksPerGG }
+
+// CanACT reports whether an ACT to bank may issue at cycle.
+func (s *System) CanACT(bank int, cycle uint64) bool {
+	b := &s.Banks[bank]
+	if b.OpenRow >= 0 || cycle < b.ActReady || cycle < b.BusyUntil {
+		return false
+	}
+	r := &s.Ranks[s.RankOf(bank)]
+	if r.Refreshing && cycle < r.RefUntil {
+		return false
+	}
+	if r.anyAct {
+		rrd := s.T.RRDS
+		if s.GroupOf(bank) == r.lastBG {
+			rrd = s.T.RRDL
+		}
+		if cycle < r.lastAct+rrd {
+			return false
+		}
+	}
+	// tFAW: the fourth-last ACT must be at least FAW ago.
+	if r.actCount >= 4 && cycle < r.actTimes[r.actIdx]+s.T.FAW {
+		return false
+	}
+	return true
+}
+
+// ACT opens row in bank at cycle. The caller must have checked CanACT.
+func (s *System) ACT(bank, row int, cycle uint64) {
+	b := &s.Banks[bank]
+	b.OpenRow = row
+	b.ActAt = cycle
+	b.ColReady = cycle + s.T.RCD
+	b.PreReady = cycle + s.T.RAS
+	b.ActReady = cycle + s.T.RC
+	b.HitStreak = 0
+	b.ActCount++
+	r := &s.Ranks[s.RankOf(bank)]
+	r.actTimes[r.actIdx] = cycle
+	r.actIdx = (r.actIdx + 1) % 4
+	r.actCount++
+	r.lastAct = cycle
+	r.lastBG = s.GroupOf(bank)
+	r.anyAct = true
+}
+
+// CanPRE reports whether a PRE to bank may issue at cycle.
+func (s *System) CanPRE(bank int, cycle uint64) bool {
+	b := &s.Banks[bank]
+	return b.OpenRow >= 0 && cycle >= b.PreReady && cycle >= b.BusyUntil
+}
+
+// PRE closes the open row and returns it with its on-time in cycles.
+func (s *System) PRE(bank int, cycle uint64) (row int, onCycles uint64) {
+	b := &s.Banks[bank]
+	row = b.OpenRow
+	onCycles = cycle - b.ActAt
+	b.OpenRow = -1
+	b.ActReady = maxU(b.ActReady, cycle+s.T.RP)
+	b.PreCount++
+	return row, onCycles
+}
+
+// CanColumn reports whether a RD/WR to the open row of bank may issue at
+// cycle (row must match; the data bus must be free).
+func (s *System) CanColumn(bank, row int, write bool, cycle uint64) bool {
+	b := &s.Banks[bank]
+	if b.OpenRow != row || cycle < b.ColReady || cycle < b.BusyUntil {
+		return false
+	}
+	// Data bus occupancy: the burst must start after the previous one
+	// ends (CL/CWL pipelining folded into a single bus-free time).
+	var dataStart uint64
+	if write {
+		dataStart = cycle + s.T.CWL
+	} else {
+		dataStart = cycle + s.T.CL
+	}
+	return dataStart >= s.Chan.DataFree
+}
+
+// Column issues a RD or WR to the open row of bank, returning the cycle
+// at which the data transfer completes.
+func (s *System) Column(bank int, write bool, cycle uint64) uint64 {
+	b := &s.Banks[bank]
+	ccd := s.T.CCDS
+	// Same-bank back-to-back columns use the long CCD; cross-bank-group
+	// pairs the short one. Approximated per bank group via ColReady.
+	_ = ccd
+	var dataStart, dataEnd uint64
+	if write {
+		dataStart = cycle + s.T.CWL
+		dataEnd = dataStart + s.T.BL
+		b.PreReady = maxU(b.PreReady, dataEnd+s.T.WR)
+		s.Chan.lastWrEnd = dataEnd
+	} else {
+		dataStart = cycle + s.T.CL
+		dataEnd = dataStart + s.T.BL
+		b.PreReady = maxU(b.PreReady, cycle+s.T.RTP)
+		s.Chan.lastRdEnd = dataEnd
+	}
+	b.ColReady = maxU(b.ColReady, cycle+s.T.CCDL)
+	b.HitStreak++
+	s.Chan.DataFree = dataEnd
+	return dataEnd
+}
+
+// RefreshDue reports whether rank must refresh at cycle.
+func (s *System) RefreshDue(rank int, cycle uint64) bool {
+	return cycle >= s.Ranks[rank].NextREF
+}
+
+// AllPrecharged reports whether every bank of rank is closed.
+func (s *System) AllPrecharged(rank int) bool {
+	base := rank * s.BanksPerRank()
+	for b := base; b < base+s.BanksPerRank(); b++ {
+		if s.Banks[b].OpenRow >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// REF starts a refresh on rank at cycle: all its banks block for RFC.
+func (s *System) REF(rank int, cycle uint64) {
+	r := &s.Ranks[rank]
+	r.NextREF += s.T.REFI
+	r.Refreshing = true
+	r.RefUntil = cycle + s.T.RFC
+	base := rank * s.BanksPerRank()
+	for b := base; b < base+s.BanksPerRank(); b++ {
+		s.Banks[b].BusyUntil = maxU(s.Banks[b].BusyUntil, cycle+s.T.RFC)
+		s.Banks[b].ActReady = maxU(s.Banks[b].ActReady, cycle+s.T.RFC)
+	}
+}
+
+// EndRefreshIfDone clears the refreshing flag once RFC has elapsed.
+func (s *System) EndRefreshIfDone(rank int, cycle uint64) {
+	r := &s.Ranks[rank]
+	if r.Refreshing && cycle >= r.RefUntil {
+		r.Refreshing = false
+	}
+}
+
+// BlockBank blocks a bank for extra cycles (row migration, swap).
+func (s *System) BlockBank(bank int, cycle, busyCycles uint64) {
+	b := &s.Banks[bank]
+	until := cycle + busyCycles
+	b.BusyUntil = maxU(b.BusyUntil, until)
+	b.ActReady = maxU(b.ActReady, until)
+	b.ColReady = maxU(b.ColReady, until)
+	b.PreReady = maxU(b.PreReady, until)
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

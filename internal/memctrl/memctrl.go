@@ -1,0 +1,527 @@
+// Package memctrl implements the cycle-level memory controller of the
+// performance evaluation (§7.1, Table 4): 64-entry read/write queues,
+// FR-FCFS scheduling with a column cap of 16, open-row policy, MOP
+// address mapping, rank-level refresh, and the defense hook points —
+// activation gating (throttling), preventive victim refreshes, row
+// migrations, and metadata traffic.
+package memctrl
+
+import (
+	"svard/internal/mem"
+	"svard/internal/mitigation"
+)
+
+// Config sizes the controller.
+type Config struct {
+	CPUGHz        float64
+	ReadQ, WriteQ int
+	ColumnCap     int // FR-FCFS consecutive row-hit cap
+	MOPWidth      int // consecutive cache blocks per row before bank interleave
+	RowBytes      int
+	Ranks         int
+	BankGroups    int
+	BanksPerGroup int
+	RowsPerBank   int
+}
+
+// DefaultConfig returns Table 4's memory controller configuration.
+func DefaultConfig(rowsPerBank int) Config {
+	return Config{
+		CPUGHz:        3.2,
+		ReadQ:         64,
+		WriteQ:        64,
+		ColumnCap:     16,
+		MOPWidth:      4,
+		RowBytes:      8 * 1024,
+		Ranks:         2,
+		BankGroups:    4,
+		BanksPerGroup: 4,
+		RowsPerBank:   rowsPerBank,
+	}
+}
+
+// Tracker observes physically-addressed DRAM activity for security
+// accounting; package sim implements it over the disturbance model.
+type Tracker interface {
+	// OnAct fires when a row is opened (its cells recharge).
+	OnAct(bank, physRow int, cycle uint64)
+	// OnPre fires when a row closes after onCycles open.
+	OnPre(bank, physRow int, onCycles uint64)
+	// OnRefresh fires when REF restores rows [first, first+count) of
+	// every bank in the rank.
+	OnRefresh(rank, firstRow, count int)
+	// OnRowsSwapped fires when a migration rewrites two rows.
+	OnRowsSwapped(bank, physA, physB int)
+}
+
+// nopTracker is used when no security accounting is attached.
+type nopTracker struct{}
+
+func (nopTracker) OnAct(int, int, uint64)      {}
+func (nopTracker) OnPre(int, int, uint64)      {}
+func (nopTracker) OnRefresh(int, int, int)     {}
+func (nopTracker) OnRowsSwapped(int, int, int) {}
+
+// Request is one memory transaction.
+type Request struct {
+	Addr    uint64
+	Write   bool
+	Core    int
+	Done    func(cycle uint64) // read completion callback (may be nil)
+	arrive  uint64
+	bank    int // global bank
+	row     int // MC-visible row (pre-remap)
+	phys    int // physical row after migration indirection
+	retryAt uint64
+}
+
+// victimOp is an in-flight preventive refresh (ACT+PRE of one row).
+type victimOp struct {
+	bank, row int // physical row
+	opened    bool
+	preAt     uint64
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Reads, Writes      uint64
+	Acts, Pres         uint64
+	RowHits, RowMisses uint64
+	VictimRefreshes    uint64
+	Migrations         uint64
+	MetaReads, MetaWr  uint64
+	ThrottleStalls     uint64
+	Refreshes          uint64
+}
+
+// Controller is the memory controller.
+type Controller struct {
+	Cfg   Config
+	Sys   *mem.System
+	Def   mitigation.Defense
+	Track Tracker
+	Stats Stats
+
+	readQ     []*Request
+	writeQ    []*Request
+	victims   []victimOp
+	victimSet map[int64]bool
+
+	// Row indirection installed by migration defenses (RRS/AQUA).
+	logToPhys []map[int]int // per bank; nil entry = identity
+	physToLog []map[int]int
+
+	blocksPerRow int
+	writeMode    bool
+	refSlice     []int // per-rank next refresh slice row
+	rowsPerREF   int
+	hitScratch   []bool // per-bank scratch for schedule
+}
+
+// New builds a controller over timing t, defense def (nil = none), and
+// tracker tr (nil = none).
+func New(cfg Config, t mem.Timing, def mitigation.Defense, tr Tracker) *Controller {
+	if def == nil {
+		def = mitigation.Nop{}
+	}
+	if tr == nil {
+		tr = nopTracker{}
+	}
+	sys := mem.NewSystem(t, cfg.Ranks, cfg.BankGroups, cfg.BanksPerGroup, cfg.RowsPerBank)
+	refs := int(t.REFW / t.REFI)
+	if refs <= 0 {
+		refs = 1
+	}
+	rowsPerREF := (cfg.RowsPerBank + refs - 1) / refs
+	return &Controller{
+		Cfg:          cfg,
+		Sys:          sys,
+		Def:          def,
+		Track:        tr,
+		logToPhys:    make([]map[int]int, sys.TotalBanks()),
+		physToLog:    make([]map[int]int, sys.TotalBanks()),
+		blocksPerRow: cfg.RowBytes / 64,
+		refSlice:     make([]int, cfg.Ranks),
+		rowsPerREF:   rowsPerREF,
+	}
+}
+
+// Decode applies the MOP address mapping: consecutive cache blocks fill
+// MOPWidth columns of a row, then interleave across bank groups, banks,
+// and ranks, keeping row-buffer locality while spreading traffic.
+func (c *Controller) Decode(addr uint64) (bank, row int) {
+	block := addr >> 6
+	block /= uint64(c.Cfg.MOPWidth)
+	bg := int(block % uint64(c.Cfg.BankGroups))
+	block /= uint64(c.Cfg.BankGroups)
+	bk := int(block % uint64(c.Cfg.BanksPerGroup))
+	block /= uint64(c.Cfg.BanksPerGroup)
+	rank := int(block % uint64(c.Cfg.Ranks))
+	block /= uint64(c.Cfg.Ranks)
+	colHigh := block % uint64(c.blocksPerRow/c.Cfg.MOPWidth)
+	block /= uint64(c.blocksPerRow / c.Cfg.MOPWidth)
+	_ = colHigh
+	row = int(block % uint64(c.Cfg.RowsPerBank))
+	bank = rank*c.Cfg.BankGroups*c.Cfg.BanksPerGroup + bg*c.Cfg.BanksPerGroup + bk
+	return bank, row
+}
+
+// physOf resolves the MC-visible row through the migration indirection.
+func (c *Controller) physOf(bank, row int) int {
+	if m := c.logToPhys[bank]; m != nil {
+		if p, ok := m[row]; ok {
+			return p
+		}
+	}
+	return row
+}
+
+func (c *Controller) logOf(bank, phys int) int {
+	if m := c.physToLog[bank]; m != nil {
+		if l, ok := m[phys]; ok {
+			return l
+		}
+	}
+	return phys
+}
+
+func (c *Controller) swapRows(bank, physA, physB int) {
+	if c.logToPhys[bank] == nil {
+		c.logToPhys[bank] = make(map[int]int)
+		c.physToLog[bank] = make(map[int]int)
+	}
+	la, lb := c.logOf(bank, physA), c.logOf(bank, physB)
+	c.logToPhys[bank][la] = physB
+	c.logToPhys[bank][lb] = physA
+	c.physToLog[bank][physB] = la
+	c.physToLog[bank][physA] = lb
+	// Repair the cached physical rows of queued requests (rare path).
+	for _, q := range [][]*Request{c.readQ, c.writeQ} {
+		for _, r := range q {
+			if r.bank == bank {
+				r.phys = c.physOf(bank, r.row)
+			}
+		}
+	}
+}
+
+// EnqueueRead adds a read; false when the queue is full.
+func (c *Controller) EnqueueRead(r *Request, cycle uint64) bool {
+	if len(c.readQ) >= c.Cfg.ReadQ {
+		return false
+	}
+	r.arrive = cycle
+	r.bank, r.row = c.Decode(r.Addr)
+	r.phys = c.physOf(r.bank, r.row)
+	r.Write = false
+	c.readQ = append(c.readQ, r)
+	return true
+}
+
+// EnqueueWrite adds a write; false when the queue is full. Writes are
+// posted: the issuer never waits for them.
+func (c *Controller) EnqueueWrite(r *Request, cycle uint64) bool {
+	if len(c.writeQ) >= c.Cfg.WriteQ {
+		return false
+	}
+	r.arrive = cycle
+	r.bank, r.row = c.Decode(r.Addr)
+	r.phys = c.physOf(r.bank, r.row)
+	r.Write = true
+	c.writeQ = append(c.writeQ, r)
+	return true
+}
+
+// QueueLens returns the current read and write queue depths.
+func (c *Controller) QueueLens() (int, int) { return len(c.readQ), len(c.writeQ) }
+
+// Idle reports whether all queues and internal operations are drained.
+func (c *Controller) Idle() bool {
+	return len(c.readQ) == 0 && len(c.writeQ) == 0 && len(c.victims) == 0
+}
+
+// Tick advances the controller one CPU cycle, issuing at most one DRAM
+// command.
+func (c *Controller) Tick(cycle uint64) {
+	// Refresh management.
+	for rank := 0; rank < c.Cfg.Ranks; rank++ {
+		c.Sys.EndRefreshIfDone(rank, cycle)
+		if c.Sys.RefreshDue(rank, cycle) && !c.Sys.Ranks[rank].Refreshing {
+			if c.Sys.AllPrecharged(rank) {
+				c.Sys.REF(rank, cycle)
+				c.Track.OnRefresh(rank, c.refSlice[rank], c.rowsPerREF)
+				c.refSlice[rank] = (c.refSlice[rank] + c.rowsPerREF) % c.Cfg.RowsPerBank
+				c.Stats.Refreshes++
+				return // REF consumes the command slot
+			}
+			// Close a bank blocking the refresh.
+			base := rank * c.Sys.BanksPerRank()
+			for b := base; b < base+c.Sys.BanksPerRank(); b++ {
+				if c.Sys.Banks[b].OpenRow >= 0 && c.Sys.CanPRE(b, cycle) {
+					c.issuePRE(b, cycle)
+					return
+				}
+			}
+		}
+	}
+
+	// Preventive victim refreshes have priority over demand traffic:
+	// they are the defense's security-critical action.
+	if c.tickVictims(cycle) {
+		return
+	}
+
+	// Write drain mode with high/low watermarks.
+	if c.writeMode {
+		if len(c.writeQ) <= c.Cfg.WriteQ/4 {
+			c.writeMode = false
+		}
+	} else if len(c.writeQ) >= c.Cfg.WriteQ*3/4 || (len(c.readQ) == 0 && len(c.writeQ) > 0) {
+		c.writeMode = true
+	}
+
+	if c.writeMode && c.schedule(c.writeQ, cycle, true) {
+		return
+	}
+	if c.schedule(c.readQ, cycle, false) {
+		return
+	}
+	if !c.writeMode && len(c.writeQ) > 0 {
+		// Opportunistically drain writes when reads have nothing to do.
+		c.schedule(c.writeQ, cycle, true)
+	}
+}
+
+// victimScanCap bounds how many pending preventive refreshes are
+// considered per cycle; the backlog drains FIFO, so a deeper scan only
+// helps when the head entries' banks are all blocked.
+const victimScanCap = 16
+
+// tickVictims advances in-flight preventive refreshes; true if a
+// command was issued.
+func (c *Controller) tickVictims(cycle uint64) bool {
+	for i := range c.victims {
+		if i >= victimScanCap {
+			break
+		}
+		v := &c.victims[i]
+		if !v.opened {
+			b := &c.Sys.Banks[v.bank]
+			if b.OpenRow == v.row {
+				// The victim row happens to be open: reopening is
+				// unnecessary; close it to complete the restore.
+				v.opened = true
+				v.preAt = maxU64(cycle, b.PreReady)
+				continue
+			}
+			if b.OpenRow >= 0 {
+				if c.Sys.CanPRE(v.bank, cycle) {
+					c.issuePRE(v.bank, cycle)
+					return true
+				}
+				continue
+			}
+			if c.Sys.CanACT(v.bank, cycle) {
+				c.issueACTRaw(v.bank, v.row, cycle)
+				v.opened = true
+				v.preAt = cycle + c.Sys.T.RAS
+				return true
+			}
+			continue
+		}
+		if cycle >= v.preAt && c.Sys.CanPRE(v.bank, cycle) {
+			c.issuePRE(v.bank, cycle)
+			c.Stats.VictimRefreshes++
+			delete(c.victimSet, int64(v.bank)<<32|int64(v.row))
+			c.victims = append(c.victims[:i], c.victims[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// schedule applies FR-FCFS to one queue in a single pass: it finds the
+// oldest ready row-hit column command, and failing that, the oldest
+// request needing an ACT, a cap-rotation PRE, or a conflict PRE — where
+// a conflicting bank is only closed if no queued request still targets
+// its open row (open-row policy).
+func (c *Controller) schedule(q []*Request, cycle uint64, writes bool) bool {
+	if len(q) == 0 {
+		return false
+	}
+	if c.hitScratch == nil {
+		c.hitScratch = make([]bool, c.Sys.TotalBanks())
+	}
+	hits := c.hitScratch
+	for i := range hits {
+		hits[i] = false
+	}
+	var colCand, actCand, capCand *Request
+	var confCands []*Request
+	for _, r := range q {
+		if cycle < r.retryAt {
+			continue
+		}
+		b := &c.Sys.Banks[r.bank]
+		switch {
+		case b.OpenRow == r.phys:
+			hits[r.bank] = true
+			if colCand == nil && b.HitStreak < c.Cfg.ColumnCap &&
+				c.Sys.CanColumn(r.bank, r.phys, writes, cycle) {
+				colCand = r
+			} else if capCand == nil && b.HitStreak >= c.Cfg.ColumnCap && c.Sys.CanPRE(r.bank, cycle) {
+				capCand = r
+			}
+		case b.OpenRow >= 0:
+			if c.Sys.CanPRE(r.bank, cycle) {
+				confCands = append(confCands, r)
+			}
+		default:
+			if actCand == nil && c.Sys.CanACT(r.bank, cycle) {
+				actCand = r
+			}
+		}
+	}
+	if colCand != nil {
+		c.issueColumn(colCand, cycle, writes)
+		return true
+	}
+	if actCand != nil {
+		ok, retry := c.Def.CanActivate(actCand.bank, actCand.phys, cycle)
+		if ok {
+			c.issueACT(actCand.bank, actCand.phys, cycle)
+			return true
+		}
+		if retry <= cycle {
+			retry = cycle + 1
+		}
+		actCand.retryAt = retry
+		c.Stats.ThrottleStalls++
+		return false
+	}
+	for _, r := range confCands {
+		if !hits[r.bank] {
+			c.issuePRE(r.bank, cycle)
+			return true
+		}
+	}
+	if capCand != nil {
+		c.issuePRE(capCand.bank, cycle)
+		return true
+	}
+	return false
+}
+
+func (c *Controller) issuePRE(bank int, cycle uint64) {
+	row, on := c.Sys.PRE(bank, cycle)
+	c.Track.OnPre(bank, row, on)
+	c.Stats.Pres++
+}
+
+// issueACTRaw opens a row without consulting the defense (internal
+// operations: victim refreshes are themselves exempt, as in real
+// controllers where maintenance traffic bypasses the tracker).
+func (c *Controller) issueACTRaw(bank, row int, cycle uint64) {
+	c.Sys.ACT(bank, row, cycle)
+	c.Track.OnAct(bank, row, cycle)
+	c.Stats.Acts++
+}
+
+func (c *Controller) issueACT(bank, physRow int, cycle uint64) {
+	c.issueACTRaw(bank, physRow, cycle)
+	for _, dir := range c.Def.OnActivate(bank, physRow, cycle) {
+		c.execute(dir, cycle)
+	}
+}
+
+func (c *Controller) execute(dir mitigation.Directive, cycle uint64) {
+	switch dir.Kind {
+	case mitigation.RefreshVictim:
+		// Deduplicate: a pending refresh of the same row already covers
+		// this directive.
+		key := int64(dir.Bank)<<32 | int64(dir.Row)
+		if c.victimSet[key] {
+			return
+		}
+		if c.victimSet == nil {
+			c.victimSet = make(map[int64]bool)
+		}
+		c.victimSet[key] = true
+		c.victims = append(c.victims, victimOp{bank: dir.Bank, row: dir.Row})
+	case mitigation.SwapRows:
+		c.swapRows(dir.Bank, dir.Row, dir.DstRow)
+		c.Sys.BlockBank(dir.Bank, cycle, dir.BusyCycles)
+		c.Track.OnRowsSwapped(dir.Bank, dir.Row, dir.DstRow)
+		c.Stats.Migrations++
+	case mitigation.ExtraMem:
+		for i := 0; i < dir.MemReads; i++ {
+			req := &Request{Addr: c.metaAddr(dir.Bank, dir.Row, i)}
+			if c.EnqueueRead(req, cycle) {
+				c.Stats.MetaReads++
+			}
+		}
+		for i := 0; i < dir.MemWrites; i++ {
+			req := &Request{Addr: c.metaAddr(dir.Bank, dir.Row, dir.MemReads+i)}
+			if c.EnqueueWrite(req, cycle) {
+				c.Stats.MetaWr++
+			}
+		}
+	}
+}
+
+// metaAddr maps defense metadata (Hydra's in-DRAM counter table) to a
+// reserved row range, spread across banks, so metadata traffic contends
+// realistically with demand traffic.
+func (c *Controller) metaAddr(bank, row, salt int) uint64 {
+	metaBank := (bank + 1 + salt) % c.Sys.TotalBanks()
+	metaRow := c.Cfg.RowsPerBank - 1 - (row % (c.Cfg.RowsPerBank / 16))
+	// Invert Decode approximately: choose an address that decodes into
+	// (metaBank, metaRow). Decode is onto, so compose the fields.
+	rank := metaBank / (c.Cfg.BankGroups * c.Cfg.BanksPerGroup)
+	rem := metaBank % (c.Cfg.BankGroups * c.Cfg.BanksPerGroup)
+	bg := rem / c.Cfg.BanksPerGroup
+	bk := rem % c.Cfg.BanksPerGroup
+	colHigh := 0
+	block := uint64(metaRow)
+	block = block*uint64(c.blocksPerRow/c.Cfg.MOPWidth) + uint64(colHigh)
+	block = block*uint64(c.Cfg.Ranks) + uint64(rank)
+	block = block*uint64(c.Cfg.BanksPerGroup) + uint64(bk)
+	block = block*uint64(c.Cfg.BankGroups) + uint64(bg)
+	block = block * uint64(c.Cfg.MOPWidth)
+	return block << 6
+}
+
+func (c *Controller) issueColumn(r *Request, cycle uint64, writes bool) {
+	dataEnd := c.Sys.Column(r.bank, writes, cycle)
+	if writes {
+		c.Stats.Writes++
+		c.removeReq(&c.writeQ, r)
+		return
+	}
+	c.Stats.Reads++
+	if c.Sys.Banks[r.bank].HitStreak > 1 {
+		c.Stats.RowHits++
+	} else {
+		c.Stats.RowMisses++
+	}
+	c.removeReq(&c.readQ, r)
+	if r.Done != nil {
+		r.Done(dataEnd)
+	}
+}
+
+func (c *Controller) removeReq(q *[]*Request, r *Request) {
+	for i, x := range *q {
+		if x == r {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return
+		}
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

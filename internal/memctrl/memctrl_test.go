@@ -1,0 +1,247 @@
+package memctrl
+
+import (
+	"testing"
+
+	"svard/internal/dram"
+	"svard/internal/mem"
+	"svard/internal/mitigation"
+)
+
+func newMC(def mitigation.Defense, tr Tracker) *Controller {
+	cfg := DefaultConfig(4096)
+	t := mem.CyclesFrom(dram.DDR4Timing(3200), cfg.CPUGHz)
+	return New(cfg, t, def, tr)
+}
+
+func runCycles(c *Controller, from, n uint64) uint64 {
+	for cyc := from; cyc < from+n; cyc++ {
+		c.Tick(cyc)
+	}
+	return from + n
+}
+
+func TestDecodeMOPLocality(t *testing.T) {
+	c := newMC(nil, nil)
+	// Four consecutive cache blocks share a bank and row (MOP width 4).
+	b0, r0 := c.Decode(0)
+	for blk := uint64(1); blk < 4; blk++ {
+		b, r := c.Decode(blk * 64)
+		if b != b0 || r != r0 {
+			t.Fatalf("block %d maps to %d/%d, want %d/%d", blk, b, r, b0, r0)
+		}
+	}
+	// The fifth block moves to another bank group.
+	b4, _ := c.Decode(4 * 64)
+	if b4 == b0 {
+		t.Error("MOP did not interleave after the group")
+	}
+	// Decode stays in range everywhere.
+	for addr := uint64(0); addr < 1<<30; addr += 977 * 64 {
+		b, r := c.Decode(addr)
+		if b < 0 || b >= c.Sys.TotalBanks() || r < 0 || r >= c.Cfg.RowsPerBank {
+			t.Fatalf("decode out of range: addr %d -> %d/%d", addr, b, r)
+		}
+	}
+}
+
+func TestReadCompletes(t *testing.T) {
+	c := newMC(nil, nil)
+	doneAt := uint64(0)
+	ok := c.EnqueueRead(&Request{Addr: 0x1000, Done: func(cyc uint64) { doneAt = cyc }}, 0)
+	if !ok {
+		t.Fatal("enqueue failed")
+	}
+	runCycles(c, 0, 2000)
+	if doneAt == 0 {
+		t.Fatal("read never completed")
+	}
+	if c.Stats.Reads != 1 || c.Stats.Acts != 1 {
+		t.Errorf("stats: %+v", c.Stats)
+	}
+}
+
+func TestRowHitsServedBeforeConflicts(t *testing.T) {
+	c := newMC(nil, nil)
+	var order []int
+	mk := func(id int, addr uint64) *Request {
+		return &Request{Addr: addr, Done: func(uint64) { order = append(order, id) }}
+	}
+	// Request 0 opens a row; requests 1 and 2 are a conflict (same bank,
+	// different row) and a hit (same row).
+	c.EnqueueRead(mk(0, 0), 0)
+	runCycles(c, 0, 300)
+	conflictAddr := uint64(4096) * 64 * 4 // jumps the row bits
+	b0, r0 := c.Decode(0)
+	bC, rC := c.Decode(conflictAddr)
+	if b0 != bC || r0 == rC {
+		// ensure it's truly a same-bank conflict
+	}
+	c.EnqueueRead(mk(1, conflictAddr), 300)
+	c.EnqueueRead(mk(2, 64), 300) // same row as request 0 (MOP block 1)
+	runCycles(c, 300, 4000)
+	if len(order) != 3 {
+		t.Fatalf("completed %d of 3", len(order))
+	}
+	if order[1] != 2 {
+		t.Errorf("row hit not prioritized: order %v", order)
+	}
+}
+
+func TestQueueCapacity(t *testing.T) {
+	c := newMC(nil, nil)
+	n := 0
+	for i := 0; i < 200; i++ {
+		if c.EnqueueRead(&Request{Addr: uint64(i) * 64 * 1024}, 0) {
+			n++
+		}
+	}
+	if n != c.Cfg.ReadQ {
+		t.Errorf("accepted %d reads, queue size %d", n, c.Cfg.ReadQ)
+	}
+}
+
+func TestWritesDrain(t *testing.T) {
+	c := newMC(nil, nil)
+	for i := 0; i < 50; i++ {
+		if !c.EnqueueWrite(&Request{Addr: uint64(i) * 64 * 257}, 0) {
+			t.Fatalf("write %d rejected", i)
+		}
+	}
+	runCycles(c, 0, 50_000)
+	if rd, wr := c.QueueLens(); rd != 0 || wr != 0 {
+		t.Errorf("queues not drained: %d/%d", rd, wr)
+	}
+	if c.Stats.Writes != 50 {
+		t.Errorf("writes = %d", c.Stats.Writes)
+	}
+}
+
+func TestRefreshHappens(t *testing.T) {
+	c := newMC(nil, nil)
+	runCycles(c, 0, c.Sys.T.REFI*3)
+	if c.Stats.Refreshes < 2 {
+		t.Errorf("refreshes = %d over 3 tREFI", c.Stats.Refreshes)
+	}
+}
+
+// throttleDefense denies the first ACT to observe retry handling.
+type throttleDefense struct {
+	denied bool
+	acts   int
+}
+
+func (d *throttleDefense) Name() string { return "test" }
+func (d *throttleDefense) CanActivate(bank, row int, cycle uint64) (bool, uint64) {
+	if !d.denied {
+		d.denied = true
+		return false, cycle + 500
+	}
+	return true, 0
+}
+func (d *throttleDefense) OnActivate(bank, row int, cycle uint64) []mitigation.Directive {
+	d.acts++
+	return nil
+}
+
+func TestDefenseThrottleDelaysActivation(t *testing.T) {
+	def := &throttleDefense{}
+	c := newMC(def, nil)
+	doneAt := uint64(0)
+	c.EnqueueRead(&Request{Addr: 0, Done: func(cyc uint64) { doneAt = cyc }}, 0)
+	runCycles(c, 0, 3000)
+	if doneAt == 0 {
+		t.Fatal("throttled read never completed")
+	}
+	if doneAt < 500 {
+		t.Errorf("read completed at %d despite 500-cycle throttle", doneAt)
+	}
+	if c.Stats.ThrottleStalls == 0 {
+		t.Error("throttle not recorded")
+	}
+	if def.acts != 1 {
+		t.Errorf("OnActivate calls = %d", def.acts)
+	}
+}
+
+// refreshDefense asks for a victim refresh on every ACT.
+type refreshDefense struct{ rows int }
+
+func (d *refreshDefense) Name() string                                { return "test" }
+func (d *refreshDefense) CanActivate(int, int, uint64) (bool, uint64) { return true, 0 }
+func (d *refreshDefense) OnActivate(bank, row int, cycle uint64) []mitigation.Directive {
+	return []mitigation.Directive{{Kind: mitigation.RefreshVictim, Bank: bank, Row: row + 1}}
+}
+
+type recTracker struct {
+	acts, pres int
+	restored   map[[2]int]bool
+}
+
+func (r *recTracker) OnAct(bank, row int, cycle uint64) {
+	r.acts++
+	if r.restored == nil {
+		r.restored = map[[2]int]bool{}
+	}
+	r.restored[[2]int{bank, row}] = true
+}
+func (r *recTracker) OnPre(bank, row int, on uint64) { r.pres++ }
+func (r *recTracker) OnRefresh(int, int, int)        {}
+func (r *recTracker) OnRowsSwapped(int, int, int)    {}
+
+func TestVictimRefreshExecutes(t *testing.T) {
+	tr := &recTracker{}
+	c := newMC(&refreshDefense{}, tr)
+	c.EnqueueRead(&Request{Addr: 0}, 0)
+	runCycles(c, 0, 5000)
+	if c.Stats.VictimRefreshes != 1 {
+		t.Fatalf("victim refreshes = %d", c.Stats.VictimRefreshes)
+	}
+	_, row := c.Decode(0)
+	if !tr.restored[[2]int{0, row + 1}] {
+		t.Error("victim row was not restored through the tracker")
+	}
+}
+
+// swapDefense migrates the row on its first activation.
+type swapDefense struct{ done bool }
+
+func (d *swapDefense) Name() string                                { return "test" }
+func (d *swapDefense) CanActivate(int, int, uint64) (bool, uint64) { return true, 0 }
+func (d *swapDefense) OnActivate(bank, row int, cycle uint64) []mitigation.Directive {
+	if d.done {
+		return nil
+	}
+	d.done = true
+	return []mitigation.Directive{{Kind: mitigation.SwapRows, Bank: bank, Row: row, DstRow: row + 100, BusyCycles: 2000}}
+}
+
+func TestRowSwapRemapsFutureAccesses(t *testing.T) {
+	tr := &recTracker{}
+	c := newMC(&swapDefense{}, tr)
+	b, r := c.Decode(0)
+	c.EnqueueRead(&Request{Addr: 0}, 0)
+	runCycles(c, 0, 10_000)
+	if c.Stats.Migrations != 1 {
+		t.Fatalf("migrations = %d", c.Stats.Migrations)
+	}
+	// A second access to the same address must activate the new
+	// physical location.
+	c.EnqueueRead(&Request{Addr: 0}, 10_000)
+	runCycles(c, 10_000, 10_000)
+	if !tr.restored[[2]int{b, r + 100}] {
+		t.Error("post-swap access did not reach the migrated physical row")
+	}
+}
+
+func TestExtraMemGeneratesTraffic(t *testing.T) {
+	c := newMC(nil, nil)
+	c.execute(mitigation.Directive{Kind: mitigation.ExtraMem, Bank: 0, Row: 5, MemReads: 2, MemWrites: 1}, 0)
+	if c.Stats.MetaReads != 2 || c.Stats.MetaWr != 1 {
+		t.Errorf("meta traffic: %d/%d", c.Stats.MetaReads, c.Stats.MetaWr)
+	}
+	runCycles(c, 0, 30_000)
+	if !c.Idle() {
+		t.Error("metadata traffic never drained")
+	}
+}

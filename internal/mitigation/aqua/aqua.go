@@ -1,0 +1,95 @@
+// Package aqua implements AQUA (Saxena et al., MICRO 2022): aggressor
+// rows that cross the threshold are quarantined — migrated into a
+// reserved region of the bank, far from their victims. A migration
+// copies one row (half of RRS's two-row swap), which is why AQUA's
+// overhead sits below RRS's at equal thresholds, and why Svärd's
+// reduction factor is smaller (Fig. 12).
+package aqua
+
+import (
+	"svard/internal/core"
+	"svard/internal/mitigation"
+)
+
+// MigrateBusyNs is the bank-blocking time of one row migration.
+const MigrateBusyNs = 1650.0
+
+// QuarantineFrac is the fraction of each bank reserved as the
+// quarantine region.
+const QuarantineFrac = 1.0 / 64
+
+// Defense is a configured AQUA instance.
+type Defense struct {
+	si      mitigation.SystemInfo
+	th      core.Thresholds
+	tracker *mitigation.WindowCounter
+	cpuGHz  float64
+
+	qStart int   // first quarantine row
+	qNext  []int // per-bank circular allocation cursor
+	moves  uint64
+}
+
+// New builds AQUA with thresholds th.
+func New(si mitigation.SystemInfo, th core.Thresholds, cpuGHz float64) *Defense {
+	qRows := int(float64(si.RowsPerBank) * QuarantineFrac)
+	if qRows < 4 {
+		qRows = 4
+	}
+	d := &Defense{
+		si:      si,
+		th:      th,
+		tracker: mitigation.NewWindowCounter(si.REFWCycles),
+		cpuGHz:  cpuGHz,
+		qStart:  si.RowsPerBank - qRows,
+		qNext:   make([]int, si.Banks),
+	}
+	return d
+}
+
+// Name implements mitigation.Defense.
+func (d *Defense) Name() string { return "AQUA" }
+
+// CanActivate implements mitigation.Defense; AQUA never throttles.
+func (d *Defense) CanActivate(int, int, uint64) (bool, uint64) { return true, 0 }
+
+// Moves returns the number of quarantine migrations (telemetry).
+func (d *Defense) Moves() uint64 { return d.moves }
+
+// QuarantineStart returns the first quarantine row (for address-space
+// carving by the OS/allocator, which must not place data there).
+func (d *Defense) QuarantineStart() int { return d.qStart }
+
+// OnActivate implements mitigation.Defense: count, and quarantine at
+// half the activation budget.
+func (d *Defense) OnActivate(bank, row int, cycle uint64) []mitigation.Directive {
+	d.tracker.Tick(cycle)
+	key := mitigation.Key(d.si, bank, row)
+	cnt := d.tracker.Inc(key)
+	budget := d.th.ActivationBudget(bank, row)
+	if float64(cnt) < budget*mitigation.TriggerFraction {
+		return nil
+	}
+	d.tracker.Reset(key)
+	qRows := d.si.RowsPerBank - d.qStart
+	dst := d.qStart + d.qNext[bank]
+	d.qNext[bank] = (d.qNext[bank] + 1) % qRows
+	if dst == row {
+		return nil // already quarantined in this slot
+	}
+	d.tracker.Reset(mitigation.Key(d.si, bank, dst))
+	d.moves++
+	out := []mitigation.Directive{{
+		Kind:       mitigation.SwapRows, // quarantine = one-way migrate; the slot's occupant returns home
+		Bank:       bank,
+		Row:        row,
+		DstRow:     dst,
+		BusyCycles: uint64(MigrateBusyNs * d.cpuGHz),
+	}}
+	// The quarantine region is dense: a hammered occupant disturbs the
+	// adjacent slots. Each migration refreshes the destination's
+	// neighbours, bounding the accrual of every slot between two
+	// consecutive occupancies of its neighbours.
+	out = append(out, mitigation.VictimRefreshes(d.si, bank, dst)...)
+	return out
+}

@@ -1,0 +1,51 @@
+package aqua
+
+import (
+	"testing"
+
+	"svard/internal/core"
+	"svard/internal/mitigation"
+)
+
+func TestQuarantineSlotsRotate(t *testing.T) {
+	si := mitigation.SystemInfo{Banks: 2, RowsPerBank: 4096, REFWCycles: 1 << 24, Seed: 5}
+	d := New(si, core.Fixed(16), 3.2)
+	dests := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		for _, dir := range d.OnActivate(0, 33, uint64(i)) {
+			if dir.Kind == mitigation.SwapRows {
+				dests[dir.DstRow] = true
+				if dir.DstRow < d.QuarantineStart() {
+					t.Fatalf("destination %d before quarantine start %d", dir.DstRow, d.QuarantineStart())
+				}
+			}
+		}
+	}
+	if len(dests) < 2 {
+		t.Errorf("quarantine never rotated: %d distinct slots", len(dests))
+	}
+	if d.Moves() == 0 {
+		t.Error("no migrations recorded")
+	}
+}
+
+func TestMigrationsRefreshDestinationNeighbours(t *testing.T) {
+	si := mitigation.SystemInfo{Banks: 1, RowsPerBank: 2048, REFWCycles: 1 << 24, Seed: 5}
+	d := New(si, core.Fixed(16), 3.2)
+	for i := 0; ; i++ {
+		out := d.OnActivate(0, 99, uint64(i))
+		if len(out) == 0 {
+			continue
+		}
+		refreshes := 0
+		for _, dir := range out {
+			if dir.Kind == mitigation.RefreshVictim {
+				refreshes++
+			}
+		}
+		if refreshes == 0 {
+			t.Error("migration without neighbour refreshes (quarantine density)")
+		}
+		return
+	}
+}

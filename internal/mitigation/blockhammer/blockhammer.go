@@ -1,0 +1,106 @@
+// Package blockhammer implements BlockHammer (Yağlıkçı et al., HPCA
+// 2021): row activation rates are tracked in dual counting Bloom
+// filters over alternating refresh-window halves; rows whose estimate
+// crosses the blacklisting threshold are throttled so they cannot reach
+// the RowHammer threshold within a window. With Svärd, the blacklisting
+// threshold and the pacing interval derive from each activation's
+// per-victim budget rather than the chip-wide worst case.
+package blockhammer
+
+import (
+	"svard/internal/core"
+	"svard/internal/mitigation"
+)
+
+// Defense is a configured BlockHammer instance.
+type Defense struct {
+	si mitigation.SystemInfo
+	th core.Thresholds
+
+	filters   [2]*mitigation.CBF
+	epoch     uint64
+	halfWin   uint64
+	lastPaced map[int64]uint64 // last throttled-ACT grant per row
+}
+
+// New builds BlockHammer with thresholds th. The filters are sized for
+// the tracking capacity a real configuration would provision (the paper
+// uses 1K counters per filter with k=4).
+func New(si mitigation.SystemInfo, th core.Thresholds) *Defense {
+	return &Defense{
+		si:        si,
+		th:        th,
+		filters:   [2]*mitigation.CBF{mitigation.NewCBF(1024, 4, si.Seed), mitigation.NewCBF(1024, 4, si.Seed+1)},
+		halfWin:   si.REFWCycles / 2,
+		lastPaced: make(map[int64]uint64),
+	}
+}
+
+// Name implements mitigation.Defense.
+func (d *Defense) Name() string { return "BlockHammer" }
+
+func (d *Defense) rotate(cycle uint64) {
+	e := cycle / d.halfWin
+	if e != d.epoch {
+		// Clear the filter that has covered a full window.
+		d.filters[e%2].Clear()
+		d.epoch = e
+		clear(d.lastPaced)
+	}
+}
+
+func (d *Defense) estimate(key int64) uint32 {
+	a := d.filters[0].Estimate(key)
+	b := d.filters[1].Estimate(key)
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CanActivate implements mitigation.Defense: blacklisted rows are paced
+// so a row cannot exceed its budget within a refresh window.
+func (d *Defense) CanActivate(bank, row int, cycle uint64) (bool, uint64) {
+	d.rotate(cycle)
+	budget := d.th.ActivationBudget(bank, row)
+	nbl := uint32(budget * mitigation.TriggerFraction)
+	if nbl == 0 {
+		nbl = 1
+	}
+	key := mitigation.Key(d.si, bank, row)
+	if d.estimate(key) < nbl {
+		return true, 0
+	}
+	// Paced: at most budget/2 activations per refresh window (each of a
+	// victim's two aggressors gets half the budget).
+	interval := uint64(float64(d.si.REFWCycles) / (budget / 2))
+	if interval == 0 {
+		interval = 1
+	}
+	next := d.lastPaced[key] + interval
+	if cycle >= next {
+		return true, 0
+	}
+	return false, next
+}
+
+// OnActivate implements mitigation.Defense: count the activation; no
+// preventive actions (BlockHammer only throttles).
+func (d *Defense) OnActivate(bank, row int, cycle uint64) []mitigation.Directive {
+	d.rotate(cycle)
+	key := mitigation.Key(d.si, bank, row)
+	d.filters[0].Insert(key)
+	d.filters[1].Insert(key)
+	budget := d.th.ActivationBudget(bank, row)
+	if d.estimate(key) >= uint32(budget*mitigation.TriggerFraction) {
+		d.lastPaced[key] = cycle
+	}
+	return nil
+}
+
+// Blacklisted reports whether the row is currently throttled (test and
+// telemetry hook).
+func (d *Defense) Blacklisted(bank, row int) bool {
+	budget := d.th.ActivationBudget(bank, row)
+	return d.estimate(mitigation.Key(d.si, bank, row)) >= uint32(budget*mitigation.TriggerFraction)
+}

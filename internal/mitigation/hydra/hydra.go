@@ -1,0 +1,153 @@
+// Package hydra implements Hydra (Qureshi et al., ISCA 2022): hybrid
+// activation tracking with a Group Count Table (GCT) in the memory
+// controller and per-row counters in DRAM, cached by a Row Count Cache
+// (RCC). Groups count collectively until they cross a threshold; beyond
+// it, per-row counters take over, and RCC misses cost real DRAM traffic
+// — the dominant overhead, which Svärd cannot remove (Obsv. 14). Rows
+// whose counter reaches their threshold get preventive victim refreshes,
+// which Svärd does reduce.
+package hydra
+
+import (
+	"svard/internal/core"
+	"svard/internal/mitigation"
+)
+
+// GroupSize is the number of rows sharing one GCT counter.
+const GroupSize = 128
+
+// RCCEntries is the row count cache capacity (row counters resident in
+// the memory controller).
+const RCCEntries = 32768
+
+// Defense is a configured Hydra instance.
+type Defense struct {
+	si mitigation.SystemInfo
+	th core.Thresholds
+
+	gctThresh uint32
+	gct       []uint32 // [bank*groups+group]
+	groups    int
+	rct       map[int64]uint32 // per-row counters (backing store in DRAM)
+	rcc       *rowCountCache
+
+	nextReset uint64
+}
+
+// New builds Hydra with thresholds th. The GCT threshold is sized from
+// the worst-case budget, as the hardware structure must be.
+func New(si mitigation.SystemInfo, th core.Thresholds) *Defense {
+	groups := (si.RowsPerBank + GroupSize - 1) / GroupSize
+	gt := uint32(th.MinBudget() / 4)
+	if gt == 0 {
+		gt = 1
+	}
+	return &Defense{
+		si:        si,
+		th:        th,
+		gctThresh: gt,
+		gct:       make([]uint32, si.Banks*groups),
+		groups:    groups,
+		rct:       make(map[int64]uint32),
+		rcc:       newRowCountCache(RCCEntries),
+		nextReset: si.REFWCycles,
+	}
+}
+
+// Name implements mitigation.Defense.
+func (d *Defense) Name() string { return "Hydra" }
+
+// CanActivate implements mitigation.Defense; Hydra never throttles.
+func (d *Defense) CanActivate(int, int, uint64) (bool, uint64) { return true, 0 }
+
+func (d *Defense) reset(cycle uint64) {
+	if cycle < d.nextReset {
+		return
+	}
+	for i := range d.gct {
+		d.gct[i] = 0
+	}
+	clear(d.rct)
+	d.rcc.clear()
+	for cycle >= d.nextReset {
+		d.nextReset += d.si.REFWCycles
+	}
+}
+
+// OnActivate implements mitigation.Defense.
+func (d *Defense) OnActivate(bank, row int, cycle uint64) []mitigation.Directive {
+	d.reset(cycle)
+	g := bank*d.groups + row/GroupSize
+	if d.gct[g] < d.gctThresh {
+		d.gct[g]++
+		return nil
+	}
+	// Per-row tracking. An RCC miss fetches the counter line from DRAM
+	// (one read; a dirty eviction adds a writeback).
+	var out []mitigation.Directive
+	key := mitigation.Key(d.si, bank, row)
+	hit, evictedDirty := d.rcc.touch(key)
+	if !hit {
+		dir := mitigation.Directive{Kind: mitigation.ExtraMem, Bank: bank, Row: row, MemReads: 1}
+		if evictedDirty {
+			dir.MemWrites = 1
+		}
+		out = append(out, dir)
+	}
+	cnt, tracked := d.rct[key]
+	if !tracked {
+		// Rows in a saturated group start at half their own trigger
+		// count: the group total spread over its rows is far below the
+		// threshold, but a defense cannot assume uniformity.
+		cnt = uint32(d.th.ActivationBudget(bank, row) * mitigation.TriggerFraction / 2)
+	}
+	cnt++
+	budget := d.th.ActivationBudget(bank, row)
+	if float64(cnt) >= budget*mitigation.TriggerFraction {
+		out = append(out, mitigation.VictimRefreshes(d.si, bank, row)...)
+		cnt = 0
+	}
+	d.rct[key] = cnt
+	return out
+}
+
+// rowCountCache is a direct-mapped-with-victim-slack stand-in for the
+// RCC: a bounded map evicting in FIFO order. Hit behaviour, not
+// replacement detail, drives Hydra's traffic shape.
+type rowCountCache struct {
+	cap   int
+	order []int64
+	head  int
+	set   map[int64]bool
+}
+
+func newRowCountCache(capacity int) *rowCountCache {
+	return &rowCountCache{cap: capacity, order: make([]int64, 0, capacity), set: make(map[int64]bool, capacity)}
+}
+
+// touch returns (hit, evictedDirty); misses insert the key, evicting the
+// oldest entry when full (counter caches write back on eviction, so
+// evictions are dirty).
+func (c *rowCountCache) touch(key int64) (bool, bool) {
+	if c.set[key] {
+		return true, false
+	}
+	evictedDirty := false
+	if len(c.order) >= c.cap {
+		old := c.order[c.head]
+		delete(c.set, old)
+		c.order[c.head] = key
+		c.head = (c.head + 1) % c.cap
+		evictedDirty = true
+	} else {
+		c.order = append(c.order, key)
+	}
+	c.set[key] = true
+	return false, evictedDirty
+}
+
+func (c *rowCountCache) clear() {
+	c.order = c.order[:0]
+	c.head = 0
+	clear(c.set)
+}

@@ -1,0 +1,37 @@
+package hydra
+
+import (
+	"testing"
+
+	"svard/internal/core"
+	"svard/internal/mitigation"
+)
+
+func TestGroupPhaseIsFree(t *testing.T) {
+	si := mitigation.SystemInfo{Banks: 2, RowsPerBank: 4096, REFWCycles: 1 << 20, Seed: 3}
+	d := New(si, core.Fixed(1024))
+	// Below the group threshold no directives appear.
+	for i := 0; i < int(core.Fixed(1024).MinBudget()/4)-1; i++ {
+		if out := d.OnActivate(0, i%GroupSize, uint64(i)); out != nil {
+			t.Fatalf("directive during group phase at act %d", i)
+		}
+	}
+}
+
+func TestRCCHitsAvoidTraffic(t *testing.T) {
+	si := mitigation.SystemInfo{Banks: 2, RowsPerBank: 4096, REFWCycles: 1 << 30, Seed: 3}
+	d := New(si, core.Fixed(1 << 20)) // huge budget: no refreshes
+	// Saturate one group, then hit the same row repeatedly: exactly one
+	// miss, the rest RCC hits.
+	meta := 0
+	for i := 0; i < 4000; i++ {
+		for _, dir := range d.OnActivate(0, 5, uint64(i)) {
+			if dir.Kind == mitigation.ExtraMem {
+				meta += dir.MemReads + dir.MemWrites
+			}
+		}
+	}
+	if meta > 1 {
+		t.Errorf("repeated row caused %d metadata accesses, want <=1", meta)
+	}
+}

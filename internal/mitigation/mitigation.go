@@ -1,0 +1,190 @@
+// Package mitigation defines the framework shared by the five evaluated
+// read disturbance defenses (AQUA, BlockHammer, Hydra, PARA, RRS): the
+// Defense interface the memory controller drives, the directives a
+// defense can return (preventive victim refresh, row migration, extra
+// metadata memory traffic), and the counting structures the defenses
+// are built from.
+//
+// Svärd integration (§6.1) is uniform: every defense takes a
+// core.Thresholds. The profile-oblivious configuration passes
+// core.Fixed(nRH); the Svärd configuration passes *core.Svard, whose
+// ActivationBudget supplies the per-activation threshold on every ACT.
+package mitigation
+
+import "svard/internal/rng"
+
+// Kind classifies a Directive.
+type Kind int
+
+// Directive kinds.
+const (
+	// RefreshVictim preventively refreshes (Bank, Row): the MC performs
+	// an internal ACT+PRE on that row.
+	RefreshVictim Kind = iota
+	// SwapRows exchanges the physical contents/locations of Row and
+	// DstRow in Bank, blocking the bank for BusyCycles (row migration).
+	SwapRows
+	// ExtraMem issues MemReads internal metadata reads and MemWrites
+	// writes through the normal queues (Hydra's counter traffic).
+	ExtraMem
+)
+
+// Directive is one action the memory controller must execute on a
+// defense's behalf, with its full performance cost.
+type Directive struct {
+	Kind       Kind
+	Bank       int
+	Row        int
+	DstRow     int
+	MemReads   int
+	MemWrites  int
+	BusyCycles uint64
+}
+
+// Defense is the memory-controller-side interface of a read disturbance
+// solution. The MC consults CanActivate before issuing an ACT (throttling
+// defenses gate here) and calls OnActivate after issuing it.
+type Defense interface {
+	Name() string
+	// CanActivate reports whether an ACT to (bank, row) may issue at
+	// cycle; when false, retryAt is the earliest cycle to try again.
+	CanActivate(bank, row int, cycle uint64) (ok bool, retryAt uint64)
+	// OnActivate records the ACT and returns any directives to execute.
+	OnActivate(bank, row int, cycle uint64) []Directive
+}
+
+// SystemInfo carries the system parameters defenses size themselves by.
+type SystemInfo struct {
+	Banks       int
+	RowsPerBank int
+	REFWCycles  uint64 // refresh window in CPU cycles
+	Seed        uint64
+}
+
+// Key flattens (bank, row) for map keys.
+func Key(si SystemInfo, bank, row int) int64 {
+	return int64(bank)*int64(si.RowsPerBank) + int64(row)
+}
+
+// Nop is the defense-free baseline.
+type Nop struct{}
+
+// Name implements Defense.
+func (Nop) Name() string { return "None" }
+
+// CanActivate implements Defense.
+func (Nop) CanActivate(int, int, uint64) (bool, uint64) { return true, 0 }
+
+// OnActivate implements Defense.
+func (Nop) OnActivate(int, int, uint64) []Directive { return nil }
+
+// TriggerFraction is the fraction of an activation budget at which
+// counter-based defenses (Hydra, RRS, AQUA) take their preventive
+// action: a victim has two aggressors, each of which must stay below
+// half the budget, and deployments add a further 2x safety margin.
+const TriggerFraction = 0.25
+
+// VictimRefreshes returns the standard preventive-refresh directive set
+// for an aggressor: its two distance-1 neighbours. Distance-2 victims
+// receive only a few percent of the disturbance and are covered by the
+// periodic refresh sweep within each window.
+func VictimRefreshes(si SystemInfo, bank, row int) []Directive {
+	out := make([]Directive, 0, 2)
+	for _, d := range [...]int{-1, 1} {
+		v := row + d
+		if v < 0 || v >= si.RowsPerBank {
+			continue
+		}
+		out = append(out, Directive{Kind: RefreshVictim, Bank: bank, Row: v})
+	}
+	return out
+}
+
+// CBF is a counting Bloom filter: the aggressor-tracking structure of
+// BlockHammer. Estimates never under-count (no false negatives).
+type CBF struct {
+	counters []uint32
+	k        int
+	seed     uint64
+}
+
+// NewCBF builds a filter with m counters and k hash functions.
+func NewCBF(m, k int, seed uint64) *CBF {
+	if m <= 0 || k <= 0 {
+		panic("mitigation: invalid CBF shape")
+	}
+	return &CBF{counters: make([]uint32, m), k: k, seed: seed}
+}
+
+func (f *CBF) positions(key int64) []int {
+	pos := make([]int, f.k)
+	h := rng.Hash64(f.seed, uint64(key))
+	for i := range pos {
+		pos[i] = int(h % uint64(len(f.counters)))
+		h = rng.Mix64(h)
+	}
+	return pos
+}
+
+// Insert increments the key's counters.
+func (f *CBF) Insert(key int64) {
+	for _, p := range f.positions(key) {
+		f.counters[p]++
+	}
+}
+
+// Estimate returns the key's count estimate (the min over its
+// counters); it never under-counts.
+func (f *CBF) Estimate(key int64) uint32 {
+	est := ^uint32(0)
+	for _, p := range f.positions(key) {
+		if f.counters[p] < est {
+			est = f.counters[p]
+		}
+	}
+	return est
+}
+
+// Clear zeroes the filter.
+func (f *CBF) Clear() {
+	for i := range f.counters {
+		f.counters[i] = 0
+	}
+}
+
+// WindowCounter tracks exact per-row activation counts within refresh
+// windows, resetting at each boundary. It stands in for the defenses'
+// aggressor trackers (Misra-Gries/CAT); exact counting is conservative
+// for security and optimistic (no estimation slack) for performance.
+type WindowCounter struct {
+	counts    map[int64]uint32
+	windowLen uint64
+	nextReset uint64
+}
+
+// NewWindowCounter builds a tracker that resets every windowLen cycles.
+func NewWindowCounter(windowLen uint64) *WindowCounter {
+	return &WindowCounter{counts: make(map[int64]uint32), windowLen: windowLen, nextReset: windowLen}
+}
+
+// Tick resets the window if cycle crossed the boundary.
+func (w *WindowCounter) Tick(cycle uint64) {
+	if cycle >= w.nextReset {
+		clear(w.counts)
+		for cycle >= w.nextReset {
+			w.nextReset += w.windowLen
+		}
+	}
+}
+
+// Inc increments and returns the key's count.
+func (w *WindowCounter) Inc(key int64) uint32 {
+	w.counts[key]++
+	return w.counts[key]
+}
+
+// Reset zeroes one key.
+func (w *WindowCounter) Reset(key int64) { delete(w.counts, key) }
+
+// Count returns the key's current count.
+func (w *WindowCounter) Count(key int64) uint32 { return w.counts[key] }

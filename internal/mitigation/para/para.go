@@ -1,0 +1,81 @@
+// Package para implements PARA (Kim et al., ISCA 2014): on every row
+// activation, with a threshold-derived probability, preventively refresh
+// a neighbouring row. PARA is stateless; its aggressiveness is entirely
+// in the refresh probability, which makes it the cleanest showcase for
+// Svärd — the probability becomes a per-activation function of the
+// victim rows' profiled vulnerability instead of the chip-wide worst
+// case.
+package para
+
+import (
+	"svard/internal/core"
+	"svard/internal/mitigation"
+	"svard/internal/rng"
+)
+
+// failureExponent sets the target probability that an aggressor reaches
+// its victims' HCfirst without a single preventive refresh:
+// (1-p)^T <= e^-A. A = 55 bounds the per-window failure odds around
+// 1e-24, covering double-sided aggressor pairs across a large fleet for
+// its lifetime — the regime PARA configurations for sub-1K thresholds
+// must target.
+const failureExponent = 55.0
+
+// Defense is a configured PARA instance.
+type Defense struct {
+	si mitigation.SystemInfo
+	th core.Thresholds
+	r  *rng.Rand
+}
+
+// New builds PARA with thresholds th.
+func New(si mitigation.SystemInfo, th core.Thresholds) *Defense {
+	return &Defense{si: si, th: th, r: rng.At(si.Seed, 0x9A7A)}
+}
+
+// Name implements mitigation.Defense.
+func (d *Defense) Name() string { return "PARA" }
+
+// CanActivate implements mitigation.Defense; PARA never throttles.
+func (d *Defense) CanActivate(int, int, uint64) (bool, uint64) { return true, 0 }
+
+// Probability returns PARA's refresh probability for an activation
+// budget T: min(1, A/T).
+func Probability(budget float64) float64 {
+	if budget <= 0 {
+		return 1
+	}
+	p := failureExponent / budget
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// OnActivate implements mitigation.Defense: with probability p, refresh
+// one immediate neighbour (coin-flipped side), and with probability
+// p·couple2 a distance-2 neighbour on that side, covering the full blast
+// radius.
+func (d *Defense) OnActivate(bank, row int, cycle uint64) []mitigation.Directive {
+	budget := d.th.ActivationBudget(bank, row)
+	p := Probability(budget)
+	if d.r.Float64() >= p {
+		return nil
+	}
+	side := 1
+	if d.r.Bool(0.5) {
+		side = -1
+	}
+	var out []mitigation.Directive
+	if v := row + side; v >= 0 && v < d.si.RowsPerBank {
+		out = append(out, mitigation.Directive{Kind: mitigation.RefreshVictim, Bank: bank, Row: v})
+	}
+	// Distance-2 victims couple at a fraction of the distance-1 rate;
+	// refreshing them proportionally rarely preserves the same bound.
+	if d.r.Bool(core.Distance2Coupling) {
+		if v := row + 2*side; v >= 0 && v < d.si.RowsPerBank {
+			out = append(out, mitigation.Directive{Kind: mitigation.RefreshVictim, Bank: bank, Row: v})
+		}
+	}
+	return out
+}

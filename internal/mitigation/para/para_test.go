@@ -1,0 +1,39 @@
+package para
+
+import (
+	"testing"
+
+	"svard/internal/core"
+	"svard/internal/mitigation"
+)
+
+func TestProbabilityMonotone(t *testing.T) {
+	prev := 2.0
+	for _, b := range []float64{16, 64, 256, 1024, 4096, 65536} {
+		p := Probability(b)
+		if p <= 0 || p > 1 {
+			t.Fatalf("p(%v) = %v", b, p)
+		}
+		if p > prev {
+			t.Fatalf("probability not non-increasing at %v", b)
+		}
+		prev = p
+	}
+}
+
+func TestDirectivesAreRefreshes(t *testing.T) {
+	si := mitigation.SystemInfo{Banks: 2, RowsPerBank: 1024, REFWCycles: 1 << 20, Seed: 1}
+	d := New(si, core.Fixed(32)) // p = 1: refresh on every ACT
+	out := d.OnActivate(0, 100, 0)
+	if len(out) == 0 {
+		t.Fatal("p=1 PARA produced no refresh")
+	}
+	for _, dir := range out {
+		if dir.Kind != mitigation.RefreshVictim {
+			t.Error("PARA may only refresh")
+		}
+		if dir.Row == 100 || dir.Row < 98 || dir.Row > 102 {
+			t.Errorf("refresh outside the blast radius: %d", dir.Row)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package rrs implements Randomized Row Swap (Saileshwar et al.,
+// ASPLOS 2022): rows whose activation count crosses the swap threshold
+// are swapped with a random row of the bank, breaking the spatial
+// correlation between aggressor and victim. A swap copies two full rows
+// (the dominant cost: the bank blocks for microseconds), so lowering
+// the swap rate — which Svärd does for every row stronger than the
+// worst case — buys back most of the overhead (Obsv. 14: 2.76x).
+package rrs
+
+import (
+	"svard/internal/core"
+	"svard/internal/mitigation"
+	"svard/internal/rng"
+)
+
+// SwapBusyNs is the bank-blocking time of one row swap (two 8 KiB rows
+// read and rewritten through the swap buffer).
+const SwapBusyNs = 4800.0
+
+// Defense is a configured RRS instance.
+type Defense struct {
+	si      mitigation.SystemInfo
+	th      core.Thresholds
+	tracker *mitigation.WindowCounter
+	r       *rng.Rand
+	cpuGHz  float64
+	swaps   uint64
+}
+
+// New builds RRS with thresholds th; cpuGHz converts the swap latency
+// to cycles.
+func New(si mitigation.SystemInfo, th core.Thresholds, cpuGHz float64) *Defense {
+	return &Defense{
+		si:      si,
+		th:      th,
+		tracker: mitigation.NewWindowCounter(si.REFWCycles),
+		r:       rng.At(si.Seed, 0x4457),
+		cpuGHz:  cpuGHz,
+	}
+}
+
+// Name implements mitigation.Defense.
+func (d *Defense) Name() string { return "RRS" }
+
+// CanActivate implements mitigation.Defense; RRS never throttles.
+func (d *Defense) CanActivate(int, int, uint64) (bool, uint64) { return true, 0 }
+
+// Swaps returns the number of row swaps performed (telemetry).
+func (d *Defense) Swaps() uint64 { return d.swaps }
+
+// OnActivate implements mitigation.Defense: count, and swap at half the
+// activation budget.
+func (d *Defense) OnActivate(bank, row int, cycle uint64) []mitigation.Directive {
+	d.tracker.Tick(cycle)
+	key := mitigation.Key(d.si, bank, row)
+	cnt := d.tracker.Inc(key)
+	budget := d.th.ActivationBudget(bank, row)
+	if float64(cnt) < budget*mitigation.TriggerFraction {
+		return nil
+	}
+	d.tracker.Reset(key)
+	dst := d.r.Intn(d.si.RowsPerBank)
+	if dst == row {
+		dst = (dst + 1) % d.si.RowsPerBank
+	}
+	d.tracker.Reset(mitigation.Key(d.si, bank, dst))
+	d.swaps++
+	return []mitigation.Directive{{
+		Kind:       mitigation.SwapRows,
+		Bank:       bank,
+		Row:        row,
+		DstRow:     dst,
+		BusyCycles: uint64(SwapBusyNs * d.cpuGHz),
+	}}
+}

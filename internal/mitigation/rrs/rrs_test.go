@@ -1,0 +1,41 @@
+package rrs
+
+import (
+	"testing"
+
+	"svard/internal/core"
+	"svard/internal/mitigation"
+)
+
+func TestNoSwapsBelowTrigger(t *testing.T) {
+	si := mitigation.SystemInfo{Banks: 2, RowsPerBank: 4096, REFWCycles: 1 << 20, Seed: 4}
+	d := New(si, core.Fixed(1024), 3.2)
+	trigger := int(1024 * mitigation.TriggerFraction)
+	for i := 0; i < trigger-1; i++ {
+		if out := d.OnActivate(0, 7, uint64(i)); len(out) != 0 {
+			t.Fatalf("swap before trigger at act %d", i)
+		}
+	}
+	if out := d.OnActivate(0, 7, uint64(trigger)); len(out) != 1 {
+		t.Fatalf("no swap at trigger: %v", out)
+	}
+	if d.Swaps() != 1 {
+		t.Errorf("swaps = %d", d.Swaps())
+	}
+}
+
+func TestSwapCostScalesWithClock(t *testing.T) {
+	si := mitigation.SystemInfo{Banks: 1, RowsPerBank: 1024, REFWCycles: 1 << 20, Seed: 4}
+	slow := New(si, core.Fixed(8), 1.0)
+	fast := New(si, core.Fixed(8), 4.0)
+	get := func(d *Defense) uint64 {
+		for i := 0; ; i++ {
+			for _, dir := range d.OnActivate(0, 3, uint64(i)) {
+				return dir.BusyCycles
+			}
+		}
+	}
+	if get(fast) != 4*get(slow) {
+		t.Error("swap latency must be constant in time, not cycles")
+	}
+}

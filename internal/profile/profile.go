@@ -1,0 +1,231 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"svard/internal/disturb"
+)
+
+// VulnProfile is a captured per-row read disturbance vulnerability
+// profile: for every characterized (bank, row) it records the largest
+// tested hammer level at which the row showed no bitflip — the safe
+// floor a defense may assume. This is the data structure Svärd stores
+// (§6.1) and the product of the paper's characterization campaign.
+type VulnProfile struct {
+	Label       string    `json:"label"`
+	RowsPerBank int       `json:"rows_per_bank"`
+	Banks       []int     `json:"banks"`  // characterized banks
+	Levels      []float64 `json:"levels"` // tested hammer levels (ascending)
+
+	// Bins[i][row] is the safe-level index for row `row` of
+	// Banks[i]: Levels[idx] is the largest level with no observed flip.
+	// BinBelowGrid marks rows that flipped at the smallest tested level.
+	Bins [][]uint8 `json:"bins"`
+}
+
+// BinBelowGrid marks a row that flipped at the smallest tested level, so
+// no tested level is known safe.
+const BinBelowGrid = 0xFF
+
+// Capture profiles the given banks of a module under model m: for every
+// row, the analytic equivalent of sweeping Alg. 1's hammer counts and
+// recording the largest level with no bitflip. Censored rows (no flip
+// even at the top level) record the top level as safe.
+func Capture(m *disturb.Model, label string, banks []int) *VulnProfile {
+	levels := disturb.HammerLevels()
+	p := &VulnProfile{
+		Label:       label,
+		RowsPerBank: m.Geom.RowsPerBank,
+		Banks:       append([]int(nil), banks...),
+		Levels:      levels,
+		Bins:        make([][]uint8, len(banks)),
+	}
+	for i, b := range banks {
+		bins := make([]uint8, m.Geom.RowsPerBank)
+		for row := 0; row < m.Geom.RowsPerBank; row++ {
+			bins[row] = safeIdx(levels, m.HCFirst(b, row))
+		}
+		p.Bins[i] = bins
+	}
+	return p
+}
+
+func safeIdx(levels []float64, hcFirst float64) uint8 {
+	i := disturb.LevelIndex(levels, hcFirst) // first level >= true HCfirst = first flip level
+	if i == 0 {
+		return BinBelowGrid
+	}
+	return uint8(i - 1)
+}
+
+// NewEmpty builds an empty profile for measurement-driven capture (the
+// testbench path); fill it with SetBin.
+func NewEmpty(label string, rowsPerBank int, banks []int, levels []float64) *VulnProfile {
+	p := &VulnProfile{
+		Label:       label,
+		RowsPerBank: rowsPerBank,
+		Banks:       append([]int(nil), banks...),
+		Levels:      append([]float64(nil), levels...),
+		Bins:        make([][]uint8, len(banks)),
+	}
+	// Unmeasured rows default to the most conservative assumption: no
+	// tested level is known safe.
+	for i := range p.Bins {
+		p.Bins[i] = make([]uint8, rowsPerBank)
+		for r := range p.Bins[i] {
+			p.Bins[i][r] = BinBelowGrid
+		}
+	}
+	return p
+}
+
+// SetBin records a measured first-flip level index for a row: the safe
+// floor becomes the previous level. firstFlipIdx == len(Levels) means
+// censored (no flip at any level).
+func (p *VulnProfile) SetBin(bankPos, row, firstFlipIdx int) {
+	switch {
+	case firstFlipIdx <= 0:
+		p.Bins[bankPos][row] = BinBelowGrid
+	case firstFlipIdx >= len(p.Levels):
+		p.Bins[bankPos][row] = uint8(len(p.Levels) - 1)
+	default:
+		p.Bins[bankPos][row] = uint8(firstFlipIdx - 1)
+	}
+}
+
+// bankPos maps an arbitrary bank index onto a characterized bank: the
+// bank itself when characterized, otherwise a representative (banks
+// within a module exhibit near-identical distributions, Takeaways 1/3).
+func (p *VulnProfile) bankPos(bank int) int {
+	for i, b := range p.Banks {
+		if b == bank {
+			return i
+		}
+	}
+	return bank % len(p.Bins)
+}
+
+// SafeThreshold returns the largest hammer count known not to flip the
+// row: the defense-facing per-row threshold. Rows that flipped at the
+// smallest tested level report half that level.
+func (p *VulnProfile) SafeThreshold(bank, row int) float64 {
+	idx := p.Bins[p.bankPos(bank)][row%p.RowsPerBank]
+	if idx == BinBelowGrid {
+		return p.Levels[0] / 2
+	}
+	return p.Levels[idx]
+}
+
+// SafeIdx returns the row's safe-level index (BinBelowGrid for rows
+// below the grid).
+func (p *VulnProfile) SafeIdx(bank, row int) uint8 {
+	return p.Bins[p.bankPos(bank)][row%p.RowsPerBank]
+}
+
+// MinSafeThreshold returns the module's worst-case safe threshold — what
+// a profile-oblivious defense must assume for every row.
+func (p *VulnProfile) MinSafeThreshold() float64 {
+	min := math.Inf(1)
+	for i := range p.Bins {
+		for _, idx := range p.Bins[i] {
+			var v float64
+			if idx == BinBelowGrid {
+				v = p.Levels[0] / 2
+			} else {
+				v = p.Levels[idx]
+			}
+			if v < min {
+				min = v
+			}
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// BinCounts returns how many rows fall in each safe-level index
+// (index len(Levels) collects below-grid rows).
+func (p *VulnProfile) BinCounts() []int {
+	counts := make([]int, len(p.Levels)+1)
+	for i := range p.Bins {
+		for _, idx := range p.Bins[i] {
+			if idx == BinBelowGrid {
+				counts[len(p.Levels)]++
+			} else {
+				counts[idx]++
+			}
+		}
+	}
+	return counts
+}
+
+// NumBins returns the number of distinct vulnerability bins the profile
+// uses; Svärd's metadata sizing (§6.4) requires <= 16 so a 4-bit id
+// suffices.
+func (p *VulnProfile) NumBins() int {
+	seen := map[uint8]bool{}
+	for i := range p.Bins {
+		for _, idx := range p.Bins[i] {
+			seen[idx] = true
+		}
+	}
+	return len(seen)
+}
+
+// ScaledProfile views a VulnProfile with every threshold multiplied by
+// Factor. The paper evaluates future, more vulnerable chips by scaling
+// all observed HCfirst values so the profile minimum equals the target
+// worst-case HCfirst (§7.1).
+type ScaledProfile struct {
+	P      *VulnProfile
+	Factor float64
+}
+
+// ScaledTo returns the profile scaled so its minimum safe threshold
+// equals targetMin.
+func (p *VulnProfile) ScaledTo(targetMin float64) *ScaledProfile {
+	min := p.MinSafeThreshold()
+	if min <= 0 {
+		return &ScaledProfile{P: p, Factor: 1}
+	}
+	return &ScaledProfile{P: p, Factor: targetMin / min}
+}
+
+// SafeThreshold returns the scaled per-row threshold.
+func (s *ScaledProfile) SafeThreshold(bank, row int) float64 {
+	return s.P.SafeThreshold(bank, row) * s.Factor
+}
+
+// MinSafeThreshold returns the scaled worst-case threshold.
+func (s *ScaledProfile) MinSafeThreshold() float64 {
+	return s.P.MinSafeThreshold() * s.Factor
+}
+
+// MarshalJSON/UnmarshalJSON round-trip the profile; []uint8 bins encode
+// compactly as base64.
+func (p *VulnProfile) Marshal() ([]byte, error) { return json.Marshal(p) }
+
+// Unmarshal parses a profile produced by Marshal.
+func Unmarshal(data []byte) (*VulnProfile, error) {
+	var p VulnProfile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, err
+	}
+	if len(p.Bins) != len(p.Banks) {
+		return nil, fmt.Errorf("profile: %d bin banks for %d banks", len(p.Bins), len(p.Banks))
+	}
+	for i := range p.Bins {
+		if len(p.Bins[i]) != p.RowsPerBank {
+			return nil, fmt.Errorf("profile: bank %d has %d rows, want %d", i, len(p.Bins[i]), p.RowsPerBank)
+		}
+	}
+	return &p, nil
+}
+
+// RepresentativeLabels returns the per-manufacturer representative
+// modules used for Svärd's performance evaluation (Fig. 12): S0, M0, H1.
+func RepresentativeLabels() []string { return []string{"S0", "M0", "H1"} }

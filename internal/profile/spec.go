@@ -1,0 +1,200 @@
+// Package profile defines the 15 DDR4 modules of the paper's Table 1 /
+// Table 5, calibrates a disturbance model to each module's published
+// characteristics (min/avg/max HCfirst, BER scale and coefficient of
+// variation), and captures per-row read disturbance vulnerability
+// profiles — the input Svärd consumes.
+package profile
+
+import "svard/internal/disturb"
+
+// K follows the paper's convention: 2^10.
+const K = 1024
+
+// Manufacturer identifies one of the three DRAM vendors in the test pool.
+type Manufacturer string
+
+// The three manufacturers of Table 1.
+const (
+	MfrH Manufacturer = "SK Hynix"
+	MfrM Manufacturer = "Micron"
+	MfrS Manufacturer = "Samsung"
+)
+
+// Short returns the paper's single-letter manufacturer code.
+func (m Manufacturer) Short() string {
+	switch m {
+	case MfrH:
+		return "H"
+	case MfrM:
+		return "M"
+	default:
+		return "S"
+	}
+}
+
+// StructSpec mirrors disturb.StructTerm for the spec table.
+type StructSpec = disturb.StructTerm
+
+// ModuleSpec describes one tested module: its Table 5 identity plus the
+// calibration targets extracted from the paper's measurements.
+type ModuleSpec struct {
+	Label       string // paper's module label, e.g. "H0"
+	Mfr         Manufacturer
+	Chips       int    // DRAM chips on the module
+	DensityGb   int    // per-chip density
+	DieRev      string // die revision code
+	Org         int    // chip organization: x4 / x8 / x16
+	FreqMTs     int    // interface speed in MT/s
+	DateCode    string // manufacturing date ww-yy ("N/A" when unknown)
+	RowsPerBank int
+
+	// Calibration targets.
+	MinHC  float64 // Table 5 min HCfirst (hammers)
+	AvgHC  float64 // Table 5 avg HCfirst
+	MaxHC  float64 // Table 5 max HCfirst (128K means right-censored)
+	BER128 float64 // mean per-row BER at HC=128K, tAggOn=36ns (Fig. 3)
+	BERCV  float64 // coefficient of variation of BER across rows (Fig. 3)
+
+	// Spatial character.
+	PeriodFrac  float64      // period of the design-induced BER pattern
+	ChunkCount  int          // manufacturing chunks across the bank
+	ChunkWeight float64      // relative weight of the chunk term
+	Struct      []StructSpec // address-bit structure (S modules, Table 3)
+	ScrambleOps int          // complexity of the in-DRAM row scrambling
+}
+
+// Table5 returns the full inventory of tested modules, transcribed from
+// the paper's Table 5 (identity, organization, HCfirst statistics) with
+// BER scale/CV from Fig. 3 and spatial character consistent with Figs.
+// 4-6 and Table 3. Struct amplitudes are chosen so that exactly the four
+// Samsung modules S0, S1, S3, S4 exhibit spatial-feature F1 above 0.7,
+// reproducing Takeaway 6.
+func Table5() []ModuleSpec {
+	return []ModuleSpec{
+		{
+			Label: "H0", Mfr: MfrH, Chips: 8, DensityGb: 16, DieRev: "A", Org: 8,
+			FreqMTs: 3200, DateCode: "51-20", RowsPerBank: 128 * K,
+			MinHC: 16 * K, AvgHC: 46.2 * K, MaxHC: 96 * K, BER128: 2.0e-2, BERCV: 0.0336,
+			PeriodFrac: 0.5, ChunkCount: 16, ChunkWeight: 0.8, ScrambleOps: 4,
+		},
+		{
+			Label: "H1", Mfr: MfrH, Chips: 8, DensityGb: 16, DieRev: "C", Org: 8,
+			FreqMTs: 3200, DateCode: "51-20", RowsPerBank: 128 * K,
+			MinHC: 12 * K, AvgHC: 54.0 * K, MaxHC: 128 * K, BER128: 3.2e-2, BERCV: 0.0225,
+			PeriodFrac: 0.5, ChunkCount: 16, ChunkWeight: 0.8, ScrambleOps: 4,
+		},
+		{
+			Label: "H2", Mfr: MfrH, Chips: 8, DensityGb: 16, DieRev: "C", Org: 8,
+			FreqMTs: 3200, DateCode: "36-21", RowsPerBank: 128 * K,
+			MinHC: 12 * K, AvgHC: 55.4 * K, MaxHC: 128 * K, BER128: 3.2e-2, BERCV: 0.0243,
+			PeriodFrac: 0.5, ChunkCount: 16, ChunkWeight: 0.8, ScrambleOps: 4,
+		},
+		{
+			Label: "H3", Mfr: MfrH, Chips: 8, DensityGb: 16, DieRev: "C", Org: 8,
+			FreqMTs: 3200, DateCode: "36-21", RowsPerBank: 128 * K,
+			MinHC: 12 * K, AvgHC: 57.8 * K, MaxHC: 128 * K, BER128: 3.2e-2, BERCV: 0.0199,
+			PeriodFrac: 0.5, ChunkCount: 16, ChunkWeight: 0.8, ScrambleOps: 4,
+		},
+		{
+			Label: "H4", Mfr: MfrH, Chips: 8, DensityGb: 8, DieRev: "D", Org: 8,
+			FreqMTs: 3200, DateCode: "48-20", RowsPerBank: 64 * K,
+			MinHC: 16 * K, AvgHC: 38.1 * K, MaxHC: 96 * K, BER128: 2.2e-2, BERCV: 0.025,
+			PeriodFrac: 0.5, ChunkCount: 20, ChunkWeight: 1.2, ScrambleOps: 4,
+		},
+		{
+			Label: "M0", Mfr: MfrM, Chips: 4, DensityGb: 16, DieRev: "E", Org: 16,
+			FreqMTs: 3200, DateCode: "46-20", RowsPerBank: 128 * K,
+			MinHC: 8 * K, AvgHC: 24.5 * K, MaxHC: 40 * K, BER128: 1.7e-2, BERCV: 0.008,
+			PeriodFrac: 0.33, ChunkCount: 12, ChunkWeight: 0.6, ScrambleOps: 6,
+		},
+		{
+			Label: "M1", Mfr: MfrM, Chips: 16, DensityGb: 8, DieRev: "B", Org: 4,
+			FreqMTs: 2400, DateCode: "N/A", RowsPerBank: 128 * K,
+			MinHC: 40 * K, AvgHC: 64.5 * K, MaxHC: 96 * K, BER128: 6.0e-4, BERCV: 0.0808,
+			PeriodFrac: 0.33, ChunkCount: 10, ChunkWeight: 1.8, ScrambleOps: 6,
+		},
+		{
+			Label: "M2", Mfr: MfrM, Chips: 16, DensityGb: 16, DieRev: "E", Org: 4,
+			FreqMTs: 2933, DateCode: "14-20", RowsPerBank: 128 * K,
+			MinHC: 8 * K, AvgHC: 28.6 * K, MaxHC: 48 * K, BER128: 8.0e-2, BERCV: 0.0063,
+			PeriodFrac: 0.33, ChunkCount: 12, ChunkWeight: 0.6, ScrambleOps: 6,
+		},
+		{
+			Label: "M3", Mfr: MfrM, Chips: 16, DensityGb: 8, DieRev: "B", Org: 4,
+			FreqMTs: 2400, DateCode: "36-21", RowsPerBank: 128 * K,
+			MinHC: 56 * K, AvgHC: 90.0 * K, MaxHC: 128 * K, BER128: 1.5e-4, BERCV: 0.0521,
+			PeriodFrac: 0.33, ChunkCount: 10, ChunkWeight: 1.8, ScrambleOps: 6,
+		},
+		{
+			Label: "M4", Mfr: MfrM, Chips: 4, DensityGb: 16, DieRev: "B", Org: 16,
+			FreqMTs: 3200, DateCode: "26-21", RowsPerBank: 128 * K,
+			MinHC: 12 * K, AvgHC: 42.2 * K, MaxHC: 96 * K, BER128: 2.2e-2, BERCV: 0.0065,
+			PeriodFrac: 0.33, ChunkCount: 12, ChunkWeight: 0.6, ScrambleOps: 6,
+		},
+		{
+			Label: "S0", Mfr: MfrS, Chips: 8, DensityGb: 8, DieRev: "B", Org: 8,
+			FreqMTs: 2666, DateCode: "52-20", RowsPerBank: 64 * K,
+			MinHC: 32 * K, AvgHC: 57.0 * K, MaxHC: 128 * K, BER128: 1.15e-3, BERCV: 0.0437,
+			PeriodFrac: 0.25, ChunkCount: 16, ChunkWeight: 0.9, ScrambleOps: 3,
+			Struct: []StructSpec{
+				{Kind: disturb.SubarrayBit, Bit: 0, Amp: 0.9},
+				{Kind: disturb.RowBit, Bit: 7, Amp: 0.5},
+				{Kind: disturb.RowBit, Bit: 8, Amp: 0.4},
+				{Kind: disturb.DistanceBit, Bit: 7, Amp: 0.3},
+			},
+		},
+		{
+			Label: "S1", Mfr: MfrS, Chips: 8, DensityGb: 8, DieRev: "B", Org: 8,
+			FreqMTs: 2666, DateCode: "52-20", RowsPerBank: 64 * K,
+			MinHC: 24 * K, AvgHC: 59.8 * K, MaxHC: 128 * K, BER128: 1.3e-3, BERCV: 0.0577,
+			PeriodFrac: 0.25, ChunkCount: 16, ChunkWeight: 0.9, ScrambleOps: 3,
+			Struct: []StructSpec{
+				{Kind: disturb.RowBit, Bit: 7, Amp: 0.5},
+				{Kind: disturb.RowBit, Bit: 8, Amp: 0.45},
+				{Kind: disturb.RowBit, Bit: 10, Amp: 0.4},
+				{Kind: disturb.RowBit, Bit: 12, Amp: 0.35},
+				{Kind: disturb.SubarrayBit, Bit: 0, Amp: 0.8},
+			},
+		},
+		{
+			Label: "S2", Mfr: MfrS, Chips: 8, DensityGb: 8, DieRev: "B", Org: 8,
+			FreqMTs: 2666, DateCode: "10-21", RowsPerBank: 64 * K,
+			MinHC: 12 * K, AvgHC: 42.7 * K, MaxHC: 96 * K, BER128: 1.3e-2, BERCV: 0.041,
+			PeriodFrac: 0.25, ChunkCount: 16, ChunkWeight: 0.9, ScrambleOps: 3,
+		},
+		{
+			Label: "S3", Mfr: MfrS, Chips: 8, DensityGb: 4, DieRev: "F", Org: 8,
+			FreqMTs: 2400, DateCode: "04-21", RowsPerBank: 32 * K,
+			MinHC: 16 * K, AvgHC: 59.2 * K, MaxHC: 128 * K, BER128: 1.9e-2, BERCV: 0.0299,
+			PeriodFrac: 0.25, ChunkCount: 12, ChunkWeight: 0.9, ScrambleOps: 3,
+			Struct: []StructSpec{
+				{Kind: disturb.RowBit, Bit: 10, Amp: 0.60},
+				{Kind: disturb.DistanceBit, Bit: 1, Amp: 0.4},
+				{Kind: disturb.DistanceBit, Bit: 2, Amp: 0.4},
+			},
+		},
+		{
+			Label: "S4", Mfr: MfrS, Chips: 16, DensityGb: 8, DieRev: "C", Org: 4,
+			FreqMTs: 2666, DateCode: "35-21", RowsPerBank: 128 * K,
+			MinHC: 12 * K, AvgHC: 55.4 * K, MaxHC: 128 * K, BER128: 1.25e-2, BERCV: 0.0365,
+			PeriodFrac: 0.25, ChunkCount: 16, ChunkWeight: 0.9, ScrambleOps: 3,
+			Struct: []StructSpec{
+				{Kind: disturb.SubarrayBit, Bit: 0, Amp: 0.62},
+			},
+		},
+	}
+}
+
+// SpecByLabel returns the Table 5 spec with the given label.
+func SpecByLabel(label string) (ModuleSpec, bool) {
+	for _, s := range Table5() {
+		if s.Label == label {
+			return s, true
+		}
+	}
+	return ModuleSpec{}, false
+}
+
+// TestedBanks returns the representative banks the paper sweeps, one per
+// bank group: 1, 4, 10, and 15 (§4.3).
+func TestedBanks() []int { return []int{1, 4, 10, 15} }

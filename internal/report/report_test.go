@@ -1,0 +1,49 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"svard/internal/charz"
+	"svard/internal/sim"
+	"svard/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := Table{Title: "T", Headers: []string{"a", "bbbb"}}
+	tab.Add("xxxxxx", "y")
+	out := tab.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "xxxxxx") {
+		t.Errorf("table output malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, row
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderersProduceAllRows(t *testing.T) {
+	t5 := Table5([]charz.Table5Row{{Label: "H0", Mfr: "SK Hynix", MinHC: 16384, AvgHC: 47309, MaxHC: 98304}})
+	if !strings.Contains(t5, "H0") || !strings.Contains(t5, "16.0K") {
+		t.Errorf("Table5 output:\n%s", t5)
+	}
+	f3 := Fig3(charz.Fig3Data{Label: "M1", CV: 0.08, Banks: []charz.Fig3Bank{{Bank: 1, Summary: stats.Summarize([]float64{1e-4, 2e-4})}}})
+	if !strings.Contains(f3, "M1") || !strings.Contains(f3, "8.00%") {
+		t.Errorf("Fig3 output:\n%s", f3)
+	}
+	f12 := Fig12("para", []sim.Fig12Cell{
+		{Defense: "para", NRH: 64, Config: "NoSvard", WS: 0.6, HS: 0.58, MS: 1.7},
+		{Defense: "rrs", NRH: 64, Config: "NoSvard", WS: 0.4},
+	})
+	if !strings.Contains(f12, "NoSvard") || strings.Contains(f12, "0.400") {
+		t.Errorf("Fig12 must filter by defense:\n%s", f12)
+	}
+	o15 := Obsv15([]sim.Fig12Cell{{Defense: "rrs", NRH: 64, Config: "Svard-S0", WS: 0.9}}, 64)
+	if !strings.Contains(o15, "10.00%") {
+		t.Errorf("Obsv15 overhead wrong:\n%s", o15)
+	}
+	f13 := Fig13([]sim.Fig13Cell{{Defense: "rrs", Config: "NoSvard", Slowdown: 2.5, RelToNoSvard: 1}})
+	if !strings.Contains(f13, "2.500") {
+		t.Errorf("Fig13 output:\n%s", f13)
+	}
+}

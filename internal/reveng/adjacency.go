@@ -1,0 +1,191 @@
+package reveng
+
+import (
+	"fmt"
+	"sort"
+
+	"svard/internal/dram"
+	"svard/internal/testbench"
+)
+
+// RecoverPhysicalOrder reverse-engineers the physical row order of a
+// bank with no knowledge of the mapping: every logical row is hammered
+// single-sided, all other rows are scanned for bitflips, the flipped
+// rows with dominant flip counts are classified as physical distance-1
+// neighbours, and the resulting adjacency graph — a disjoint union of
+// paths, one per subarray — is traversed into ordered chains.
+//
+// Each returned chain lists logical row addresses in consecutive
+// physical order (direction is unrecoverable, as on real silicon).
+// The cost is O(rows²) device reads; use small banks.
+func RecoverPhysicalOrder(b *testbench.Bench, bank, acts int, tAggOnNs float64) ([][]int, error) {
+	g := b.Dev.Geom
+	n := g.RowsPerBank
+	dev := b.Dev
+
+	initAll := func() error {
+		for l := 0; l < n; l++ {
+			if err := benchInitRow(b, bank, l, dram.RowStripe); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := initAll(); err != nil {
+		return nil, err
+	}
+
+	adj := make(map[int]map[int]bool, n)
+	addEdge := func(a, c int) {
+		if adj[a] == nil {
+			adj[a] = make(map[int]bool, 2)
+		}
+		if adj[c] == nil {
+			adj[c] = make(map[int]bool, 2)
+		}
+		adj[a][c] = true
+		adj[c][a] = true
+	}
+
+	for agg := 0; agg < n; agg++ {
+		if err := benchInitRow(b, bank, agg, dram.RowStripeInv); err != nil {
+			return nil, err
+		}
+		if err := dev.HammerSingleSided(bank, agg, acts, tAggOnNs); err != nil {
+			return nil, err
+		}
+		type hit struct{ row, flips int }
+		var hits []hit
+		for v := 0; v < n; v++ {
+			if v == agg {
+				continue
+			}
+			flips, err := benchReadFlips(b, bank, v)
+			if err != nil {
+				return nil, err
+			}
+			if flips > 0 {
+				hits = append(hits, hit{v, flips})
+			}
+		}
+		if len(hits) > 0 {
+			maxFlips := 0
+			for _, h := range hits {
+				if h.flips > maxFlips {
+					maxFlips = h.flips
+				}
+			}
+			for _, h := range hits {
+				// Distance-1 victims flip orders of magnitude more
+				// cells than distance-2 bystanders.
+				if h.flips*5 >= maxFlips && h.flips > 2 {
+					addEdge(agg, h.row)
+				}
+				// Clean the victim for subsequent aggressors.
+				if err := benchInitRow(b, bank, h.row, dram.RowStripe); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := benchInitRow(b, bank, agg, dram.RowStripe); err != nil {
+			return nil, err
+		}
+	}
+	return chainsFromAdjacency(adj, n)
+}
+
+// chainsFromAdjacency turns the adjacency graph into ordered row chains,
+// verifying it is a union of simple paths.
+func chainsFromAdjacency(adj map[int]map[int]bool, n int) ([][]int, error) {
+	visited := make(map[int]bool, n)
+	var chains [][]int
+	// Endpoints (degree 1) seed path traversals.
+	var endpoints []int
+	for row, nb := range adj {
+		switch len(nb) {
+		case 1:
+			endpoints = append(endpoints, row)
+		case 2:
+		default:
+			return nil, fmt.Errorf("reveng: row %d has %d physical neighbours; adjacency is not a path", row, len(nb))
+		}
+	}
+	sort.Ints(endpoints)
+	for _, start := range endpoints {
+		if visited[start] {
+			continue
+		}
+		chain := []int{start}
+		visited[start] = true
+		cur := start
+		for {
+			next := -1
+			for nb := range adj[cur] {
+				if !visited[nb] {
+					next = nb
+					break
+				}
+			}
+			if next < 0 {
+				break
+			}
+			visited[next] = true
+			chain = append(chain, next)
+			cur = next
+		}
+		chains = append(chains, chain)
+	}
+	// Isolated rows (single-row subarrays do not occur, but a row whose
+	// neighbours were all too strong to flip would surface here).
+	for row := 0; row < n; row++ {
+		if adj[row] == nil && !visited[row] {
+			chains = append(chains, []int{row})
+		}
+	}
+	return chains, nil
+}
+
+// MatchesMapping reports whether a recovered chain equals the physical
+// row sequence of some subarray under the device's true mapping, in
+// either direction. It is the validation oracle for tests and the
+// harness (real silicon has no such oracle, §5.4.1).
+func MatchesMapping(chain []int, mapping dram.RowMapping, g *dram.Geometry) bool {
+	if len(chain) == 0 {
+		return false
+	}
+	phys := make([]int, len(chain))
+	for i, l := range chain {
+		phys[i] = mapping.LogicalToPhysical(l)
+	}
+	ok := true
+	for i := 1; i < len(phys); i++ {
+		if phys[i] != phys[i-1]+1 {
+			ok = false
+			break
+		}
+	}
+	if !ok {
+		for i := 1; i < len(phys); i++ {
+			if phys[i] != phys[i-1]-1 {
+				return false
+			}
+		}
+	}
+	// The chain must span a whole subarray.
+	lo, hi := phys[0], phys[len(phys)-1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	sa := g.SubarrayOf(lo)
+	start, end := g.SubarrayBounds(sa)
+	return lo == start && hi == end-1
+}
+
+// benchInitRow/benchReadFlips re-use the bench's internal row helpers.
+func benchInitRow(b *testbench.Bench, bank, logical int, p dram.Pattern) error {
+	return b.InitRow(bank, logical, p)
+}
+
+func benchReadFlips(b *testbench.Bench, bank, logical int) (int, error) {
+	return b.ReadFlips(bank, logical)
+}

@@ -1,0 +1,214 @@
+package reveng
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"svard/internal/dram"
+	"svard/internal/stats"
+)
+
+// FeatureKind identifies one family of spatial features (§5.4.2): bits
+// of the bank address, the row address, the subarray index, and the
+// row's distance to its local sense amplifiers.
+type FeatureKind int
+
+// Feature kinds, in the paper's Table 3 column order.
+const (
+	BankBit FeatureKind = iota
+	RowAddrBit
+	SubarrayIdxBit
+	DistBit
+)
+
+func (k FeatureKind) String() string {
+	switch k {
+	case BankBit:
+		return "Ba"
+	case RowAddrBit:
+		return "Ro"
+	case SubarrayIdxBit:
+		return "Sa"
+	case DistBit:
+		return "Dist"
+	default:
+		return "?"
+	}
+}
+
+// Feature is one binary spatial feature: a single bit of one spatial
+// property.
+type Feature struct {
+	Kind FeatureKind
+	Bit  int
+}
+
+func (f Feature) String() string { return fmt.Sprintf("%s bit %d", f.Kind, f.Bit) }
+
+// FeatureScore is a feature with its HCfirst-prediction F1 score.
+type FeatureScore struct {
+	Feature Feature
+	F1      float64
+}
+
+// LevelFn returns a row's measured HCfirst class (index into the tested
+// hammer levels, with the censored class one past the last level).
+type LevelFn func(bank, physRow int) int
+
+// AllFeatures enumerates every spatial feature of a geometry: all bank
+// bits, row address bits, subarray index bits, and distance bits.
+func AllFeatures(g *dram.Geometry) []Feature {
+	var fs []Feature
+	for b := 0; b < bits.Len(uint(g.Banks()-1)); b++ {
+		fs = append(fs, Feature{BankBit, b})
+	}
+	for b := 0; b < bits.Len(uint(g.RowsPerBank-1)); b++ {
+		fs = append(fs, Feature{RowAddrBit, b})
+	}
+	nSub := g.Subarrays()
+	if nSub < 2 {
+		nSub = 2
+	}
+	for b := 0; b < bits.Len(uint(nSub-1)); b++ {
+		fs = append(fs, Feature{SubarrayIdxBit, b})
+	}
+	// Distance to sense amps spans up to half the largest subarray.
+	maxDist := 0
+	for i := 0; i < g.Subarrays(); i++ {
+		s, e := g.SubarrayBounds(i)
+		if d := (e - s) / 2; d > maxDist {
+			maxDist = d
+		}
+	}
+	if maxDist < 1 {
+		maxDist = 1
+	}
+	for b := 0; b < bits.Len(uint(maxDist)); b++ {
+		fs = append(fs, Feature{DistBit, b})
+	}
+	return fs
+}
+
+// featureValue extracts the feature bit for a (bank, physical row).
+func featureValue(f Feature, g *dram.Geometry, bank, row int) int {
+	switch f.Kind {
+	case BankBit:
+		return bank >> f.Bit & 1
+	case RowAddrBit:
+		return row >> f.Bit & 1
+	case SubarrayIdxBit:
+		return g.SubarrayOf(row) >> f.Bit & 1
+	case DistBit:
+		return g.DistanceToSenseAmps(row) >> f.Bit & 1
+	default:
+		return 0
+	}
+}
+
+// ScoreFeatures evaluates how well each spatial feature predicts HCfirst
+// (§5.4.2): rows are labelled weak or strong by splitting the measured
+// HCfirst levels at the module median, each feature's Bayes-optimal
+// single-bit classifier (majority label per feature value, fit on the
+// same rows) predicts the label, and the confusion matrix is scored with
+// the macro F1.
+//
+// The paper's exact prediction target among the 14 levels is not fully
+// specified; the median split is the calibration under which its
+// reported F1 landscape (most features below 0.7, the strongest at 0.77,
+// Table 3) is reproducible by a single-bit predictor — a 14-way target
+// caps any single bit far below the paper's scores. See EXPERIMENTS.md.
+func ScoreFeatures(g *dram.Geometry, banks []int, levelOf LevelFn, numLevels int, features []Feature) []FeatureScore {
+	// Cache per-row levels once; feature loops reuse them.
+	type rowRef struct{ bank, row int }
+	refs := make([]rowRef, 0, len(banks)*g.RowsPerBank)
+	levels := make([]int, 0, len(banks)*g.RowsPerBank)
+	for _, b := range banks {
+		for r := 0; r < g.RowsPerBank; r++ {
+			refs = append(refs, rowRef{b, r})
+			levels = append(levels, levelOf(b, r))
+		}
+	}
+	// Median split: weak = level strictly below the median level; pick
+	// the split closest to balanced among the level cut points.
+	hist := make([]int, numLevels+2)
+	for _, l := range levels {
+		if l >= 0 && l < len(hist) {
+			hist[l]++
+		}
+	}
+	n := len(levels)
+	bestCut, bestSkew := 1, n
+	acc := 0
+	for c := 1; c < len(hist); c++ {
+		acc += hist[c-1]
+		skew := acc - (n - acc)
+		if skew < 0 {
+			skew = -skew
+		}
+		if skew < bestSkew {
+			bestCut, bestSkew = c, skew
+		}
+	}
+	labels := make([]int, n)
+	for i, l := range levels {
+		if l < bestCut {
+			labels[i] = 1 // weak
+		}
+	}
+
+	scores := make([]FeatureScore, 0, len(features))
+	for _, f := range features {
+		var cnt [2][2]int // [featureValue][label]
+		vals := make([]uint8, len(refs))
+		for i, ref := range refs {
+			v := featureValue(f, g, ref.bank, ref.row)
+			vals[i] = uint8(v)
+			cnt[v][labels[i]]++
+		}
+		var pred [2]int
+		for v := 0; v < 2; v++ {
+			if cnt[v][1] > cnt[v][0] {
+				pred[v] = 1
+			}
+		}
+		cm := stats.NewConfusionMatrix(2)
+		for i := range refs {
+			cm.Add(labels[i], pred[vals[i]])
+		}
+		scores = append(scores, FeatureScore{Feature: f, F1: cm.F1()})
+	}
+	return scores
+}
+
+// FractionAbove returns, for each threshold, the fraction of features
+// whose F1 exceeds it — the y-axis of Fig. 9.
+func FractionAbove(scores []FeatureScore, thresholds []float64) []float64 {
+	out := make([]float64, len(thresholds))
+	if len(scores) == 0 {
+		return out
+	}
+	for i, th := range thresholds {
+		n := 0
+		for _, s := range scores {
+			if s.F1 > th {
+				n++
+			}
+		}
+		out[i] = float64(n) / float64(len(scores))
+	}
+	return out
+}
+
+// StrongFeatures returns the features with F1 above the threshold
+// (Table 3 uses 0.7), sorted by descending F1.
+func StrongFeatures(scores []FeatureScore, threshold float64) []FeatureScore {
+	var out []FeatureScore
+	for _, s := range scores {
+		if s.F1 > threshold {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].F1 > out[j].F1 })
+	return out
+}

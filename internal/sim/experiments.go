@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"fmt"
+
+	"svard/internal/metrics"
+	"svard/internal/profile"
+	"svard/internal/trace"
+)
+
+// Fig12Options parameterizes the Fig. 12 sweep: five defenses, with and
+// without Svärd (one configuration per representative manufacturer
+// profile), across worst-case HCfirst values from 4K down to 64.
+type Fig12Options struct {
+	Base     Config     // sizing knobs (cores, instructions, module scale)
+	Mixes    [][]string // workload mixes (paper: 120)
+	NRHs     []float64  // default 4K..64
+	Defenses []string   // default all five
+	Profiles []string   // default S0, M0, H1
+	Progress func(string)
+}
+
+// DefaultNRHs returns the paper's swept worst-case HCfirst values.
+func DefaultNRHs() []float64 {
+	return []float64{4096, 2048, 1024, 512, 256, 128, 64}
+}
+
+// Fig12Cell is one point of Fig. 12: a (defense, nRH, configuration)
+// with its three metrics averaged over mixes, plus the min-max span the
+// paper shades.
+type Fig12Cell struct {
+	Defense    string
+	NRH        float64
+	Config     string // "NoSvard", "Svard-S0", "Svard-M0", "Svard-H1"
+	WS, HS, MS float64
+	WSMin      float64
+	WSMax      float64
+	Violations uint64
+}
+
+// RunFig12 executes the sweep and returns cells in (defense, nRH,
+// config) order.
+func RunFig12(opt Fig12Options) ([]Fig12Cell, error) {
+	if len(opt.Mixes) == 0 {
+		opt.Mixes = trace.Mixes(4, opt.Base.Cores, opt.Base.Seed)
+	}
+	if len(opt.NRHs) == 0 {
+		opt.NRHs = DefaultNRHs()
+	}
+	if len(opt.Defenses) == 0 {
+		opt.Defenses = DefenseNames
+	}
+	if len(opt.Profiles) == 0 {
+		opt.Profiles = profile.RepresentativeLabels()
+	}
+	progress := opt.Progress
+	if progress == nil {
+		progress = func(string) {}
+	}
+
+	// Baselines: per (module, mix), defense-free.
+	type runKey struct {
+		module string
+		mix    int
+	}
+	baselines := map[runKey][]float64{}
+	for _, mod := range opt.Profiles {
+		for mi, mix := range opt.Mixes {
+			cfg := opt.Base
+			cfg.ModuleLabel = mod
+			cfg.Mix = mix
+			cfg.Defense = "none"
+			progress(fmt.Sprintf("baseline %s mix %d", mod, mi))
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			baselines[runKey{mod, mi}] = res.IPC
+		}
+	}
+
+	evalConfig := func(defense string, nrh float64, module string, svard bool) (Fig12Cell, error) {
+		cell := Fig12Cell{Defense: defense, NRH: nrh, WSMin: 2}
+		var wss, hss, mss []float64
+		for mi, mix := range opt.Mixes {
+			cfg := opt.Base
+			cfg.ModuleLabel = module
+			cfg.Mix = mix
+			cfg.Defense = defense
+			cfg.NRH = nrh
+			cfg.Svard = svard
+			res, err := Run(cfg)
+			if err != nil {
+				return cell, err
+			}
+			cell.Violations += res.Violations
+			base := baselines[runKey{module, mi}]
+			cores := make([]metrics.PerCore, len(res.IPC))
+			for i := range cores {
+				cores[i] = metrics.PerCore{BaselineIPC: base[i], IPC: res.IPC[i]}
+			}
+			wss = append(wss, metrics.WeightedSpeedup(cores))
+			hss = append(hss, metrics.HarmonicSpeedup(cores))
+			mss = append(mss, metrics.MaxSlowdown(cores))
+		}
+		cell.WS = mean(wss)
+		cell.HS = mean(hss)
+		cell.MS = mean(mss)
+		cell.WSMin, cell.WSMax = minMax(wss)
+		return cell, nil
+	}
+
+	var cells []Fig12Cell
+	for _, defense := range opt.Defenses {
+		for _, nrh := range opt.NRHs {
+			// No-Svärd: averaged over the three modules' chips (the
+			// defense sees only the single worst-case threshold).
+			var agg []Fig12Cell
+			for _, mod := range opt.Profiles {
+				progress(fmt.Sprintf("%s nRH=%v NoSvard (%s)", defense, nrh, mod))
+				c, err := evalConfig(defense, nrh, mod, false)
+				if err != nil {
+					return nil, err
+				}
+				agg = append(agg, c)
+			}
+			cells = append(cells, mergeCells(defense, nrh, "NoSvard", agg))
+			for _, mod := range opt.Profiles {
+				progress(fmt.Sprintf("%s nRH=%v Svard-%s", defense, nrh, mod))
+				c, err := evalConfig(defense, nrh, mod, true)
+				if err != nil {
+					return nil, err
+				}
+				c.Config = "Svard-" + mod
+				cells = append(cells, c)
+			}
+		}
+	}
+	return cells, nil
+}
+
+func mergeCells(defense string, nrh float64, config string, cs []Fig12Cell) Fig12Cell {
+	out := Fig12Cell{Defense: defense, NRH: nrh, Config: config, WSMin: 2}
+	for _, c := range cs {
+		out.WS += c.WS
+		out.HS += c.HS
+		out.MS += c.MS
+		out.Violations += c.Violations
+		if c.WSMin < out.WSMin {
+			out.WSMin = c.WSMin
+		}
+		if c.WSMax > out.WSMax {
+			out.WSMax = c.WSMax
+		}
+	}
+	n := float64(len(cs))
+	out.WS /= n
+	out.HS /= n
+	out.MS /= n
+	return out
+}
+
+// Fig13Cell is one bar of Fig. 13: the slowdown an adversarial access
+// pattern causes under a defense configuration, normalized to the
+// defense without Svärd.
+type Fig13Cell struct {
+	Defense      string
+	Config       string
+	Slowdown     float64 // mean benign-core slowdown vs the no-defense baseline
+	RelToNoSvard float64
+}
+
+// Fig13Options parameterizes the adversarial evaluation.
+type Fig13Options struct {
+	Base     Config
+	NRH      float64  // paper: 64
+	Benign   []string // 7 benign workloads joining the attacker
+	Profiles []string
+	Progress func(string)
+}
+
+// RunFig13 evaluates Hydra's and RRS's adversarial access patterns.
+func RunFig13(opt Fig13Options) ([]Fig13Cell, error) {
+	if opt.NRH == 0 {
+		opt.NRH = 64
+	}
+	if len(opt.Profiles) == 0 {
+		opt.Profiles = profile.RepresentativeLabels()
+	}
+	if len(opt.Benign) == 0 {
+		opt.Benign = []string{"mcf06", "lbm06", "ycsb-a", "tpcc", "h264dec", "milc06", "xz17"}
+	}
+	progress := opt.Progress
+	if progress == nil {
+		progress = func(string) {}
+	}
+	var cells []Fig13Cell
+	for _, defense := range []string{"hydra", "rrs"} {
+		mix := append([]string{"attack:" + defense}, opt.Benign...)
+		mix = mix[:opt.Base.Cores]
+		// Baseline and No-Svärd on the first representative module.
+		mod0 := opt.Profiles[0]
+		slowdown := func(module string, withDefense, svard bool) (float64, error) {
+			cfg := opt.Base
+			cfg.ModuleLabel = module
+			cfg.Mix = mix
+			cfg.NRH = opt.NRH
+			if withDefense {
+				cfg.Defense = defense
+				cfg.Svard = svard
+			} else {
+				cfg.Defense = "none"
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				return 0, err
+			}
+			// Mean IPC of the benign cores (core 0 is the attacker).
+			sum := 0.0
+			for i := 1; i < len(res.IPC); i++ {
+				sum += res.IPC[i]
+			}
+			return sum / float64(len(res.IPC)-1), nil
+		}
+		progress(defense + " baseline")
+		baseIPC, err := slowdown(mod0, false, false)
+		if err != nil {
+			return nil, err
+		}
+		progress(defense + " NoSvard")
+		noSvIPC, err := slowdown(mod0, true, false)
+		if err != nil {
+			return nil, err
+		}
+		noSv := baseIPC / noSvIPC
+		cells = append(cells, Fig13Cell{Defense: defense, Config: "NoSvard", Slowdown: noSv, RelToNoSvard: 1})
+		for _, mod := range opt.Profiles {
+			progress(defense + " Svard-" + mod)
+			ipc, err := slowdown(mod, true, true)
+			if err != nil {
+				return nil, err
+			}
+			sd := baseIPC / ipc
+			cells = append(cells, Fig13Cell{
+				Defense:      defense,
+				Config:       "Svard-" + mod,
+				Slowdown:     sd,
+				RelToNoSvard: sd / noSv,
+			})
+		}
+	}
+	return cells, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func minMax(xs []float64) (float64, float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,286 @@
+// Package sim assembles the full performance-evaluation system of §7.1
+// (Table 4): eight trace-driven cores with private LLCs, the FR-FCFS
+// memory controller, cycle-level DDR4 ranks, one of the five defenses
+// (with or without Svärd), and a security tracker that accounts read
+// disturbance under the scaled vulnerability profile.
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"svard/internal/core"
+	"svard/internal/cpu"
+	"svard/internal/disturb"
+	"svard/internal/dram"
+	"svard/internal/mem"
+	"svard/internal/memctrl"
+	"svard/internal/mitigation"
+	"svard/internal/mitigation/aqua"
+	"svard/internal/mitigation/blockhammer"
+	"svard/internal/mitigation/hydra"
+	"svard/internal/mitigation/para"
+	"svard/internal/mitigation/rrs"
+	"svard/internal/profile"
+	"svard/internal/trace"
+)
+
+// DefenseNames lists the evaluated defenses in Fig. 12's column order.
+var DefenseNames = []string{"aqua", "blockhammer", "hydra", "para", "rrs"}
+
+// Config describes one simulation.
+type Config struct {
+	CPUGHz float64
+	Cores  int
+	Core   cpu.Config
+
+	ModuleLabel string  // vulnerability profile source (Table 5 label)
+	RowsPerBank int     // scaled bank size (Table 4 uses 128K; see EXPERIMENTS.md)
+	CellsPerRow int     // scaled row width for the vulnerability model
+	NRH         float64 // target worst-case HCfirst after scaling (§7.1)
+
+	Defense string // "none", "aqua", "blockhammer", "hydra", "para", "rrs"
+	Svard   bool   // per-row thresholds instead of the worst case
+
+	Mix           []string // one workload (or "attack:hydra"/"attack:rrs") per core
+	InstrPerCore  uint64
+	WarmupPerCore uint64
+	MaxCycles     uint64
+	Seed          uint64
+
+	// WindowScale divides the 64 ms refresh window so that scaled-down
+	// runs span a representative number of defense counting windows; the
+	// acts-per-window to threshold ratio is what shapes every defense's
+	// behaviour (see EXPERIMENTS.md, "time scaling"). 1 = unscaled.
+	WindowScale float64
+}
+
+// DefaultConfig returns the Table 4 system with scaled-down workload
+// sizes (see EXPERIMENTS.md for the scaling rationale).
+func DefaultConfig() Config {
+	return Config{
+		CPUGHz:        3.2,
+		Cores:         8,
+		Core:          cpu.DefaultConfig(),
+		ModuleLabel:   "S0",
+		RowsPerBank:   8192,
+		CellsPerRow:   4096,
+		NRH:           1024,
+		Defense:       "none",
+		InstrPerCore:  200_000,
+		WarmupPerCore: 40_000,
+		MaxCycles:     80_000_000,
+		Seed:          1,
+		WindowScale:   64,
+	}
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	IPC        []float64
+	Cycles     uint64
+	MC         memctrl.Stats
+	Violations uint64
+	Finished   bool
+}
+
+// moduleCache memoizes calibrated modules and captured profiles, which
+// are reused across the hundreds of runs of an experiment sweep.
+var moduleCache = struct {
+	sync.Mutex
+	mods  map[string]*profile.Module
+	profs map[string]*profile.VulnProfile
+}{mods: map[string]*profile.Module{}, profs: map[string]*profile.VulnProfile{}}
+
+func buildModule(label string, rows, cells, banks int, seed uint64) (*profile.Module, *profile.VulnProfile, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d/%d", label, rows, cells, banks, seed)
+	moduleCache.Lock()
+	defer moduleCache.Unlock()
+	if m, ok := moduleCache.mods[key]; ok {
+		return m, moduleCache.profs[key], nil
+	}
+	spec, ok := profile.SpecByLabel(label)
+	if !ok {
+		return nil, nil, fmt.Errorf("sim: unknown module %q", label)
+	}
+	m, err := profile.BuildScaled(spec, seed, rows, cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Profile every bank the simulated system exposes so Svärd's
+	// per-bank lookups never fall back across banks (security).
+	all := make([]int, banks)
+	for i := range all {
+		all[i] = i
+	}
+	p := profile.Capture(m.NewModel(), label, all)
+	moduleCache.mods[key] = m
+	moduleCache.profs[key] = p
+	return m, p, nil
+}
+
+// buildDefense constructs the configured defense over thresholds th.
+func buildDefense(name string, si mitigation.SystemInfo, th core.Thresholds, cpuGHz float64) (mitigation.Defense, error) {
+	switch strings.ToLower(name) {
+	case "", "none":
+		return mitigation.Nop{}, nil
+	case "para":
+		return para.New(si, th), nil
+	case "blockhammer":
+		return blockhammer.New(si, th), nil
+	case "hydra":
+		return hydra.New(si, th), nil
+	case "rrs":
+		return rrs.New(si, th, cpuGHz), nil
+	case "aqua":
+		return aqua.New(si, th, cpuGHz), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown defense %q", name)
+	}
+}
+
+// port adapts the controller to the core's MemPort.
+type port struct {
+	mc    *memctrl.Controller
+	cycle *uint64
+	core  int
+}
+
+func (p port) Read(addr uint64, done func(uint64), cycle uint64) bool {
+	return p.mc.EnqueueRead(&memctrl.Request{Addr: addr, Core: p.core, Done: done}, cycle)
+}
+
+func (p port) Write(addr uint64, cycle uint64) bool {
+	return p.mc.EnqueueWrite(&memctrl.Request{Addr: addr, Core: p.core}, cycle)
+}
+
+// generatorFor builds the trace generator for one core slot; uncached
+// marks clflush-style attacker cores whose accesses bypass the LLC.
+func (c *Config) generatorFor(mcCfg memctrl.Config, slot int, name string) (gen cpu.Generator, uncached bool, err error) {
+	base := uint64(slot) << 34
+	// One MC row spans this many bytes of the MOP-interleaved address
+	// space before the row index increments within a bank.
+	rowSpan := uint64(mcCfg.MOPWidth) * 64 * uint64(mcCfg.BankGroups*mcCfg.BanksPerGroup*mcCfg.Ranks) *
+		uint64(mcCfg.RowBytes/64/mcCfg.MOPWidth)
+	switch name {
+	case "attack:hydra":
+		count := uint64(2 * hydra.RCCEntries)
+		if max := uint64(mcCfg.RowsPerBank / 2); count > max {
+			count = max
+		}
+		return &trace.RowCycler{Base: base, Stride: rowSpan, Count: count}, true, nil
+	case "attack:rrs":
+		return &trace.PairHammer{A: base, B: base + 4*rowSpan}, true, nil
+	default:
+		w, ok := trace.ByName(name)
+		if !ok {
+			return nil, false, fmt.Errorf("sim: unknown workload %q", name)
+		}
+		return trace.NewSynth(w, base, c.Seed+uint64(slot)*977), false, nil
+	}
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (Result, error) {
+	if cfg.Cores <= 0 || len(cfg.Mix) != cfg.Cores {
+		return Result{}, fmt.Errorf("sim: mix has %d entries for %d cores", len(cfg.Mix), cfg.Cores)
+	}
+	mcCfg := memctrl.DefaultConfig(cfg.RowsPerBank)
+	mcCfg.CPUGHz = cfg.CPUGHz
+	banks := mcCfg.Ranks * mcCfg.BankGroups * mcCfg.BanksPerGroup
+
+	mod, prof, err := buildModule(cfg.ModuleLabel, cfg.RowsPerBank, cfg.CellsPerRow, banks, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	scaled := prof.ScaledTo(cfg.NRH)
+
+	var th core.Thresholds
+	if cfg.Svard {
+		sv, err := core.New(scaled)
+		if err != nil {
+			return Result{}, err
+		}
+		th = sv
+	} else {
+		th = core.Fixed(cfg.NRH)
+	}
+
+	timing := mem.CyclesFrom(dram.DDR4Timing(mod.Spec.FreqMTs), cfg.CPUGHz)
+	if cfg.WindowScale > 1 {
+		// Shrink the refresh window (and with it every defense's
+		// counting window and the per-REF restore slice) so short runs
+		// cover representative window dynamics.
+		timing.REFW = uint64(float64(timing.REFW) / cfg.WindowScale)
+		if timing.REFW < 4*timing.REFI {
+			timing.REFW = 4 * timing.REFI
+		}
+	}
+	si := mitigation.SystemInfo{
+		Banks:       banks,
+		RowsPerBank: cfg.RowsPerBank,
+		REFWCycles:  timing.REFW,
+		Seed:        cfg.Seed,
+	}
+	def, err := buildDefense(cfg.Defense, si, th, cfg.CPUGHz)
+	if err != nil {
+		return Result{}, err
+	}
+
+	model := disturb.NewModel(mod.Params, mod.Geom)
+	tracker := newSecTracker(model, scaled.Factor, cfg.CPUGHz, banks, mcCfg.BankGroups*mcCfg.BanksPerGroup)
+	mc := memctrl.New(mcCfg, timing, def, tracker)
+
+	var cycle uint64
+	cores := make([]*cpu.Core, cfg.Cores)
+	for i := range cores {
+		gen, uncached, err := cfg.generatorFor(mcCfg, i, cfg.Mix[i])
+		if err != nil {
+			return Result{}, err
+		}
+		coreCfg := cfg.Core
+		coreCfg.Uncached = uncached
+		cores[i] = cpu.New(i, coreCfg, gen, port{mc: mc, cycle: &cycle, core: i})
+		cores[i].WarmupTarget = cfg.WarmupPerCore
+		cores[i].MeasureTarget = cfg.InstrPerCore
+	}
+
+	finished := false
+	for cycle = 0; cycle < cfg.MaxCycles; cycle++ {
+		mc.Tick(cycle)
+		for _, c := range cores {
+			c.Tick(cycle)
+		}
+		if cycle%1024 == 0 {
+			done := true
+			for _, c := range cores {
+				if !c.Finished() {
+					done = false
+					break
+				}
+			}
+			if done {
+				finished = true
+				break
+			}
+		}
+	}
+
+	res := Result{
+		IPC:        make([]float64, cfg.Cores),
+		Cycles:     cycle,
+		MC:         mc.Stats,
+		Violations: tracker.Violations,
+		Finished:   finished,
+	}
+	for i, c := range cores {
+		if c.Finished() {
+			res.IPC[i] = c.IPC()
+		} else if cycle > 0 {
+			// Truncated run: use progress so far.
+			res.IPC[i] = float64(c.Retired) / float64(cycle)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// mix4 returns a small representative mix.
+func mix4() []string {
+	return []string{"mcf06", "lbm06", "ycsb-a", "tpcc"}
+}
+
+func smokeCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Cores = 4
+	cfg.Mix = mix4()
+	cfg.InstrPerCore = 60_000
+	cfg.WarmupPerCore = 10_000
+	return cfg
+}
+
+func TestSmokeBaselineRuns(t *testing.T) {
+	t0 := time.Now()
+	res, err := Run(smokeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline: cycles=%d acts=%d reads=%d rowhits=%d ipc=%v elapsed=%v",
+		res.Cycles, res.MC.Acts, res.MC.Reads, res.MC.RowHits, res.IPC, time.Since(t0))
+	if !res.Finished {
+		t.Fatalf("baseline did not finish in %d cycles", res.Cycles)
+	}
+	for i, ipc := range res.IPC {
+		if ipc <= 0 || ipc > 4 {
+			t.Errorf("core %d IPC = %v", i, ipc)
+		}
+	}
+	if res.MC.Reads == 0 {
+		t.Error("no memory reads reached DRAM")
+	}
+}
+
+func TestSmokeDefensesRun(t *testing.T) {
+	for _, d := range DefenseNames {
+		d := d
+		t.Run(d, func(t *testing.T) {
+			cfg := smokeCfg()
+			cfg.Defense = d
+			cfg.NRH = 1024
+			t0 := time.Now()
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: cycles=%d victims=%d migr=%d meta=%d throttle=%d viol=%d elapsed=%v",
+				d, res.Cycles, res.MC.VictimRefreshes, res.MC.Migrations, res.MC.MetaReads,
+				res.MC.ThrottleStalls, res.Violations, time.Since(t0))
+			if res.Violations != 0 {
+				t.Errorf("%s at nRH=1024: %d bitflip violations", d, res.Violations)
+			}
+		})
+	}
+}

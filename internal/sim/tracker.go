@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"math"
+
+	"svard/internal/disturb"
+)
+
+// secTracker implements memctrl.Tracker: it accounts read disturbance
+// accrual for every row under the scaled vulnerability model and counts
+// security violations (a row crossing its scaled true HCfirst without a
+// restore). A correctly configured defense must keep this at zero; the
+// defense-free baseline at low thresholds must not (tests assert both).
+type secTracker struct {
+	model  *disturb.Model
+	factor float64 // profile scaling factor (§7.1 future-chip scaling)
+	cpuGHz float64
+
+	rows         int
+	banksPerRank int
+	cur          [][]float32 // accrued effective hammers per (bank, row)
+	hcCache      [][]float32 // scaled true HCfirst, lazily computed; 0 = unset
+
+	Violations uint64
+	acts       uint64
+}
+
+func newSecTracker(model *disturb.Model, factor, cpuGHz float64, banks, banksPerRank int) *secTracker {
+	rows := model.Geom.RowsPerBank
+	t := &secTracker{
+		model:        model,
+		factor:       factor,
+		cpuGHz:       cpuGHz,
+		rows:         rows,
+		banksPerRank: banksPerRank,
+		cur:          make([][]float32, banks),
+		hcCache:      make([][]float32, banks),
+	}
+	for b := range t.cur {
+		t.cur[b] = make([]float32, rows)
+		t.hcCache[b] = make([]float32, rows)
+	}
+	return t
+}
+
+func (t *secTracker) hcFirst(bank, row int) float32 {
+	if v := t.hcCache[bank][row]; v != 0 {
+		return v
+	}
+	v := float32(t.model.HCFirst(bank, row) * t.factor)
+	if v == 0 {
+		v = math.SmallestNonzeroFloat32
+	}
+	t.hcCache[bank][row] = v
+	return v
+}
+
+// OnAct: opening a row restores its own cells.
+func (t *secTracker) OnAct(bank, row int, cycle uint64) {
+	t.cur[bank][row] = 0
+	t.acts++
+}
+
+// OnPre: the closing row disturbed its neighbours for its whole on-time
+// (RowHammer per activation + RowPress per on-time).
+func (t *secTracker) OnPre(bank, row int, onCycles uint64) {
+	onNs := float64(onCycles) / t.cpuGHz
+	g := t.model.Geom
+	for _, d := range [...]int{-2, -1, 1, 2} {
+		v := row + d
+		if v < 0 || v >= t.rows || !g.SameSubarray(row, v) {
+			continue
+		}
+		w := 0.5
+		if d == -2 || d == 2 {
+			w *= t.model.P.BlastDecay
+		}
+		acc := t.cur[bank][v] + float32(w*t.model.PressFactor(bank, v, onNs))
+		if acc >= t.hcFirst(bank, v) {
+			t.Violations++
+			acc = 0 // count each crossing once; the row has flipped
+		}
+		t.cur[bank][v] = acc
+	}
+}
+
+// OnRefresh: REF restored a slice of rows in every bank of the rank.
+func (t *secTracker) OnRefresh(rank, firstRow, count int) {
+	base := rank * t.banksPerRank
+	for b := base; b < base+t.banksPerRank && b < len(t.cur); b++ {
+		for i := 0; i < count; i++ {
+			t.cur[b][(firstRow+i)%t.rows] = 0
+		}
+	}
+}
+
+// OnRowsSwapped: a migration rewrites both rows.
+func (t *secTracker) OnRowsSwapped(bank, a, b int) {
+	t.cur[bank][a] = 0
+	t.cur[bank][b] = 0
+}

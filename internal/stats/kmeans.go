@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+
+	"svard/internal/rng"
+)
+
+// KMeansResult holds the outcome of a k-means clustering run.
+type KMeansResult struct {
+	K          int
+	Centroids  [][]float64
+	Assignment []int // cluster index per input point
+	Inertia    float64
+}
+
+// KMeans clusters points (each a d-dimensional vector) into k clusters
+// using Lloyd's algorithm with k-means++ style seeding drawn from the
+// provided deterministic stream. maxIter bounds the Lloyd iterations.
+//
+// This is the clustering primitive behind the paper's subarray reverse
+// engineering (§5.4.1, Key Insight 1): DRAM rows are clustered by row
+// address and single-sided disturbance footprint, and the silhouette
+// score selects the number of subarrays.
+func KMeans(points [][]float64, k, maxIter int, r *rng.Rand) KMeansResult {
+	n := len(points)
+	if n == 0 || k <= 0 {
+		return KMeansResult{K: k}
+	}
+	if k > n {
+		k = n
+	}
+	d := len(points[0])
+	centroids := seedPlusPlus(points, k, r)
+	assign := make([]int, n)
+	counts := make([]int, k)
+	sums := make([][]float64, k)
+	for i := range sums {
+		sums[i] = make([]float64, d)
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				dist := sqDist(p, centroids[c])
+				if dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				changed = changed || assign[i] != best
+				assign[i] = best
+			}
+		}
+		if iter > 0 && !changed {
+			break
+		}
+		for c := range sums {
+			counts[c] = 0
+			for j := range sums[c] {
+				sums[c][j] = 0
+			}
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				sums[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster on a random point to avoid
+				// degenerate solutions.
+				copy(centroids[c], points[r.Intn(n)])
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+	}
+
+	inertia := 0.0
+	for i, p := range points {
+		inertia += sqDist(p, centroids[assign[i]])
+	}
+	return KMeansResult{K: k, Centroids: centroids, Assignment: assign, Inertia: inertia}
+}
+
+func seedPlusPlus(points [][]float64, k int, r *rng.Rand) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	first := append([]float64(nil), points[r.Intn(n)]...)
+	centroids = append(centroids, first)
+	dist := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			dist[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points coincide with centroids: duplicate one.
+			centroids = append(centroids, append([]float64(nil), points[r.Intn(n)]...))
+			continue
+		}
+		target := r.Float64() * total
+		acc := 0.0
+		idx := n - 1
+		for i, d := range dist {
+			acc += d
+			if acc >= target {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[idx]...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Silhouette returns the simplified (centroid-based) silhouette score of
+// a clustering: for each point, a is the distance to its own centroid and
+// b the distance to the nearest other centroid; the score is the mean of
+// (b-a)/max(a,b). The score lies in [-1, 1]; higher is better. With
+// fewer than two non-empty clusters the score is 0.
+//
+// The exact pairwise silhouette is O(n²); the centroid form is O(n·k) and
+// preserves the property the paper exploits (Fig. 8): the score peaks at
+// the true cluster count and decays monotonically past it.
+func Silhouette(points [][]float64, res KMeansResult) float64 {
+	if len(points) == 0 || res.K < 2 || len(res.Assignment) != len(points) {
+		return 0
+	}
+	nonEmpty := make(map[int]bool)
+	for _, a := range res.Assignment {
+		nonEmpty[a] = true
+	}
+	if len(nonEmpty) < 2 {
+		return 0
+	}
+	total := 0.0
+	for i, p := range points {
+		own := math.Sqrt(sqDist(p, res.Centroids[res.Assignment[i]]))
+		other := math.Inf(1)
+		for c := range res.Centroids {
+			if c == res.Assignment[i] || !nonEmpty[c] {
+				continue
+			}
+			if d := math.Sqrt(sqDist(p, res.Centroids[c])); d < other {
+				other = d
+			}
+		}
+		denom := math.Max(own, other)
+		if denom == 0 {
+			continue // coincident point and both centroids: contributes 0
+		}
+		total += (other - own) / denom
+	}
+	return total / float64(len(points))
+}

@@ -1,0 +1,295 @@
+// Package testbench is the DRAM-Bender equivalent: it drives a
+// command-level dram.Device through the paper's test programs (Alg. 1):
+// double-sided hammering, BER measurement, worst-case data pattern
+// search, the 14-level hammer count sweep, single-sided footprint tests
+// for subarray reverse engineering, and RowClone probes.
+//
+// Interference elimination follows §4.1: refresh stays disabled during
+// test programs, every measurement's execution time is checked against
+// the refresh window (retention budget), and the device model has no ECC
+// to mask bitflips.
+package testbench
+
+import (
+	"fmt"
+
+	"svard/internal/dram"
+)
+
+// TemperatureControl is implemented by disturbance models whose
+// behaviour depends on chip temperature; the bench acts as the PID
+// temperature controller holding the set point.
+type TemperatureControl interface {
+	SetTemperature(c float64)
+}
+
+// Bench wires a device to the test programs.
+type Bench struct {
+	Dev *dram.Device
+	// EnforceBudget aborts measurements that would exceed the refresh
+	// window (data retention would interfere with read disturbance).
+	EnforceBudget bool
+
+	temp TemperatureControl
+}
+
+// New builds a bench over dev. temp may be nil when the attached sink
+// has no temperature dependence.
+func New(dev *dram.Device, temp TemperatureControl) *Bench {
+	dev.SetRefreshEnabled(false)
+	return &Bench{Dev: dev, EnforceBudget: true, temp: temp}
+}
+
+// SetTemperature moves the heater set point (±0.5 °C in the real rig;
+// exact here).
+func (b *Bench) SetTemperature(c float64) {
+	if b.temp != nil {
+		b.temp.SetTemperature(c)
+	}
+}
+
+// BudgetError reports a measurement whose execution time would exceed
+// the refresh window, so data retention could interfere with read
+// disturbance (§4.1, second measure).
+type BudgetError struct {
+	NeedNs, BudgetNs float64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("testbench: measurement needs %.2f ms, refresh window is %.2f ms",
+		e.NeedNs/1e6, e.BudgetNs/1e6)
+}
+
+// AggressorRows returns the logical addresses of the two rows physically
+// adjacent to the victim (the reverse-engineered double-sided aggressor
+// pair, §4.3 "Finding Physically Adjacent Rows"). It fails when the
+// victim sits at a subarray edge, where it has no same-subarray
+// neighbour on one side.
+func (b *Bench) AggressorRows(bank, victimLogical int) (lo, hi int, err error) {
+	g := b.Dev.Geom
+	vp := b.Dev.Map.LogicalToPhysical(victimLogical)
+	if vp-1 < 0 || vp+1 >= g.RowsPerBank ||
+		!g.SameSubarray(vp, vp-1) || !g.SameSubarray(vp, vp+1) {
+		return 0, 0, fmt.Errorf("testbench: victim %d (phys %d) has no double-sided aggressors", victimLogical, vp)
+	}
+	return b.Dev.Map.PhysicalToLogical(vp - 1), b.Dev.Map.PhysicalToLogical(vp + 1), nil
+}
+
+// InitRow activates a row, writes the pattern across it, and precharges.
+func (b *Bench) InitRow(bank, logicalRow int, p dram.Pattern) error {
+	return b.initRow(bank, logicalRow, p)
+}
+
+// ReadFlips activates a row, reads it back, and returns the number of
+// cells that differ from the last written pattern.
+func (b *Bench) ReadFlips(bank, logicalRow int) (int, error) {
+	return b.readFlips(bank, logicalRow)
+}
+
+// initRow activates a row, writes the pattern across it, and precharges.
+func (b *Bench) initRow(bank, logicalRow int, p dram.Pattern) error {
+	d := b.Dev
+	if err := d.Activate(bank, logicalRow); err != nil {
+		return err
+	}
+	d.Wait(d.Tim.TRCD)
+	if err := d.WriteOpenRow(bank, p); err != nil {
+		return err
+	}
+	if left := d.Tim.TRAS - d.Tim.TRCD; left > 0 {
+		d.Wait(left)
+	}
+	if err := d.Precharge(bank); err != nil {
+		return err
+	}
+	d.Wait(d.Tim.TRP)
+	return nil
+}
+
+// readFlips activates a row, reads it back, counts mismatches against
+// the last written pattern, and precharges.
+func (b *Bench) readFlips(bank, logicalRow int) (int, error) {
+	d := b.Dev
+	if err := d.Activate(bank, logicalRow); err != nil {
+		return 0, err
+	}
+	d.Wait(d.Tim.TRCD)
+	n, _, err := d.ReadOpenRowFlips(bank, false)
+	if err != nil {
+		return 0, err
+	}
+	d.Wait(d.Tim.TRTP) // read-to-precharge
+	if err := d.Precharge(bank); err != nil {
+		return 0, err
+	}
+	d.Wait(d.Tim.TRP)
+	return n, nil
+}
+
+// hammerTimeNs returns the wall-clock a double-sided hammer run takes.
+func (b *Bench) hammerTimeNs(pairs int, tAggOnNs float64) float64 {
+	per := b.Dev.Tim.TCK + tAggOnNs + b.Dev.Tim.TCK + b.Dev.Tim.TRP
+	return float64(2*pairs) * per
+}
+
+// MeasureBER is Alg. 1's measure_BER: initialize the victim with the
+// pattern and the aggressors with its inverse, hammer double-sided hc
+// times with the given aggressor on-time, read the victim back, and
+// return the bit error rate.
+func (b *Bench) MeasureBER(bank, victimLogical int, p dram.Pattern, hc int, tAggOnNs float64) (float64, error) {
+	lo, hi, err := b.AggressorRows(bank, victimLogical)
+	if err != nil {
+		return 0, err
+	}
+	if b.EnforceBudget {
+		if need := b.hammerTimeNs(hc, tAggOnNs); need > b.Dev.Tim.TREFW {
+			return 0, &BudgetError{NeedNs: need, BudgetNs: b.Dev.Tim.TREFW}
+		}
+	}
+	if err := b.initRow(bank, victimLogical, p); err != nil {
+		return 0, err
+	}
+	inv := p.Inverse()
+	if err := b.initRow(bank, lo, inv); err != nil {
+		return 0, err
+	}
+	if err := b.initRow(bank, hi, inv); err != nil {
+		return 0, err
+	}
+	if err := b.Dev.HammerDoubleSided(bank, lo, hi, hc, tAggOnNs); err != nil {
+		return 0, err
+	}
+	flips, err := b.readFlips(bank, victimLogical)
+	if err != nil {
+		return 0, err
+	}
+	return float64(flips) / float64(b.Dev.Geom.CellsPerRow), nil
+}
+
+// FindWCDP sweeps the six data patterns of Table 2 at the given hammer
+// count (the paper uses 128K) and returns the pattern with the largest
+// BER, plus that BER.
+func (b *Bench) FindWCDP(bank, victimLogical, hc int, tAggOnNs float64) (dram.Pattern, float64, error) {
+	best := dram.RowStripe
+	bestBER := -1.0
+	for _, p := range dram.AllPatterns {
+		ber, err := b.MeasureBER(bank, victimLogical, p, hc, tAggOnNs)
+		if err != nil {
+			return 0, 0, err
+		}
+		if ber > bestBER {
+			best, bestBER = p, ber
+		}
+	}
+	return best, bestBER, nil
+}
+
+// SweepResult is the outcome of a hammer-count sweep on one victim row.
+type SweepResult struct {
+	WCDP dram.Pattern
+	// FirstFlipIdx is the index of the smallest tested level that
+	// produced a bitflip; len(levels) when no tested level flipped the
+	// row (right-censored).
+	FirstFlipIdx int
+	// TestedUpTo is the number of levels actually run; sweeps stop early
+	// at the first flip, and the retention budget can censor long
+	// RowPress runs before the top level.
+	TestedUpTo int
+	// BER per tested level (zero beyond TestedUpTo).
+	BER []float64
+}
+
+// MeasureHCFirst runs Alg. 1's per-row core: find the WCDP at
+// levels[len-1], then sweep the levels ascending and record the first
+// level that flips the row.
+func (b *Bench) MeasureHCFirst(bank, victimLogical int, levels []float64, tAggOnNs float64) (SweepResult, error) {
+	res := SweepResult{FirstFlipIdx: len(levels), BER: make([]float64, len(levels))}
+	// The WCDP search runs at the minimum on-time: at long RowPress
+	// on-times a 128K-hammer run would not fit the retention budget.
+	wcdp, _, err := b.FindWCDP(bank, victimLogical, int(levels[len(levels)-1]), b.Dev.Tim.TRAS)
+	if err != nil {
+		return res, err
+	}
+	res.WCDP = wcdp
+	for i, hc := range levels {
+		if b.EnforceBudget {
+			if need := b.hammerTimeNs(int(hc), tAggOnNs); need > b.Dev.Tim.TREFW {
+				break // censored by the retention budget (long RowPress runs)
+			}
+		}
+		ber, err := b.MeasureBER(bank, victimLogical, wcdp, int(hc), tAggOnNs)
+		if err != nil {
+			return res, err
+		}
+		res.BER[i] = ber
+		res.TestedUpTo = i + 1
+		if ber > 0 {
+			res.FirstFlipIdx = i
+			break
+		}
+	}
+	return res, nil
+}
+
+// SingleSidedFootprint hammers one row single-sided and reports which of
+// the candidate physical neighbours (distance 1 and 2 on both sides)
+// experienced bitflips — the per-row signal behind subarray boundary
+// detection (§5.4.1, Key Insight 1).
+func (b *Bench) SingleSidedFootprint(bank, aggLogical, acts int, tAggOnNs float64) (victims []int, err error) {
+	g := b.Dev.Geom
+	aggPhys := b.Dev.Map.LogicalToPhysical(aggLogical)
+	var candidates []int
+	for _, d := range [...]int{-2, -1, 1, 2} {
+		if v := aggPhys + d; v >= 0 && v < g.RowsPerBank {
+			candidates = append(candidates, v)
+		}
+	}
+	// Initialize aggressor and candidates with opposite stripes.
+	if err := b.initRow(bank, aggLogical, dram.RowStripe.Inverse()); err != nil {
+		return nil, err
+	}
+	for _, v := range candidates {
+		if err := b.initRow(bank, b.Dev.Map.PhysicalToLogical(v), dram.RowStripe); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.Dev.HammerSingleSided(bank, aggLogical, acts, tAggOnNs); err != nil {
+		return nil, err
+	}
+	for _, v := range candidates {
+		flips, err := b.readFlips(bank, b.Dev.Map.PhysicalToLogical(v))
+		if err != nil {
+			return nil, err
+		}
+		if flips > 0 {
+			victims = append(victims, v)
+		}
+	}
+	return victims, nil
+}
+
+// RowCloneSucceeds probes whether an intra-subarray RowClone works for
+// the (src, dst) pair: write a known pattern to src, a different one to
+// dst, attempt the clone, and read dst back. A clean copy of src's data
+// means success (§5.4.1, Key Insight 2).
+func (b *Bench) RowCloneSucceeds(bank, srcLogical, dstLogical int) (bool, error) {
+	if err := b.initRow(bank, srcLogical, dram.RowStripe); err != nil {
+		return false, err
+	}
+	if err := b.initRow(bank, dstLogical, dram.ColStripe); err != nil {
+		return false, err
+	}
+	if _, err := b.Dev.TryRowClone(bank, srcLogical, dstLogical); err != nil {
+		return false, err
+	}
+	b.Dev.Wait(b.Dev.Tim.TRP)
+	flips, err := b.readFlips(bank, dstLogical)
+	if err != nil {
+		return false, err
+	}
+	if flips > 0 {
+		return false, nil
+	}
+	p, written := b.Dev.PatternOf(bank, dstLogical)
+	return written && p == dram.RowStripe, nil
+}

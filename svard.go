@@ -1,0 +1,123 @@
+// Package svard is the public API of the Svärd reproduction: the
+// HPCA 2024 paper "Spatial Variation-Aware Read Disturbance Defenses"
+// rebuilt as a Go library.
+//
+// The package exposes three layers:
+//
+//   - Chip modelling and characterization: build any of the paper's 15
+//     DDR4 modules (Table 5) as a calibrated device model, hammer it
+//     through a DRAM-Bender-style testbench, and capture per-row read
+//     disturbance vulnerability profiles.
+//   - Svärd itself: per-row activation budgets served from a captured
+//     profile, pluggable into any of the five implemented defenses
+//     (AQUA, BlockHammer, Hydra, PARA, RRS).
+//   - The evaluation harness: the cycle-level 8-core/DDR4 system of
+//     Table 4 and the experiment drivers that regenerate the paper's
+//     tables and figures.
+//
+// See the examples/ directory for runnable walkthroughs and
+// EXPERIMENTS.md for the full experiment index.
+package svard
+
+import (
+	"fmt"
+
+	"svard/internal/core"
+	"svard/internal/disturb"
+	"svard/internal/dram"
+	"svard/internal/profile"
+	"svard/internal/sim"
+	"svard/internal/testbench"
+)
+
+// Re-exported types of the public API surface.
+type (
+	// Module is a calibrated DDR4 module: geometry, in-DRAM row
+	// scrambling, and a disturbance parameter set matching its Table 5
+	// and Fig. 3 targets.
+	Module = profile.Module
+	// ModuleSpec is a Table 5 module description.
+	ModuleSpec = profile.ModuleSpec
+	// VulnProfile is a captured per-row vulnerability profile.
+	VulnProfile = profile.VulnProfile
+	// ScaledProfile is a profile scaled to a future-chip threshold.
+	ScaledProfile = profile.ScaledProfile
+	// Model is the read disturbance physics of one module.
+	Model = disturb.Model
+	// Device is a command-level DDR4 device (ACT/PRE/RD/WR/REF).
+	Device = dram.Device
+	// Bench is the DRAM-Bender-style testbench.
+	Bench = testbench.Bench
+	// Svard serves per-row activation budgets to defenses.
+	Svard = core.Svard
+	// Thresholds abstracts Svärd and the fixed worst-case baseline.
+	Thresholds = core.Thresholds
+	// SimConfig configures one full-system performance simulation.
+	SimConfig = sim.Config
+	// SimResult is a simulation outcome.
+	SimResult = sim.Result
+)
+
+// Fixed is the profile-oblivious threshold configuration.
+func Fixed(nRH float64) Thresholds { return core.Fixed(nRH) }
+
+// ModuleLabels lists the 15 modules of Table 5.
+func ModuleLabels() []string {
+	specs := profile.Table5()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// BuildModule builds a full-size calibrated module by Table 5 label.
+func BuildModule(label string, seed uint64) (*Module, error) {
+	spec, ok := profile.SpecByLabel(label)
+	if !ok {
+		return nil, fmt.Errorf("svard: unknown module %q (see ModuleLabels)", label)
+	}
+	return profile.Build(spec, seed)
+}
+
+// BuildModuleScaled builds a module with a smaller bank, for fast
+// experimentation with identical calibration targets.
+func BuildModuleScaled(label string, seed uint64, rowsPerBank, cellsPerRow int) (*Module, error) {
+	spec, ok := profile.SpecByLabel(label)
+	if !ok {
+		return nil, fmt.Errorf("svard: unknown module %q (see ModuleLabels)", label)
+	}
+	return profile.BuildScaled(spec, seed, rowsPerBank, cellsPerRow)
+}
+
+// NewBench mounts a module on the testbench, as the characterization
+// infrastructure does (§4.1): device plus temperature control, with the
+// retention-window budget enforced.
+func NewBench(m *Module) (*Bench, *Model, error) {
+	dev, model, err := m.NewDevice()
+	if err != nil {
+		return nil, nil, err
+	}
+	return testbench.New(dev, model), model, nil
+}
+
+// CaptureProfile profiles the paper's four tested banks of a module.
+func CaptureProfile(m *Module) *VulnProfile {
+	return profile.Capture(m.NewModel(), m.Spec.Label, profile.TestedBanks())
+}
+
+// NewSvard builds the Svärd mechanism over a profile scaled so its
+// worst-case threshold equals nRH (§7.1's future-chip scaling).
+func NewSvard(p *VulnProfile, nRH float64) (*Svard, error) {
+	return core.New(p.ScaledTo(nRH))
+}
+
+// HammerLevels returns the paper's 14 tested hammer counts.
+func HammerLevels() []float64 { return disturb.HammerLevels() }
+
+// DefaultSimConfig returns the Table 4 evaluation system with
+// scaled-down run lengths (see EXPERIMENTS.md).
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// RunSim executes one full-system simulation.
+func RunSim(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }

@@ -1,0 +1,91 @@
+package svard
+
+import (
+	"testing"
+
+	"svard/internal/sim"
+)
+
+func TestModuleLabels(t *testing.T) {
+	labels := ModuleLabels()
+	if len(labels) != 15 {
+		t.Fatalf("labels = %d, want 15", len(labels))
+	}
+	if _, err := BuildModuleScaled(labels[0], 1, 1024, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildModule("nope", 1); err == nil {
+		t.Error("unknown label accepted")
+	}
+}
+
+func TestPublicPipeline(t *testing.T) {
+	m, err := BuildModuleScaled("M0", 1, 2048, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, model, err := NewBench(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Dev.Geom.RowsPerBank != 2048 {
+		t.Error("bench geometry mismatch")
+	}
+	prof := CaptureProfile(m)
+	sv, err := NewSvard(prof, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.MinBudget() != 256 {
+		t.Errorf("scaled min budget = %v", sv.MinBudget())
+	}
+	// Budget security against the scaled model.
+	factor := 256 / prof.MinSafeThreshold()
+	for row := 2; row < 200; row++ {
+		budget := sv.ActivationBudget(1, row)
+		for _, v := range []int{row - 1, row + 1} {
+			if budget >= model.HCFirst(1, v)*factor {
+				t.Fatalf("budget %v >= scaled victim HCfirst", budget)
+			}
+		}
+	}
+}
+
+// TestEndToEndDefenseProtects is the repo's headline integration test:
+// on a weak future chip, an undefended hammering workload flips bits,
+// and every defense — with and without Svärd — prevents all of them.
+func TestEndToEndDefenseProtects(t *testing.T) {
+	base := DefaultSimConfig()
+	base.Cores = 2
+	base.RowsPerBank = 2048
+	base.CellsPerRow = 2048
+	base.InstrPerCore = 40_000
+	base.WarmupPerCore = 5_000
+	base.NRH = 64
+	base.Mix = []string{"attack:rrs", "mcf06"}
+
+	undefended := base
+	undefended.Defense = "none"
+	res, err := RunSim(undefended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations == 0 {
+		t.Fatal("undefended hammering caused no bitflips; the threat model is vacuous")
+	}
+
+	for _, defense := range sim.DefenseNames {
+		for _, svard := range []bool{false, true} {
+			cfg := base
+			cfg.Defense = defense
+			cfg.Svard = svard
+			res, err := RunSim(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violations != 0 {
+				t.Errorf("%s (svard=%v): %d bitflips under attack", defense, svard, res.Violations)
+			}
+		}
+	}
+}
