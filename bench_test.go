@@ -6,6 +6,7 @@
 package svard
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -206,6 +207,51 @@ func BenchmarkFig12BlockHammer(b *testing.B) { benchFig12(b, "blockhammer") }
 func BenchmarkFig12Hydra(b *testing.B)       { benchFig12(b, "hydra") }
 func BenchmarkFig12PARA(b *testing.B)        { benchFig12(b, "para") }
 func BenchmarkFig12RRS(b *testing.B)         { benchFig12(b, "rrs") }
+
+// benchFig12Sweep runs a multi-cell Fig. 12 sweep (2 defenses x 3 nRH
+// values x NoSvard/Svärd, 12 cell simulations + 1 baseline) with the
+// given worker count. The Serial/Parallel pair below documents the
+// exec-pool speedup: on an N-core runner the Parallel variant should
+// approach N x the Serial wall-clock (>= 2x on 4 cores), with
+// bit-identical cells — see EXPERIMENTS.md, "parallel sweeps".
+func benchFig12Sweep(b *testing.B, workers int) {
+	b.Helper()
+	base := sim.DefaultConfig()
+	base.Cores = 2
+	base.RowsPerBank = 2048
+	base.CellsPerRow = 2048
+	base.InstrPerCore = 15_000
+	base.WarmupPerCore = 3_000
+	opt := sim.Fig12Options{
+		Base:     base,
+		Mixes:    [][]string{{"mcf06", "ycsb-a"}},
+		NRHs:     []float64{1024, 256, 64},
+		Defenses: []string{"para", "rrs"},
+		Profiles: []string{"S0"},
+		Workers:  workers,
+	}
+	// Warm the module cache so the timed region measures the simulation
+	// fan-out, not the one-off module calibration.
+	if _, err := sim.RunFig12(opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, err := sim.RunFig12(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 12 {
+			b.Fatalf("cells = %d", len(cells))
+		}
+	}
+}
+
+// BenchmarkFig12SweepSerial is the Workers=1 reference for the sweep.
+func BenchmarkFig12SweepSerial(b *testing.B) { benchFig12Sweep(b, 1) }
+
+// BenchmarkFig12SweepParallel fans the same sweep across all cores.
+func BenchmarkFig12SweepParallel(b *testing.B) { benchFig12Sweep(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkFig13Adversarial regenerates Fig. 13 at bench scale.
 func BenchmarkFig13Adversarial(b *testing.B) {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	svard-perf [-mixes N] [-instr N] [-defenses para,rrs] [-nrhs 1024,64] [-fig13]
+//	svard-perf [-mixes N] [-instr N] [-defenses para,rrs] [-nrhs 1024,64] [-fig13] [-parallel N]
 //
 // Defaults are scaled for minutes-scale runs; raise -mixes/-instr toward
 // the paper's 120 mixes x 200M instructions as budget allows (see
@@ -37,6 +37,7 @@ func main() {
 		fig12    = flag.Bool("fig12", false, "run Fig. 12")
 		fig13    = flag.Bool("fig13", false, "run Fig. 13 (adversarial patterns)")
 		obsv15   = flag.Bool("obsv15", false, "print Obsv. 15 overheads at HCfirst=64")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -65,6 +66,7 @@ func main() {
 		opt := sim.Fig12Options{
 			Base:     base,
 			Mixes:    trace.Mixes(*mixes, *cores, *seed),
+			Workers:  *parallel,
 			Progress: progress,
 		}
 		if *defenses != "" {
@@ -107,7 +109,7 @@ func main() {
 	}
 
 	if *fig13 {
-		cells, err := sim.RunFig13(sim.Fig13Options{Base: base, Progress: progress})
+		cells, err := sim.RunFig13(sim.Fig13Options{Base: base, Workers: *parallel, Progress: progress})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -2,15 +2,27 @@
 // campaign on a representative module subset followed by the
 // performance evaluation, printing every table and figure. It is the
 // one-command version of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	svard-repro [-parallel N]
+//
+// -parallel is forwarded to svard-perf's experiment sweeps (0 uses
+// every core, 1 forces the serial order).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"strconv"
 )
 
 func main() {
+	parallel := flag.Int("parallel", 0, "max concurrent simulations in the perf sweeps (0 = GOMAXPROCS, 1 = serial)")
+	flag.Parse()
+
 	run := func(name string, args ...string) {
 		fmt.Printf("==> %s %v\n\n", name, args)
 		cmd := exec.Command(name, args...)
@@ -21,18 +33,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	self, err := os.Executable()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	_ = self
+	perfArgs := []string{"-mixes", "3", "-instr", "120000", "-parallel", strconv.Itoa(*parallel)}
 	// The sibling binaries are expected on PATH or built via `go run`.
 	if _, err := exec.LookPath("svard-char"); err == nil {
 		run("svard-char", "-all", "-stride", "2")
-		run("svard-perf", "-mixes", "3", "-instr", "120000")
+		run("svard-perf", perfArgs...)
 		return
 	}
 	run("go", "run", "./cmd/svard-char", "-all", "-stride", "2")
-	run("go", "run", "./cmd/svard-perf", "-mixes", "3", "-instr", "120000")
+	run("go", append([]string{"run", "./cmd/svard-perf"}, perfArgs...)...)
 }

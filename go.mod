@@ -1,0 +1,3 @@
+module svard
+
+go 1.24

@@ -1,0 +1,122 @@
+// Package exec is the parallel experiment engine: a deterministic
+// bounded worker pool for the embarrassingly parallel sweeps that
+// dominate the evaluation (Fig. 12's defense x nRH x configuration x
+// mix grid and Fig. 13's adversarial runs are hundreds of fully
+// independent cycle-level simulations).
+//
+// Determinism is the contract: Map dispatches job indices in order,
+// writes each result into its own slot, and aggregates errors in index
+// order, so a sweep run with Workers=N produces results bit-identical
+// to Workers=1. Jobs must take their randomness from their own
+// coordinates, never from shared mutable state — the Fig. 12/13 sweeps
+// seed every simulation from its cell's configuration; DeriveSeed is
+// the helper for jobs that instead need an independent stream keyed on
+// their index alone.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"svard/internal/rng"
+)
+
+// Workers normalizes a configured worker count: values <= 0 select
+// GOMAXPROCS, everything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(i) for every i in [0, n) on a pool of at most `workers`
+// goroutines (<= 0: GOMAXPROCS) and returns the n results in index
+// order. Indices are dispatched in ascending order, so job i never
+// starts after job j > i.
+//
+// If any job fails, jobs not yet started are skipped, and Map returns a
+// nil slice with every observed error joined in job-index order (each
+// wrapped with its index). Jobs already running are allowed to finish.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				r, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+
+	if failed.Load() {
+		var agg []error
+		for i, err := range errs {
+			if err != nil {
+				agg = append(agg, fmt.Errorf("job %d: %w", i, err))
+			}
+		}
+		return nil, errors.Join(agg...)
+	}
+	return results, nil
+}
+
+// Each is Map for jobs with no result value.
+func Each(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// DeriveSeed derives an independent per-job seed from a sweep's master
+// seed, for jobs whose randomness is not already keyed on their own
+// coordinates. The derivation depends only on (base, job), so a job's
+// random stream is identical no matter which worker runs it or in what
+// order. The Fig. 12/13 sweeps do not need it: each simulation's seed
+// comes from its cell's Config.
+func DeriveSeed(base uint64, job int) uint64 {
+	return rng.Hash64(base, 0x6a0b, uint64(job))
+}
+
+// Progress wraps a progress callback so concurrent jobs can report
+// safely: calls are serialized under a mutex. A nil callback yields a
+// no-op, so callers never need to nil-check.
+func Progress(fn func(string)) func(string) {
+	if fn == nil {
+		return func(string) {}
+	}
+	var mu sync.Mutex
+	return func(msg string) {
+		mu.Lock()
+		defer mu.Unlock()
+		fn(msg)
+	}
+}

@@ -1,0 +1,176 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	n := 64
+	got, err := Map(8, n, func(i int) (int, error) {
+		// Jitter completion order so ordering cannot come for free.
+		time.Sleep(time.Duration((n-i)%7) * time.Microsecond)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("len = %d, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapParallelMatchesSerial(t *testing.T) {
+	fn := func(i int) (uint64, error) {
+		return DeriveSeed(42, i), nil
+	}
+	serial, err := Map(1, 100, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 16} {
+		par, err := Map(w, 100, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: result %d = %x, serial %x", w, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestMapErrorPropagation(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Map(4, 20, func(i int) (int, error) {
+		if i == 3 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v does not wrap sentinel", err)
+	}
+	if !strings.Contains(err.Error(), "job 3") {
+		t.Fatalf("error %q does not name the failing job", err)
+	}
+}
+
+func TestMapErrorSkipsUnstartedJobs(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(1, 1000, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, fmt.Errorf("fail fast")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("ran %d jobs after failure, want 1", got)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, max atomic.Int64
+	_, err := Map(workers, 50, func(i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := max.Load(); m > workers {
+		t.Fatalf("observed %d concurrent jobs, want <= %d", m, workers)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Map(_, 0) = %v, %v", got, err)
+	}
+}
+
+func TestEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := Each(4, 10, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestDeriveSeedStableAndDistinct(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(1, i)
+		if s != DeriveSeed(1, i) {
+			t.Fatalf("DeriveSeed(1, %d) unstable", i)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("jobs %d and %d collide on seed %x", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if DeriveSeed(1, 5) == DeriveSeed(2, 5) {
+		t.Fatal("seeds do not depend on base")
+	}
+}
+
+func TestProgressSerializesAndNilSafe(t *testing.T) {
+	Progress(nil)("ignored") // must not panic
+
+	var lines []string
+	p := Progress(func(s string) { lines = append(lines, s) })
+	if err := Each(8, 100, func(i int) error {
+		p(fmt.Sprintf("job %d", i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 100 {
+		t.Fatalf("recorded %d progress lines, want 100", len(lines))
+	}
+}

@@ -2,7 +2,9 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
+	"svard/internal/exec"
 	"svard/internal/metrics"
 	"svard/internal/profile"
 	"svard/internal/trace"
@@ -17,6 +19,7 @@ type Fig12Options struct {
 	NRHs     []float64  // default 4K..64
 	Defenses []string   // default all five
 	Profiles []string   // default S0, M0, H1
+	Workers  int        // max concurrent simulations (<= 0: GOMAXPROCS)
 	Progress func(string)
 }
 
@@ -38,8 +41,20 @@ type Fig12Cell struct {
 	Violations uint64
 }
 
+// runMetrics is the outcome of one (defense, nRH, module, svard, mix)
+// simulation, the atomic unit of the Fig. 12 sweep.
+type runMetrics struct {
+	ws, hs, ms float64
+	violations uint64
+}
+
 // RunFig12 executes the sweep and returns cells in (defense, nRH,
 // config) order.
+//
+// The sweep's cells are fully independent simulations, so they are
+// fanned out over a deterministic worker pool (see internal/exec):
+// baselines first, then every (defense, nRH, module, svard, mix) cell.
+// Results are bit-identical for any Workers value, including 1.
 func RunFig12(opt Fig12Options) ([]Fig12Cell, error) {
 	if len(opt.Mixes) == 0 {
 		opt.Mixes = trace.Mixes(4, opt.Base.Cores, opt.Base.Seed)
@@ -53,84 +68,132 @@ func RunFig12(opt Fig12Options) ([]Fig12Cell, error) {
 	if len(opt.Profiles) == 0 {
 		opt.Profiles = profile.RepresentativeLabels()
 	}
-	progress := opt.Progress
-	if progress == nil {
-		progress = func(string) {}
-	}
+	progress := exec.Progress(opt.Progress)
 
-	// Baselines: per (module, mix), defense-free.
+	// Phase 1 — baselines: per (module, mix), defense-free.
 	type runKey struct {
 		module string
 		mix    int
 	}
-	baselines := map[runKey][]float64{}
+	var baseJobs []runKey
 	for _, mod := range opt.Profiles {
-		for mi, mix := range opt.Mixes {
-			cfg := opt.Base
-			cfg.ModuleLabel = mod
-			cfg.Mix = mix
-			cfg.Defense = "none"
-			progress(fmt.Sprintf("baseline %s mix %d", mod, mi))
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			baselines[runKey{mod, mi}] = res.IPC
+		for mi := range opt.Mixes {
+			baseJobs = append(baseJobs, runKey{mod, mi})
 		}
 	}
+	baseIPCs, err := exec.Map(opt.Workers, len(baseJobs), func(i int) ([]float64, error) {
+		j := baseJobs[i]
+		cfg := opt.Base
+		cfg.ModuleLabel = j.module
+		cfg.Mix = opt.Mixes[j.mix]
+		cfg.Defense = "none"
+		progress(fmt.Sprintf("baseline %s mix %d", j.module, j.mix))
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.IPC, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	baselines := map[runKey][]float64{}
+	for i, j := range baseJobs {
+		baselines[j] = baseIPCs[i]
+	}
 
-	evalConfig := func(defense string, nrh float64, module string, svard bool) (Fig12Cell, error) {
-		cell := Fig12Cell{Defense: defense, NRH: nrh, WSMin: 2}
+	// Phase 2 — the full cell fan-out: one job per
+	// (defense, nRH, module, svard, mix) simulation, enumerated in the
+	// exact order the serial sweep visits them.
+	type cellJob struct {
+		defense string
+		nrh     float64
+		module  string
+		svard   bool
+		mix     int
+	}
+	var jobs []cellJob
+	for _, defense := range opt.Defenses {
+		for _, nrh := range opt.NRHs {
+			for _, svard := range []bool{false, true} {
+				for _, mod := range opt.Profiles {
+					for mi := range opt.Mixes {
+						jobs = append(jobs, cellJob{defense, nrh, mod, svard, mi})
+					}
+				}
+			}
+		}
+	}
+	perRun, err := exec.Map(opt.Workers, len(jobs), func(i int) (runMetrics, error) {
+		j := jobs[i]
+		cfg := opt.Base
+		cfg.ModuleLabel = j.module
+		cfg.Mix = opt.Mixes[j.mix]
+		cfg.Defense = j.defense
+		cfg.NRH = j.nrh
+		cfg.Svard = j.svard
+		name := "NoSvard (" + j.module + ")"
+		if j.svard {
+			name = "Svard-" + j.module
+		}
+		progress(fmt.Sprintf("%s nRH=%v %s mix %d", j.defense, j.nrh, name, j.mix))
+		res, err := Run(cfg)
+		if err != nil {
+			return runMetrics{}, err
+		}
+		base := baselines[runKey{j.module, j.mix}]
+		cores := make([]metrics.PerCore, len(res.IPC))
+		for c := range cores {
+			cores[c] = metrics.PerCore{BaselineIPC: base[c], IPC: res.IPC[c]}
+		}
+		return runMetrics{
+			ws:         metrics.WeightedSpeedup(cores),
+			hs:         metrics.HarmonicSpeedup(cores),
+			ms:         metrics.MaxSlowdown(cores),
+			violations: res.Violations,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3 — fold the per-run metrics back into cells, walking the
+	// job list in its (deterministic) enumeration order.
+	foldCell := func(defense string, nrh float64, per []runMetrics) Fig12Cell {
+		cell := Fig12Cell{Defense: defense, NRH: nrh}
 		var wss, hss, mss []float64
-		for mi, mix := range opt.Mixes {
-			cfg := opt.Base
-			cfg.ModuleLabel = module
-			cfg.Mix = mix
-			cfg.Defense = defense
-			cfg.NRH = nrh
-			cfg.Svard = svard
-			res, err := Run(cfg)
-			if err != nil {
-				return cell, err
-			}
-			cell.Violations += res.Violations
-			base := baselines[runKey{module, mi}]
-			cores := make([]metrics.PerCore, len(res.IPC))
-			for i := range cores {
-				cores[i] = metrics.PerCore{BaselineIPC: base[i], IPC: res.IPC[i]}
-			}
-			wss = append(wss, metrics.WeightedSpeedup(cores))
-			hss = append(hss, metrics.HarmonicSpeedup(cores))
-			mss = append(mss, metrics.MaxSlowdown(cores))
+		for _, r := range per {
+			cell.Violations += r.violations
+			wss = append(wss, r.ws)
+			hss = append(hss, r.hs)
+			mss = append(mss, r.ms)
 		}
 		cell.WS = mean(wss)
 		cell.HS = mean(hss)
 		cell.MS = mean(mss)
 		cell.WSMin, cell.WSMax = minMax(wss)
-		return cell, nil
+		return cell
 	}
 
+	nMix := len(opt.Mixes)
+	next := 0
+	take := func() []runMetrics {
+		per := perRun[next : next+nMix]
+		next += nMix
+		return per
+	}
 	var cells []Fig12Cell
 	for _, defense := range opt.Defenses {
 		for _, nrh := range opt.NRHs {
 			// No-Svärd: averaged over the three modules' chips (the
 			// defense sees only the single worst-case threshold).
 			var agg []Fig12Cell
-			for _, mod := range opt.Profiles {
-				progress(fmt.Sprintf("%s nRH=%v NoSvard (%s)", defense, nrh, mod))
-				c, err := evalConfig(defense, nrh, mod, false)
-				if err != nil {
-					return nil, err
-				}
-				agg = append(agg, c)
+			for range opt.Profiles {
+				agg = append(agg, foldCell(defense, nrh, take()))
 			}
 			cells = append(cells, mergeCells(defense, nrh, "NoSvard", agg))
 			for _, mod := range opt.Profiles {
-				progress(fmt.Sprintf("%s nRH=%v Svard-%s", defense, nrh, mod))
-				c, err := evalConfig(defense, nrh, mod, true)
-				if err != nil {
-					return nil, err
-				}
+				c := foldCell(defense, nrh, take())
 				c.Config = "Svard-" + mod
 				cells = append(cells, c)
 			}
@@ -140,7 +203,12 @@ func RunFig12(opt Fig12Options) ([]Fig12Cell, error) {
 }
 
 func mergeCells(defense string, nrh float64, config string, cs []Fig12Cell) Fig12Cell {
-	out := Fig12Cell{Defense: defense, NRH: nrh, Config: config, WSMin: 2}
+	out := Fig12Cell{Defense: defense, NRH: nrh, Config: config,
+		WSMin: math.Inf(1), WSMax: math.Inf(-1)}
+	if len(cs) == 0 {
+		out.WSMin, out.WSMax = 0, 0
+		return out
+	}
 	for _, c := range cs {
 		out.WS += c.WS
 		out.HS += c.HS
@@ -176,10 +244,13 @@ type Fig13Options struct {
 	NRH      float64  // paper: 64
 	Benign   []string // 7 benign workloads joining the attacker
 	Profiles []string
+	Workers  int // max concurrent simulations (<= 0: GOMAXPROCS)
 	Progress func(string)
 }
 
 // RunFig13 evaluates Hydra's and RRS's adversarial access patterns.
+// Like RunFig12, the independent runs fan out over the exec pool and
+// the result is identical for any Workers value.
 func RunFig13(opt Fig13Options) ([]Fig13Cell, error) {
 	if opt.NRH == 0 {
 		opt.NRH = 64
@@ -190,57 +261,79 @@ func RunFig13(opt Fig13Options) ([]Fig13Cell, error) {
 	if len(opt.Benign) == 0 {
 		opt.Benign = []string{"mcf06", "lbm06", "ycsb-a", "tpcc", "h264dec", "milc06", "xz17"}
 	}
-	progress := opt.Progress
-	if progress == nil {
-		progress = func(string) {}
+	// Each mix is 1 attacker + the benign workloads; the config must ask
+	// for at least one benign core (the slowdown metric averages over
+	// them) and no more cores than the mix can fill.
+	if opt.Base.Cores < 2 {
+		return nil, fmt.Errorf("sim: Fig. 13 needs >= 2 cores (1 attacker + >= 1 benign), got %d", opt.Base.Cores)
 	}
-	var cells []Fig13Cell
-	for _, defense := range []string{"hydra", "rrs"} {
-		mix := append([]string{"attack:" + defense}, opt.Benign...)
+	if max := 1 + len(opt.Benign); opt.Base.Cores > max {
+		return nil, fmt.Errorf("sim: Fig. 13 mix has %d workloads (1 attacker + %d benign) but the config asks for %d cores; add Benign workloads or lower Cores",
+			max, len(opt.Benign), opt.Base.Cores)
+	}
+	progress := exec.Progress(opt.Progress)
+
+	defenses := []string{"hydra", "rrs"}
+	// Per defense: baseline, NoSvard, then one Svärd run per profile —
+	// all independent, enumerated as one flat job list.
+	type advJob struct {
+		defense     string
+		module      string
+		withDefense bool
+		svard       bool
+		label       string
+	}
+	var jobs []advJob
+	mod0 := opt.Profiles[0]
+	for _, defense := range defenses {
+		jobs = append(jobs,
+			advJob{defense, mod0, false, false, defense + " baseline"},
+			advJob{defense, mod0, true, false, defense + " NoSvard"})
+		for _, mod := range opt.Profiles {
+			jobs = append(jobs, advJob{defense, mod, true, true, defense + " Svard-" + mod})
+		}
+	}
+	benignIPC, err := exec.Map(opt.Workers, len(jobs), func(i int) (float64, error) {
+		j := jobs[i]
+		mix := append([]string{"attack:" + j.defense}, opt.Benign...)
 		mix = mix[:opt.Base.Cores]
-		// Baseline and No-Svärd on the first representative module.
-		mod0 := opt.Profiles[0]
-		slowdown := func(module string, withDefense, svard bool) (float64, error) {
-			cfg := opt.Base
-			cfg.ModuleLabel = module
-			cfg.Mix = mix
-			cfg.NRH = opt.NRH
-			if withDefense {
-				cfg.Defense = defense
-				cfg.Svard = svard
-			} else {
-				cfg.Defense = "none"
-			}
-			res, err := Run(cfg)
-			if err != nil {
-				return 0, err
-			}
-			// Mean IPC of the benign cores (core 0 is the attacker).
-			sum := 0.0
-			for i := 1; i < len(res.IPC); i++ {
-				sum += res.IPC[i]
-			}
-			return sum / float64(len(res.IPC)-1), nil
+		cfg := opt.Base
+		cfg.ModuleLabel = j.module
+		cfg.Mix = mix
+		cfg.NRH = opt.NRH
+		if j.withDefense {
+			cfg.Defense = j.defense
+			cfg.Svard = j.svard
+		} else {
+			cfg.Defense = "none"
 		}
-		progress(defense + " baseline")
-		baseIPC, err := slowdown(mod0, false, false)
+		progress(j.label)
+		res, err := Run(cfg)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		progress(defense + " NoSvard")
-		noSvIPC, err := slowdown(mod0, true, false)
-		if err != nil {
-			return nil, err
+		// Mean IPC of the benign cores (core 0 is the attacker).
+		sum := 0.0
+		for c := 1; c < len(res.IPC); c++ {
+			sum += res.IPC[c]
 		}
+		return sum / float64(len(res.IPC)-1), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var cells []Fig13Cell
+	next := 0
+	for _, defense := range defenses {
+		baseIPC := benignIPC[next]
+		noSvIPC := benignIPC[next+1]
+		next += 2
 		noSv := baseIPC / noSvIPC
 		cells = append(cells, Fig13Cell{Defense: defense, Config: "NoSvard", Slowdown: noSv, RelToNoSvard: 1})
 		for _, mod := range opt.Profiles {
-			progress(defense + " Svard-" + mod)
-			ipc, err := slowdown(mod, true, true)
-			if err != nil {
-				return nil, err
-			}
-			sd := baseIPC / ipc
+			sd := baseIPC / benignIPC[next]
+			next++
 			cells = append(cells, Fig13Cell{
 				Defense:      defense,
 				Config:       "Svard-" + mod,

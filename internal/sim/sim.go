@@ -86,38 +86,46 @@ type Result struct {
 }
 
 // moduleCache memoizes calibrated modules and captured profiles, which
-// are reused across the hundreds of runs of an experiment sweep.
-var moduleCache = struct {
-	sync.Mutex
-	mods  map[string]*profile.Module
-	profs map[string]*profile.VulnProfile
-}{mods: map[string]*profile.Module{}, profs: map[string]*profile.VulnProfile{}}
+// are reused across the hundreds of runs of an experiment sweep. The
+// cache is singleflight-style: each key carries its own sync.Once, so
+// concurrent workers building *distinct* modules calibrate in parallel,
+// while duplicate requests for the same key coalesce onto one build (a
+// single global lock here would serialize the entire parallel sweep
+// behind the expensive BuildScaled+Capture path).
+var moduleCache sync.Map // key string -> *moduleEntry
+
+type moduleEntry struct {
+	once sync.Once
+	mod  *profile.Module
+	prof *profile.VulnProfile
+	err  error
+}
 
 func buildModule(label string, rows, cells, banks int, seed uint64) (*profile.Module, *profile.VulnProfile, error) {
 	key := fmt.Sprintf("%s/%d/%d/%d/%d", label, rows, cells, banks, seed)
-	moduleCache.Lock()
-	defer moduleCache.Unlock()
-	if m, ok := moduleCache.mods[key]; ok {
-		return m, moduleCache.profs[key], nil
-	}
-	spec, ok := profile.SpecByLabel(label)
-	if !ok {
-		return nil, nil, fmt.Errorf("sim: unknown module %q", label)
-	}
-	m, err := profile.BuildScaled(spec, seed, rows, cells)
-	if err != nil {
-		return nil, nil, err
-	}
-	// Profile every bank the simulated system exposes so Svärd's
-	// per-bank lookups never fall back across banks (security).
-	all := make([]int, banks)
-	for i := range all {
-		all[i] = i
-	}
-	p := profile.Capture(m.NewModel(), label, all)
-	moduleCache.mods[key] = m
-	moduleCache.profs[key] = p
-	return m, p, nil
+	v, _ := moduleCache.LoadOrStore(key, &moduleEntry{})
+	e := v.(*moduleEntry)
+	e.once.Do(func() {
+		spec, ok := profile.SpecByLabel(label)
+		if !ok {
+			e.err = fmt.Errorf("sim: unknown module %q", label)
+			return
+		}
+		m, err := profile.BuildScaled(spec, seed, rows, cells)
+		if err != nil {
+			e.err = err
+			return
+		}
+		// Profile every bank the simulated system exposes so Svärd's
+		// per-bank lookups never fall back across banks (security).
+		all := make([]int, banks)
+		for i := range all {
+			all[i] = i
+		}
+		e.mod = m
+		e.prof = profile.Capture(m.NewModel(), label, all)
+	})
+	return e.mod, e.prof, e.err
 }
 
 // buildDefense constructs the configured defense over thresholds th.
