@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"svard/internal/cache"
 	"svard/internal/report"
 	"svard/internal/sim"
 	"svard/internal/trace"
@@ -38,6 +39,7 @@ func main() {
 		fig13    = flag.Bool("fig13", false, "run Fig. 13 (adversarial patterns)")
 		obsv15   = flag.Bool("obsv15", false, "print Obsv. 15 overheads at HCfirst=64")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir = flag.String("cache-dir", "", "reuse simulation results from this content-addressed cache (see svard-sweep)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -58,6 +60,21 @@ func main() {
 		}
 	}
 
+	// With -cache-dir, every simulation routes through the persistent
+	// result cache shared with svard-sweep: cells already computed by any
+	// prior run are reused instead of resimulated.
+	var runner sim.Runner
+	var store *cache.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = cache.Open(*cacheDir, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runner = func(cfg sim.Config) (sim.Result, error) { return store.GetOrCompute(cfg, sim.Run) }
+	}
+
 	fmt.Println("Table 4 simulated system: 8 cores 3.2GHz 4-wide 128-entry window,")
 	fmt.Println("2MiB LLC/core; DDR4 1 channel, 2 ranks, 4 bank groups x 4 banks,")
 	fmt.Printf("%d rows/bank (scaled; Table 4 uses 128K); FR-FCFS cap 16, MOP.\n\n", *rows)
@@ -67,6 +84,7 @@ func main() {
 			Base:     base,
 			Mixes:    trace.Mixes(*mixes, *cores, *seed),
 			Workers:  *parallel,
+			Runner:   runner,
 			Progress: progress,
 		}
 		if *defenses != "" {
@@ -109,7 +127,7 @@ func main() {
 	}
 
 	if *fig13 {
-		cells, err := sim.RunFig13(sim.Fig13Options{Base: base, Workers: *parallel, Progress: progress})
+		cells, err := sim.RunFig13(sim.Fig13Options{Base: base, Workers: *parallel, Runner: runner, Progress: progress})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -118,6 +136,10 @@ func main() {
 			fmt.Fprintln(os.Stderr)
 		}
 		fmt.Println(report.Fig13(cells))
+	}
+
+	if store != nil {
+		fmt.Printf("cache: %s\n", store.Stats())
 	}
 }
 

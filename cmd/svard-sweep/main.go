@@ -1,0 +1,243 @@
+// svard-sweep runs the performance-evaluation sweeps (Fig. 12, Fig. 13)
+// as resumable campaigns over the content-addressed result cache: every
+// simulation cell persists under -cache-dir keyed by its full
+// configuration, so re-running a campaign — after a crash, or with one
+// changed knob — recomputes only the cells that have never been
+// computed, and an interrupted sweep restarted with -resume picks up
+// exactly where it stopped with bit-identical results.
+//
+// Usage:
+//
+//	svard-sweep [-fig12] [-fig13] [-cache-dir DIR] [-resume] [-parallel N]
+//	            [-mixes N | -mix a,b,... (repeatable)] [-instr N] [-warmup N]
+//	            [-cores N] [-rows N] [-seed N]
+//	            [-defenses para,rrs] [-nrhs 1024,64] [-profiles S0,M0]
+//	            [-benign mcf06,...] [-nrh13 64]
+//	            [-spec campaign.json] [-print-spec] [-q]
+//
+// A campaign can also be declared as a JSON file (-spec); explicit
+// flags override the file's fields. -print-spec prints the normalized
+// campaign (suitable as a -spec file) without running anything. After a
+// run, the campaign's figures print to stdout followed by the cache
+// statistics (hits, misses, corrupt entries recomputed).
+//
+// Examples:
+//
+//	svard-sweep -fig12 -nrhs 1024,64 -defenses para,rrs   # small sweep, cache cold
+//	svard-sweep -fig12 -nrhs 1024,64 -defenses para,rrs   # same again: all cache hits
+//	svard-sweep -fig12 -mixes 120 -instr 200000000        # paper scale; Ctrl-C it...
+//	svard-sweep -fig12 -mixes 120 -instr 200000000 -resume # ...and pick it back up
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"svard/internal/cache"
+	"svard/internal/campaign"
+	"svard/internal/report"
+	"svard/internal/sim"
+	"svard/internal/trace"
+)
+
+func main() {
+	var (
+		specFile  = flag.String("spec", "", "campaign spec JSON file (flags override its fields)")
+		printSpec = flag.Bool("print-spec", false, "print the normalized campaign spec as JSON and exit")
+
+		cacheDir = flag.String("cache-dir", ".svard-cache", "result cache directory ('' disables persistence)")
+		resume   = flag.Bool("resume", false, "resume this campaign's interrupted journal")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+
+		fig12 = flag.Bool("fig12", false, "run the Fig. 12 sweep")
+		fig13 = flag.Bool("fig13", false, "run the Fig. 13 adversarial evaluation")
+
+		mixes    = flag.Int("mixes", 4, "number of drawn workload mixes (paper: 120)")
+		instr    = flag.Uint64("instr", 150_000, "instructions per core (paper: 200M)")
+		warmup   = flag.Uint64("warmup", 30_000, "warmup instructions per core (paper: 100M)")
+		cores    = flag.Int("cores", 8, "cores per mix")
+		rows     = flag.Int("rows", 8192, "rows per bank")
+		seed     = flag.Uint64("seed", 1, "seed")
+		defenses = flag.String("defenses", "", "comma-separated defense subset (default all five)")
+		nrhs     = flag.String("nrhs", "", "comma-separated HCfirst sweep (default 4096..64)")
+		profiles = flag.String("profiles", "", "comma-separated module profiles (default S0,M0,H1)")
+		benign   = flag.String("benign", "", "comma-separated Fig. 13 benign workloads")
+		nrh13    = flag.Float64("nrh13", 0, "Fig. 13 HCfirst (default 64)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	var explicitMixes [][]string
+	flag.Func("mix", "one explicit workload mix, comma-separated (repeatable; overrides -mixes)", func(s string) error {
+		mix, err := trace.ParseMix(s, 0)
+		if err != nil {
+			return err
+		}
+		explicitMixes = append(explicitMixes, mix)
+		return nil
+	})
+	flag.Parse()
+
+	// Seed the sizing knobs from the flag defaults before loading any spec
+	// file, so a file that omits them declares the same campaign (and hits
+	// the same cache keys) as the equivalent flag invocation; fields the
+	// file does set override the seed, and explicitly set flags override
+	// the file below.
+	spec := campaign.Spec{Base: sim.DefaultConfig()}
+	spec.Base.InstrPerCore = *instr
+	spec.Base.WarmupPerCore = *warmup
+	spec.Base.Cores = *cores
+	spec.Base.RowsPerBank = *rows
+	spec.Base.Seed = *seed
+	if *specFile != "" {
+		b, err := os.ReadFile(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(b, &spec); err != nil {
+			fatal(fmt.Errorf("%s: %w", *specFile, err))
+		}
+	}
+
+	// Explicit flags override the spec file.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	fromSpecFile := *specFile != ""
+	// -mixes draws mixes only when none are pinned explicitly; silently
+	// sweeping the pinned mixes while the user asked for N drawn ones
+	// would misreport the campaign.
+	if set["mixes"] && (len(explicitMixes) > 0 || len(spec.Mixes) > 0) {
+		fatal(fmt.Errorf("-mixes conflicts with explicitly pinned mixes (from -mix or the spec file); drop one"))
+	}
+	applyIf := func(name string, apply func()) {
+		if set[name] || !fromSpecFile {
+			apply()
+		}
+	}
+	applyIf("mixes", func() { spec.MixCount = *mixes })
+	applyIf("instr", func() { spec.Base.InstrPerCore = *instr })
+	applyIf("warmup", func() { spec.Base.WarmupPerCore = *warmup })
+	applyIf("cores", func() { spec.Base.Cores = *cores })
+	applyIf("rows", func() { spec.Base.RowsPerBank = *rows })
+	applyIf("seed", func() { spec.Base.Seed = *seed })
+	applyIf("nrh13", func() { spec.NRH13 = *nrh13 })
+	if len(explicitMixes) > 0 {
+		spec.Mixes = explicitMixes
+	}
+	if set["defenses"] {
+		spec.Defenses = splitList(*defenses)
+	}
+	if set["profiles"] {
+		spec.Profiles = splitList(*profiles)
+	}
+	if set["benign"] {
+		spec.Benign = splitList(*benign)
+	}
+	if set["nrhs"] {
+		spec.NRHs = nil
+		for _, s := range splitList(*nrhs) {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				fatal(err)
+			}
+			spec.NRHs = append(spec.NRHs, v)
+		}
+	}
+	if *fig12 || *fig13 {
+		spec.Figures = nil
+		if *fig12 {
+			spec.Figures = append(spec.Figures, campaign.Fig12)
+		}
+		if *fig13 {
+			spec.Figures = append(spec.Figures, campaign.Fig13)
+		}
+	}
+
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+	if *printSpec {
+		// Print the normalized campaign: with the figures and the drawn
+		// mixes pinned, the emitted file reproduces this exact sweep even
+		// if the drawing defaults ever change.
+		b, err := json.MarshalIndent(spec.Normalized(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(b))
+		return
+	}
+
+	store, err := cache.Open(*cacheDir, 0)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		jobs, err := spec.Jobs()
+		if err != nil {
+			fatal(err)
+		}
+		where := *cacheDir
+		if where == "" {
+			where = "(memory only)"
+		}
+		fmt.Fprintf(os.Stderr, "campaign %s: %d simulation jobs, cache %s\n",
+			spec.Fingerprint()[:16], len(jobs), where)
+	}
+
+	eng := &campaign.Engine{
+		Store:   store,
+		Workers: *parallel,
+		Resume:  *resume,
+	}
+	if !*quiet {
+		eng.Progress = func(msg string) { fmt.Fprintf(os.Stderr, "\r%-60s", msg) }
+	}
+	out, err := eng.Run(spec)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		if *cacheDir != "" {
+			fmt.Fprintf(os.Stderr, "campaign interrupted (cache %s; re-run with -resume to continue): ", *cacheDir)
+		}
+		fatal(err)
+	}
+
+	if out.Fig12 != nil {
+		names := spec.Defenses
+		if len(names) == 0 {
+			names = sim.DefenseNames
+		}
+		for _, d := range names {
+			fmt.Println(report.Fig12(d, out.Fig12))
+		}
+	}
+	if out.Fig13 != nil {
+		fmt.Println(report.Fig13(out.Fig13))
+	}
+
+	fmt.Printf("campaign: %d jobs", out.Total)
+	if out.Resumed > 0 {
+		fmt.Printf(", %d resumed from a previous run's journal", out.Resumed)
+	}
+	fmt.Printf("\ncache: %s\n", out.Stats)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

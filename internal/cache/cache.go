@@ -1,0 +1,289 @@
+// Package cache is the persistent, content-addressed simulation result
+// store behind the campaign engine (internal/campaign): the evaluation
+// sweeps are hundreds of independent cycle-level simulations, and a
+// re-run with one changed knob — or a run restarted after a crash —
+// should recompute only the cells it has never seen.
+//
+// Each sim.Config canonically hashes to a key (see Key); the key maps to
+// a JSON-encoded sim.Result on disk under the store directory, fronted
+// by an in-memory LRU. Concurrent requests for the same key coalesce
+// onto a single computation (singleflight), and corrupt or truncated
+// disk entries are counted and silently recomputed, never surfaced as
+// errors. All methods are safe for concurrent use.
+package cache
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"svard/internal/sim"
+)
+
+// DefaultLRUEntries bounds the in-memory layer when Open is given no
+// explicit size. A sim.Result is a few hundred bytes, so the default
+// holds a full paper-scale Fig. 12 sweep (5*7*4*120 = 16.8K cells)
+// comfortably.
+const DefaultLRUEntries = 32768
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	MemHits  uint64 // served from the in-memory LRU
+	DiskHits uint64 // served from a valid on-disk entry
+	Misses   uint64 // computed (no valid entry anywhere)
+	Deduped  uint64 // coalesced onto a concurrent identical computation
+	Corrupt  uint64 // on-disk entries that failed to load and were recomputed
+	Writes   uint64 // entries persisted to disk
+}
+
+// Hits is the total number of lookups served without recomputing.
+func (s Stats) Hits() uint64 { return s.MemHits + s.DiskHits + s.Deduped }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d hits (%d mem, %d disk, %d deduped), %d misses, %d corrupt, %d written",
+		s.Hits(), s.MemHits, s.DiskHits, s.Deduped, s.Misses, s.Corrupt, s.Writes)
+}
+
+// Store is a content-addressed sim.Result store. The zero value is not
+// usable; construct with Open.
+type Store struct {
+	dir    string // "" disables the disk layer
+	lruMax int
+
+	memHits  atomic.Uint64
+	diskHits atomic.Uint64
+	misses   atomic.Uint64
+	deduped  atomic.Uint64
+	corrupt  atomic.Uint64
+	writes   atomic.Uint64
+
+	mu     sync.Mutex
+	lru    *list.List // most-recent first; values are *entry
+	idx    map[string]*list.Element
+	flight map[string]*call
+}
+
+type entry struct {
+	key string
+	res sim.Result
+}
+
+type call struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
+}
+
+// Open returns a store persisting under dir (created if missing), with
+// an in-memory LRU of at most lruEntries results (<= 0 selects
+// DefaultLRUEntries). An empty dir yields a memory-only store — every
+// result still deduplicates and caches within the process, but nothing
+// survives it.
+func Open(dir string, lruEntries int) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+	}
+	if lruEntries <= 0 {
+		lruEntries = DefaultLRUEntries
+	}
+	return &Store{
+		dir:    dir,
+		lruMax: lruEntries,
+		lru:    list.New(),
+		idx:    make(map[string]*list.Element),
+		flight: make(map[string]*call),
+	}, nil
+}
+
+// Dir returns the store's on-disk directory ("" for memory-only stores).
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		MemHits:  s.memHits.Load(),
+		DiskHits: s.diskHits.Load(),
+		Misses:   s.misses.Load(),
+		Deduped:  s.deduped.Load(),
+		Corrupt:  s.corrupt.Load(),
+		Writes:   s.writes.Load(),
+	}
+}
+
+// GetOrCompute returns the stored result for cfg, computing and storing
+// it via compute on a miss. Concurrent calls with the same key wait for
+// one computation instead of duplicating it. Errors from compute are
+// returned to every waiter and never cached.
+func (s *Store) GetOrCompute(cfg sim.Config, compute func(sim.Config) (sim.Result, error)) (sim.Result, error) {
+	key := Key(cfg)
+
+	s.mu.Lock()
+	if el, ok := s.idx[key]; ok {
+		s.lru.MoveToFront(el)
+		res := copyResult(el.Value.(*entry).res)
+		s.mu.Unlock()
+		s.memHits.Add(1)
+		return res, nil
+	}
+	if c, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			// Not a hit: the coalesced computation produced nothing.
+			return sim.Result{}, c.err
+		}
+		s.deduped.Add(1)
+		return copyResult(c.res), nil
+	}
+	c := &call{done: make(chan struct{})}
+	s.flight[key] = c
+	s.mu.Unlock()
+
+	res, fromDisk, err := s.load(key)
+	if err != nil {
+		// No valid entry anywhere: this caller computes for everyone.
+		res, err = compute(cfg)
+		if err == nil {
+			s.misses.Add(1)
+			s.persist(key, res)
+		}
+	} else if fromDisk {
+		s.diskHits.Add(1)
+	}
+
+	c.res, c.err = res, err
+	s.mu.Lock()
+	delete(s.flight, key)
+	if err == nil {
+		s.remember(key, res)
+	}
+	s.mu.Unlock()
+	close(c.done)
+
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return copyResult(res), nil
+}
+
+// Contains reports whether key has a valid entry in memory or on disk,
+// without computing anything or touching the hit/miss counters.
+func (s *Store) Contains(key string) bool {
+	s.mu.Lock()
+	_, ok := s.idx[key]
+	s.mu.Unlock()
+	if ok {
+		return true
+	}
+	_, err := s.read(key)
+	return err == nil
+}
+
+// remember inserts into the LRU (caller holds s.mu).
+func (s *Store) remember(key string, res sim.Result) {
+	if el, ok := s.idx[key]; ok {
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.idx[key] = s.lru.PushFront(&entry{key: key, res: copyResult(res)})
+	for s.lru.Len() > s.lruMax {
+		el := s.lru.Back()
+		s.lru.Remove(el)
+		delete(s.idx, el.Value.(*entry).key)
+	}
+}
+
+// envelope is the on-disk format. Schema and Key are verified on load so
+// a file that was truncated, hand-edited, or written by an incompatible
+// simulator version registers as corrupt and is recomputed.
+type envelope struct {
+	Schema string     `json:"schema"`
+	Key    string     `json:"key"`
+	Result sim.Result `json:"result"`
+}
+
+// path shards entries by the first byte of the key so no single
+// directory accumulates a paper-scale campaign's worth of files.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// read loads and validates one disk entry. Keys shorter than the shard
+// prefix cannot name an entry (Key always returns 64 hex chars; the
+// guard keeps exported lookups like Contains total).
+func (s *Store) read(key string) (sim.Result, error) {
+	if s.dir == "" || len(key) < 2 {
+		return sim.Result{}, os.ErrNotExist
+	}
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return sim.Result{}, err
+	}
+	var env envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return sim.Result{}, fmt.Errorf("cache: entry %s: %w", key, err)
+	}
+	if env.Schema != SchemaVersion || env.Key != key {
+		return sim.Result{}, fmt.Errorf("cache: entry %s: schema %q key %q mismatch", key, env.Schema, env.Key)
+	}
+	return env.Result, nil
+}
+
+// load wraps read with the corrupt-entry policy: a missing file is a
+// plain miss, anything else unreadable counts as corrupt; both report
+// err != nil so the caller recomputes.
+func (s *Store) load(key string) (res sim.Result, fromDisk bool, err error) {
+	res, err = s.read(key)
+	if err == nil {
+		return res, true, nil
+	}
+	if !os.IsNotExist(err) {
+		s.corrupt.Add(1)
+	}
+	return sim.Result{}, false, err
+}
+
+// persist writes an entry atomically (temp file + rename), so a crash
+// mid-write leaves at worst a stray temp file, never a torn entry read
+// back as valid. Write failures are deliberately swallowed: the cache
+// is an accelerator, and a read-only or full disk must not fail a sweep
+// whose computation already succeeded.
+func (s *Store) persist(key string, res sim.Result) {
+	if s.dir == "" || len(key) < 2 {
+		return
+	}
+	b, err := json.Marshal(envelope{Schema: SchemaVersion, Key: key, Result: res})
+	if err != nil {
+		return
+	}
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), key+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(tmp.Name(), p) != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	s.writes.Add(1)
+}
+
+// copyResult deep-copies a result so cached entries are immune to caller
+// mutation (Result carries a per-core IPC slice).
+func copyResult(r sim.Result) sim.Result {
+	if r.IPC != nil {
+		r.IPC = append([]float64(nil), r.IPC...)
+	}
+	return r
+}

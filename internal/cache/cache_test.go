@@ -1,0 +1,271 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"svard/internal/memctrl"
+	"svard/internal/sim"
+)
+
+// fakeCompute returns a compute function that derives a deterministic
+// result from the config (no real simulation) and counts invocations.
+func fakeCompute(calls *atomic.Int64) func(sim.Config) (sim.Result, error) {
+	return func(cfg sim.Config) (sim.Result, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		return sim.Result{
+			IPC:        []float64{cfg.NRH / 1024, float64(cfg.Cores)},
+			Cycles:     uint64(cfg.Cores) * 1000,
+			MC:         memctrl.Stats{Reads: uint64(cfg.RowsPerBank)},
+			Violations: 7,
+			Finished:   true,
+		}, nil
+	}
+}
+
+func testCfg(nrh float64) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Mix = []string{"mcf06", "lbm06"}
+	cfg.Cores = 2
+	cfg.NRH = nrh
+	return cfg
+}
+
+func sameResult(t *testing.T, a, b sim.Result) {
+	t.Helper()
+	if a.Cycles != b.Cycles || a.Violations != b.Violations || a.Finished != b.Finished ||
+		a.MC != b.MC || len(a.IPC) != len(b.IPC) {
+		t.Fatalf("results differ: %+v vs %+v", a, b)
+	}
+	for i := range a.IPC {
+		if a.IPC[i] != b.IPC[i] {
+			t.Fatalf("IPC[%d] differs: %v vs %v", i, a.IPC[i], b.IPC[i])
+		}
+	}
+}
+
+func TestMissThenMemoryHit(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	cold, err := s.GetOrCompute(testCfg(64), fakeCompute(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s.GetOrCompute(testCfg(64), fakeCompute(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, cold, warm)
+	if calls.Load() != 1 {
+		t.Errorf("compute ran %d times, want 1", calls.Load())
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.MemHits != 1 || st.Writes != 1 || st.Corrupt != 0 {
+		t.Errorf("stats = %v", st)
+	}
+}
+
+func TestDiskPersistenceAcrossStores(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := Open(dir, 0)
+	var calls atomic.Int64
+	cold, err := s1.GetOrCompute(testCfg(128), fakeCompute(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store over the same directory (fresh process, in effect).
+	s2, _ := Open(dir, 0)
+	warm, err := s2.GetOrCompute(testCfg(128), fakeCompute(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, cold, warm)
+	if calls.Load() != 1 {
+		t.Errorf("compute ran %d times across stores, want 1", calls.Load())
+	}
+	if st := s2.Stats(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Errorf("second store stats = %v", st)
+	}
+	if !s2.Contains(Key(testCfg(128))) {
+		t.Error("Contains: persisted key reported missing")
+	}
+	if s2.Contains(Key(testCfg(1))) {
+		t.Error("Contains: absent key reported present")
+	}
+}
+
+// Corrupt or truncated entries fall back to recompute — never an error —
+// and the recomputed result overwrites the bad entry.
+func TestCorruptEntryRecomputes(t *testing.T) {
+	for name, corrupt := range map[string]func(path string) error{
+		"truncated": func(p string) error {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, b[:len(b)/2], 0o644)
+		},
+		"garbage": func(p string) error {
+			return os.WriteFile(p, []byte("not json at all"), 0o644)
+		},
+		"wrong-schema": func(p string) error {
+			return os.WriteFile(p, []byte(`{"schema":"svard-sim-v0","key":"x","result":{}}`), 0o644)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s1, _ := Open(dir, 0)
+			var calls atomic.Int64
+			cold, err := s1.GetOrCompute(testCfg(256), fakeCompute(&calls))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := corrupt(s1.path(Key(testCfg(256)))); err != nil {
+				t.Fatal(err)
+			}
+
+			s2, _ := Open(dir, 0)
+			got, err := s2.GetOrCompute(testCfg(256), fakeCompute(&calls))
+			if err != nil {
+				t.Fatalf("corrupt entry surfaced as error: %v", err)
+			}
+			sameResult(t, cold, got)
+			if calls.Load() != 2 {
+				t.Errorf("compute ran %d times, want 2 (recompute)", calls.Load())
+			}
+			if st := s2.Stats(); st.Corrupt != 1 || st.Misses != 1 {
+				t.Errorf("stats = %v", st)
+			}
+
+			// The bad entry was repaired in place.
+			s3, _ := Open(dir, 0)
+			if _, err := s3.GetOrCompute(testCfg(256), fakeCompute(&calls)); err != nil {
+				t.Fatal(err)
+			}
+			if st := s3.Stats(); st.DiskHits != 1 {
+				t.Errorf("repaired entry not served from disk: %v", st)
+			}
+		})
+	}
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	s, _ := Open("", 0) // memory-only
+	var calls atomic.Int64
+	release := make(chan struct{})
+	slow := func(cfg sim.Config) (sim.Result, error) {
+		calls.Add(1)
+		<-release
+		return fakeCompute(nil)(cfg)
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]sim.Result, n)
+	lookup := func(i int) {
+		defer wg.Done()
+		r, err := s.GetOrCompute(testCfg(512), slow)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		results[i] = r
+	}
+	// First caller registers the in-flight computation and blocks in it;
+	// everyone arriving after it must coalesce (or memory-hit), not
+	// recompute.
+	wg.Add(1)
+	go lookup(0)
+	for calls.Load() == 0 {
+	}
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go lookup(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Errorf("compute ran %d times under %d concurrent identical requests", calls.Load(), n)
+	}
+	for i := 1; i < n; i++ {
+		sameResult(t, results[0], results[i])
+	}
+	if st := s.Stats(); st.Deduped+st.MemHits != n-1 {
+		t.Errorf("stats = %v, want %d coalesced-or-memory hits", st, n-1)
+	}
+}
+
+func TestComputeErrorsPropagateAndAreNotCached(t *testing.T) {
+	s, _ := Open(t.TempDir(), 0)
+	var calls atomic.Int64
+	boom := func(sim.Config) (sim.Result, error) {
+		calls.Add(1)
+		return sim.Result{}, os.ErrPermission
+	}
+	if _, err := s.GetOrCompute(testCfg(64), boom); err == nil {
+		t.Fatal("expected error")
+	}
+	// The failure must not poison the key: a later good compute succeeds.
+	if _, err := s.GetOrCompute(testCfg(64), fakeCompute(&calls)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("calls = %d, want 2", calls.Load())
+	}
+	if entries, _ := filepath.Glob(filepath.Join(s.Dir(), "*", "*.json")); len(entries) != 1 {
+		t.Errorf("disk holds %d entries, want 1 (errors never persisted)", len(entries))
+	}
+}
+
+func TestLRUEvictionFallsBackToDiskOrRecompute(t *testing.T) {
+	s, _ := Open("", 2) // memory-only, two slots
+	var calls atomic.Int64
+	for _, nrh := range []float64{64, 128, 256} {
+		if _, err := s.GetOrCompute(testCfg(nrh), fakeCompute(&calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 64 was evicted by 256; with no disk layer it recomputes.
+	if _, err := s.GetOrCompute(testCfg(64), fakeCompute(&calls)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 4 {
+		t.Errorf("calls = %d, want 4 (three cold + one post-eviction)", calls.Load())
+	}
+	// 256 is still resident.
+	if _, err := s.GetOrCompute(testCfg(256), fakeCompute(&calls)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 4 {
+		t.Error("resident entry recomputed")
+	}
+}
+
+// Results handed out must be isolated from the cached copy: mutating a
+// returned IPC slice cannot corrupt what the next caller sees.
+func TestResultAliasingIsolation(t *testing.T) {
+	s, _ := Open("", 0)
+	first, err := s.GetOrCompute(testCfg(64), fakeCompute(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := first.IPC[0]
+	first.IPC[0] = -1
+	second, err := s.GetOrCompute(testCfg(64), fakeCompute(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.IPC[0] != want {
+		t.Errorf("cached result was mutated through a returned slice: %v", second.IPC[0])
+	}
+}

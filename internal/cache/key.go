@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"reflect"
+	"sort"
+
+	"svard/internal/sim"
+)
+
+// SchemaVersion tags every cache key and on-disk entry. Bump it whenever
+// the simulator's semantics change in a way that makes previously stored
+// results stale (a new Config field is covered automatically — it changes
+// the key — but a behavioural change behind the same Config is not):
+// stale entries then simply miss and are recomputed, never misread.
+const SchemaVersion = "svard-sim-v1"
+
+// Key returns the canonical content address of one simulation: a hex
+// SHA-256 over SchemaVersion and a stable field-order encoding of cfg.
+// Two Configs differing in any field (including nested Core fields and
+// Mix entries) hash to different keys; the same Config always hashes to
+// the same key, across processes and runs.
+func Key(cfg sim.Config) string {
+	h := sha256.New()
+	writeString(h, SchemaVersion)
+	writeValue(h, reflect.ValueOf(cfg))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeValue encodes v into h with an unambiguous, self-delimiting
+// framing: every atom is prefixed with a one-byte kind tag, strings and
+// composites carry explicit lengths, and struct fields are walked in
+// sorted name order so the encoding is stable under field reordering.
+func writeValue(h hash.Hash, v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Bool:
+		h.Write([]byte{'b'})
+		if v.Bool() {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		h.Write([]byte{'i'})
+		writeUint64(h, uint64(v.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		h.Write([]byte{'u'})
+		writeUint64(h, v.Uint())
+	case reflect.Float32, reflect.Float64:
+		// Bit-exact: distinguishes -0/+0 and every NaN payload, which is
+		// stricter than == but exactly what "same configuration" means.
+		h.Write([]byte{'f'})
+		writeUint64(h, math.Float64bits(v.Float()))
+	case reflect.String:
+		h.Write([]byte{'s'})
+		writeString(h, v.String())
+	case reflect.Slice, reflect.Array:
+		h.Write([]byte{'l'})
+		writeUint64(h, uint64(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			writeValue(h, v.Index(i))
+		}
+	case reflect.Struct:
+		t := v.Type()
+		names := make([]string, 0, t.NumField())
+		for i := 0; i < t.NumField(); i++ {
+			if t.Field(i).IsExported() {
+				names = append(names, t.Field(i).Name)
+			}
+		}
+		sort.Strings(names)
+		h.Write([]byte{'{'})
+		writeUint64(h, uint64(len(names)))
+		for _, name := range names {
+			writeString(h, name)
+			writeValue(h, v.FieldByName(name))
+		}
+	default:
+		// sim.Config is a plain-data struct; any future field of an
+		// unhashable kind must fail loudly, not silently alias configs.
+		panic(fmt.Sprintf("cache: cannot hash %s field in sim.Config", v.Kind()))
+	}
+}
+
+func writeUint64(h hash.Hash, x uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], x)
+	h.Write(b[:])
+}
+
+func writeString(h hash.Hash, s string) {
+	writeUint64(h, uint64(len(s)))
+	h.Write([]byte(s))
+}

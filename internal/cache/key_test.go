@@ -1,0 +1,157 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"reflect"
+	"testing"
+
+	"svard/internal/sim"
+)
+
+func TestKeyDeterministic(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Mix = []string{"mcf06", "lbm06"}
+	if Key(cfg) != Key(cfg) {
+		t.Fatal("same config hashed to different keys")
+	}
+	other := cfg
+	other.Mix = append([]string(nil), cfg.Mix...)
+	if Key(cfg) != Key(other) {
+		t.Fatal("equal configs with distinct Mix backing arrays hashed differently")
+	}
+}
+
+// TestKeyCoversEveryField mutates each field of sim.Config (recursing
+// into nested structs) and asserts the key changes, so no two configs
+// differing in any knob can ever collide — and a future Config field is
+// covered the day it is added, with no cache code change.
+func TestKeyCoversEveryField(t *testing.T) {
+	base := sim.DefaultConfig()
+	base.Mix = []string{"mcf06", "lbm06"}
+	baseKey := Key(base)
+
+	var mutate func(t *testing.T, path string, v reflect.Value)
+	mutate = func(t *testing.T, path string, v reflect.Value) {
+		switch v.Kind() {
+		case reflect.Struct:
+			for i := 0; i < v.Type().NumField(); i++ {
+				f := v.Type().Field(i)
+				if f.IsExported() {
+					mutate(t, path+f.Name, v.Field(i))
+				}
+			}
+			return
+		case reflect.Bool:
+			v.SetBool(!v.Bool())
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			v.SetInt(v.Int() + 1)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			v.SetUint(v.Uint() + 1)
+		case reflect.Float32, reflect.Float64:
+			v.SetFloat(v.Float() + 0.5)
+		case reflect.String:
+			v.SetString(v.String() + "x")
+		case reflect.Slice:
+			v.Set(reflect.Append(v, reflect.Zero(v.Type().Elem())))
+		default:
+			t.Fatalf("%s: unhandled kind %s — extend this test and cache.writeValue", path, v.Kind())
+		}
+	}
+
+	walkLeaves(t, reflect.TypeOf(base), "", func(path string) {
+		cfg := base // fresh copy per leaf
+		v := reflect.ValueOf(&cfg).Elem()
+		leaf := fieldByPath(v, path)
+		mutate(t, path, leaf)
+		if Key(cfg) == baseKey {
+			t.Errorf("mutating %s did not change the cache key", path)
+		}
+	})
+}
+
+// walkLeaves visits the dotted path of every exported leaf field.
+func walkLeaves(t *testing.T, typ reflect.Type, prefix string, visit func(path string)) {
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		path := f.Name
+		if prefix != "" {
+			path = prefix + "." + f.Name
+		}
+		if f.Type.Kind() == reflect.Struct {
+			walkLeaves(t, f.Type, path, visit)
+		} else {
+			visit(path)
+		}
+	}
+}
+
+func fieldByPath(v reflect.Value, path string) reflect.Value {
+	for {
+		for i := 0; i < len(path); i++ {
+			if path[i] == '.' {
+				v = v.FieldByName(path[:i])
+				path = path[i+1:]
+				goto next
+			}
+		}
+		return v.FieldByName(path)
+	next:
+	}
+}
+
+// The two collision pairs the issue calls out explicitly: WindowScale
+// and Svard are the knobs most likely to be "forgotten" by a
+// hand-written key.
+func TestKeyDistinguishesWindowScaleAndSvard(t *testing.T) {
+	a := sim.DefaultConfig()
+	a.Mix = []string{"mcf06"}
+
+	b := a
+	b.WindowScale = a.WindowScale * 2
+	if Key(a) == Key(b) {
+		t.Error("configs differing only in WindowScale collided")
+	}
+
+	c := a
+	c.Svard = !a.Svard
+	if Key(a) == Key(c) {
+		t.Error("configs differing only in Svard collided")
+	}
+}
+
+// TestKeyMixFraming: the encoding must be self-delimiting, so adjacent
+// Mix entries cannot be re-split into a colliding configuration.
+func TestKeyMixFraming(t *testing.T) {
+	a := sim.DefaultConfig()
+	a.Mix = []string{"mcf06", "lbm06"}
+	b := sim.DefaultConfig()
+	b.Mix = []string{"mcf06lbm06"}
+	c := sim.DefaultConfig()
+	c.Mix = []string{"mcf06", "lbm06", ""}
+	if Key(a) == Key(b) || Key(a) == Key(c) {
+		t.Error("Mix framing is not self-delimiting")
+	}
+}
+
+// TestHashFieldOrderIndependence: struct fields are hashed in sorted
+// name order, so reordering a struct's declaration does not silently
+// invalidate every cached entry.
+func TestHashFieldOrderIndependence(t *testing.T) {
+	type ab struct {
+		A int
+		B string
+	}
+	type ba struct {
+		B string
+		A int
+	}
+	h1, h2 := sha256.New(), sha256.New()
+	writeValue(h1, reflect.ValueOf(ab{A: 7, B: "x"}))
+	writeValue(h2, reflect.ValueOf(ba{A: 7, B: "x"}))
+	if string(h1.Sum(nil)) != string(h2.Sum(nil)) {
+		t.Error("field order changed the hash")
+	}
+}

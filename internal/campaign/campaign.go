@@ -1,0 +1,292 @@
+// Package campaign is the resumable sweep engine over the
+// content-addressed result cache (internal/cache): a campaign is a
+// declarative description of which figures to regenerate and which
+// defenses, thresholds, profiles, and workload mixes to sweep; the
+// engine expands it to the flat simulation job list, routes every job
+// through cache-then-sim.Run, journals completed jobs, and picks an
+// interrupted campaign back up exactly where it stopped.
+//
+// Correctness never depends on the journal: the cache is keyed by the
+// full simulation configuration, so a restarted campaign recomputes only
+// the cells it has never finished, and the folded figure cells are
+// bit-identical whether the cache was cold, warm, or mixed (asserted
+// against internal/sim's golden fixtures by this package's tests).
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"svard/internal/cache"
+	"svard/internal/profile"
+	"svard/internal/sim"
+	"svard/internal/trace"
+)
+
+// Spec declares one campaign. The zero value of every field selects the
+// paper's defaults (both figures, all five defenses, the 4K..64
+// threshold sweep, the three representative profiles, MixCount drawn
+// mixes), so the smallest useful spec is just a Base config.
+type Spec struct {
+	Name    string   `json:"name,omitempty"`
+	Figures []string `json:"figures,omitempty"` // subset of "fig12", "fig13"; empty = both
+
+	// Base carries the sizing knobs (cores, instructions, module scale,
+	// seed). The per-job fields the expansion owns — Mix, ModuleLabel,
+	// Defense, Svard, NRH — are overwritten per cell.
+	Base sim.Config `json:"base"`
+
+	Mixes    [][]string `json:"mixes,omitempty"`     // explicit Fig. 12 mixes
+	MixCount int        `json:"mix_count,omitempty"` // mixes drawn from the catalog if Mixes is empty (default 4)
+	NRHs     []float64  `json:"nrhs,omitempty"`
+	Defenses []string   `json:"defenses,omitempty"`
+	Profiles []string   `json:"profiles,omitempty"`
+
+	Benign []string `json:"benign,omitempty"` // Fig. 13 benign workloads
+	NRH13  float64  `json:"nrh13,omitempty"`  // Fig. 13 threshold (default 64)
+}
+
+// Figures a campaign can regenerate.
+const (
+	Fig12 = "fig12"
+	Fig13 = "fig13"
+)
+
+// Normalized returns the spec with every default filled in — the
+// figures, the drawn mixes, the mix count — so it fully pins the
+// campaign (svard-sweep -print-spec emits it; saving it as a -spec file
+// reproduces the identical sweep even if the drawing defaults ever
+// change). Idempotent, and fingerprint-neutral: a spec and its
+// normalized form scope the same journal.
+func (s Spec) Normalized() Spec {
+	if len(s.Figures) == 0 {
+		s.Figures = []string{Fig12, Fig13}
+	}
+	if len(s.Mixes) == 0 {
+		n := s.MixCount
+		if n <= 0 {
+			n = 4
+		}
+		s.Mixes = trace.Mixes(n, s.Base.Cores, s.Base.Seed)
+		s.MixCount = n
+	}
+	return s
+}
+
+// Validate rejects a spec whose expansion would fail mid-sweep: unknown
+// figures, defenses, or workload names surface here, before any
+// simulation runs. User-supplied mixes (svard-sweep spec files) are
+// checked entry-by-entry through the same validator as the -mix flag.
+func (s Spec) Validate() error {
+	s = s.Normalized()
+	for _, f := range s.Figures {
+		if f != Fig12 && f != Fig13 {
+			return fmt.Errorf("campaign: unknown figure %q (have %s, %s)", f, Fig12, Fig13)
+		}
+	}
+	for _, d := range s.Defenses {
+		ok := false
+		for _, known := range sim.DefenseNames {
+			if d == known {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("campaign: unknown defense %q (have %s)", d, strings.Join(sim.DefenseNames, ", "))
+		}
+	}
+	for mi, mix := range s.Mixes {
+		if len(mix) != s.Base.Cores {
+			return fmt.Errorf("campaign: mix %d has %d workloads, need one per core (%d)", mi, len(mix), s.Base.Cores)
+		}
+		for _, w := range mix {
+			if err := trace.CheckWorkload(w); err != nil {
+				return fmt.Errorf("campaign: mix %d: %w", mi, err)
+			}
+		}
+	}
+	for _, p := range s.Profiles {
+		if _, ok := profile.SpecByLabel(p); !ok {
+			labels := make([]string, 0, len(profile.Table5()))
+			for _, spec := range profile.Table5() {
+				labels = append(labels, spec.Label)
+			}
+			return fmt.Errorf("campaign: unknown module profile %q (have %s)", p, strings.Join(labels, ", "))
+		}
+	}
+	for _, w := range s.Benign {
+		if err := trace.CheckWorkload(w); err != nil {
+			return fmt.Errorf("campaign: benign workloads: %w", err)
+		}
+	}
+	if s.has(Fig13) {
+		if _, err := sim.Fig13Jobs(s.fig13Options()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s Spec) has(figure string) bool {
+	for _, f := range s.Figures {
+		if f == figure {
+			return true
+		}
+	}
+	return false
+}
+
+// fig12Options expands the (normalized) spec for the Fig. 12 sweep.
+func (s Spec) fig12Options() sim.Fig12Options {
+	return sim.Fig12Options{
+		Base:     s.Base,
+		Mixes:    s.Mixes,
+		NRHs:     s.NRHs,
+		Defenses: s.Defenses,
+		Profiles: s.Profiles,
+	}
+}
+
+// fig13Options expands the (normalized) spec for the Fig. 13 sweep.
+func (s Spec) fig13Options() sim.Fig13Options {
+	return sim.Fig13Options{
+		Base:     s.Base,
+		NRH:      s.NRH13,
+		Benign:   s.Benign,
+		Profiles: s.Profiles,
+	}
+}
+
+// Jobs returns the campaign's full flat job list across its figures, the
+// same expansion the engine executes. Callers use it to size a campaign
+// (and the checkpoint journal) before running it.
+func (s Spec) Jobs() ([]sim.Job, error) {
+	s = s.Normalized()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var jobs []sim.Job
+	if s.has(Fig12) {
+		jobs = append(jobs, sim.Fig12Jobs(s.fig12Options())...)
+	}
+	if s.has(Fig13) {
+		j, err := sim.Fig13Jobs(s.fig13Options())
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j...)
+	}
+	return jobs, nil
+}
+
+// Fingerprint identifies the campaign for checkpointing: a hex SHA-256
+// of the normalized spec's canonical JSON. Two invocations with the same
+// knobs resume each other's journal; any changed knob is a different
+// campaign (its jobs may still hit the shared result cache — content
+// addressing is per cell, the fingerprint only scopes the journal).
+func (s Spec) Fingerprint() string {
+	b, err := json.Marshal(s.Normalized())
+	if err != nil {
+		// Spec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("campaign: fingerprint: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Outcome is a completed campaign: the folded figure cells plus the
+// run's accounting.
+type Outcome struct {
+	Fig12 []sim.Fig12Cell
+	Fig13 []sim.Fig13Cell
+
+	Total   int         // simulation jobs in the campaign
+	Resumed int         // jobs already journaled as complete when the run started
+	Stats   cache.Stats // cache counters delta for this run
+}
+
+// Engine executes campaigns. Fields are read-only during Run.
+type Engine struct {
+	Store   *cache.Store // result cache (required)
+	Workers int          // max concurrent simulations (<= 0: GOMAXPROCS)
+
+	// Resume picks up the campaign's journal from a previous interrupted
+	// run of the same spec instead of starting a fresh one. Results are
+	// identical either way (the cache is consulted unconditionally);
+	// Resume preserves the completed-job accounting across restarts.
+	Resume bool
+
+	// Sim is the base executor a cache miss falls back to (nil: sim.Run).
+	// Tests inject failing or counting runners here.
+	Sim sim.Runner
+
+	Progress func(string)
+}
+
+// Run executes the campaign, reusing every cached cell and journaling
+// each completed job so an interrupted run can be resumed. On error
+// (including an interruption injected through Sim), everything completed
+// so far remains in the cache and the journal.
+func (e *Engine) Run(spec Spec) (*Outcome, error) {
+	if e.Store == nil {
+		return nil, fmt.Errorf("campaign: engine has no result store")
+	}
+	spec = spec.Normalized()
+	jobs, err := spec.Jobs() // validates the spec as it expands
+	if err != nil {
+		return nil, err
+	}
+
+	j, err := openJournal(e.Store.Dir(), spec.Fingerprint(), len(jobs), e.Resume)
+	if err != nil {
+		return nil, err
+	}
+	defer j.close()
+
+	before := e.Store.Stats()
+	out := &Outcome{Total: len(jobs), Resumed: j.resumed()}
+
+	base := e.Sim
+	if base == nil {
+		base = sim.Run
+	}
+	runner := func(cfg sim.Config) (sim.Result, error) {
+		res, err := e.Store.GetOrCompute(cfg, base)
+		if err == nil {
+			j.done(cache.Key(cfg))
+		}
+		return res, err
+	}
+
+	for _, figure := range spec.Figures {
+		switch figure {
+		case Fig12:
+			opt := spec.fig12Options()
+			opt.Workers, opt.Runner, opt.Progress = e.Workers, runner, e.Progress
+			if out.Fig12, err = sim.RunFig12(opt); err != nil {
+				return nil, err
+			}
+		case Fig13:
+			opt := spec.fig13Options()
+			opt.Workers, opt.Runner, opt.Progress = e.Workers, runner, e.Progress
+			if out.Fig13, err = sim.RunFig13(opt); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	after := e.Store.Stats()
+	out.Stats = cache.Stats{
+		MemHits:  after.MemHits - before.MemHits,
+		DiskHits: after.DiskHits - before.DiskHits,
+		Misses:   after.Misses - before.Misses,
+		Deduped:  after.Deduped - before.Deduped,
+		Corrupt:  after.Corrupt - before.Corrupt,
+		Writes:   after.Writes - before.Writes,
+	}
+	return out, nil
+}

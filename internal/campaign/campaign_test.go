@@ -1,0 +1,328 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"svard/internal/cache"
+	"svard/internal/sim"
+)
+
+// fig12GoldenFile mirrors internal/sim's golden fixture layout: the
+// exact options the fixture swept plus the recorded cells, so this
+// package replays the identical sweep without depending on sim's test
+// internals.
+type fig12GoldenFile struct {
+	Base     sim.Config
+	Mixes    [][]string
+	NRHs     []float64
+	Defenses []string
+	Profiles []string
+	Cells    []sim.Fig12Cell
+}
+
+// goldenSpec loads internal/sim's Fig. 12 golden fixture and rebuilds
+// the campaign spec that sweeps exactly those cells.
+func goldenSpec(t *testing.T) (Spec, []sim.Fig12Cell) {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "sim", "testdata", "fig12_golden.json"))
+	if err != nil {
+		t.Fatalf("%v (generate with: go test ./internal/sim/ -run Golden -update)", err)
+	}
+	var g fig12GoldenFile
+	if err := json.Unmarshal(b, &g); err != nil {
+		t.Fatal(err)
+	}
+	return Spec{
+		Figures:  []string{Fig12},
+		Base:     g.Base,
+		Mixes:    g.Mixes,
+		NRHs:     g.NRHs,
+		Defenses: g.Defenses,
+		Profiles: g.Profiles,
+	}, g.Cells
+}
+
+func newStore(t *testing.T, dir string) *cache.Store {
+	t.Helper()
+	s, err := cache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// countingSim wraps sim.Run, counting real simulations.
+func countingSim(calls *atomic.Int64) sim.Runner {
+	return func(cfg sim.Config) (sim.Result, error) {
+		calls.Add(1)
+		return sim.Run(cfg)
+	}
+}
+
+// failAfter runs real simulations until n have succeeded, then fails
+// every later job — the model of a campaign killed mid-sweep.
+func failAfter(n int64, calls *atomic.Int64) sim.Runner {
+	return func(cfg sim.Config) (sim.Result, error) {
+		if calls.Add(1) > n {
+			return sim.Result{}, errors.New("interrupted")
+		}
+		return sim.Run(cfg)
+	}
+}
+
+// TestCampaignColdThenWarmMatchesGolden: a cold campaign reproduces the
+// golden cells exactly; a warm re-run over the same store recomputes
+// nothing and reproduces them again (cold vs warm sweep equivalence).
+func TestCampaignColdThenWarmMatchesGolden(t *testing.T) {
+	spec, golden := goldenSpec(t)
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := newStore(t, t.TempDir())
+
+	var calls atomic.Int64
+	eng := &Engine{Store: store, Workers: 4, Sim: countingSim(&calls)}
+	cold, err := eng.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold.Fig12, golden) {
+		t.Fatalf("cold campaign cells differ from golden fixture:\ngot  %+v\nwant %+v", cold.Fig12, golden)
+	}
+	if cold.Total != len(jobs) || int(calls.Load()) != len(jobs) {
+		t.Errorf("cold run: total=%d sims=%d, want %d", cold.Total, calls.Load(), len(jobs))
+	}
+	if cold.Stats.Misses != uint64(len(jobs)) || cold.Stats.Hits() != 0 {
+		t.Errorf("cold stats = %v", cold.Stats)
+	}
+
+	warm, err := eng.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm.Fig12, golden) {
+		t.Fatal("warm campaign cells differ from golden fixture")
+	}
+	if int(calls.Load()) != len(jobs) {
+		t.Errorf("warm run re-simulated: %d total sims, want %d", calls.Load(), len(jobs))
+	}
+	if warm.Stats.Misses != 0 || warm.Stats.Hits() != uint64(len(jobs)) {
+		t.Errorf("warm stats = %v", warm.Stats)
+	}
+}
+
+// TestCampaignInterruptedThenResumed is the acceptance criterion: a
+// Fig. 12 sweep interrupted mid-run and restarted with resume completes
+// from cached cells and produces cells bit-identical to a single cold
+// serial run (the golden fixture, which -update records from a serial
+// sweep).
+func TestCampaignInterruptedThenResumed(t *testing.T) {
+	spec, golden := goldenSpec(t)
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	const interruptAt = 5
+
+	// First run: killed after 5 completed simulations.
+	var calls1 atomic.Int64
+	eng1 := &Engine{Store: newStore(t, dir), Workers: 2, Sim: failAfter(interruptAt, &calls1)}
+	if _, err := eng1.Run(spec); err == nil {
+		t.Fatal("interrupted campaign reported success")
+	} else if !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// Restart in a fresh store (fresh process, in effect), resuming.
+	var calls2 atomic.Int64
+	eng2 := &Engine{Store: newStore(t, dir), Workers: 2, Resume: true, Sim: countingSim(&calls2)}
+	out, err := eng2.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Fig12, golden) {
+		t.Fatalf("resumed campaign cells differ from the cold serial golden run:\ngot  %+v\nwant %+v", out.Fig12, golden)
+	}
+	if out.Resumed != interruptAt {
+		t.Errorf("Resumed = %d, want %d journaled jobs from the interrupted run", out.Resumed, interruptAt)
+	}
+	want := int64(len(jobs) - interruptAt)
+	if calls2.Load() != want {
+		t.Errorf("resume re-simulated %d jobs, want %d (the %d interrupted-run cells must come from cache)",
+			calls2.Load(), want, interruptAt)
+	}
+	if out.Stats.DiskHits != interruptAt {
+		t.Errorf("resume stats = %v, want %d disk hits", out.Stats, interruptAt)
+	}
+}
+
+// fakeSim is a cheap deterministic stand-in for sim.Run for tests that
+// exercise engine accounting, not simulation.
+func fakeSim(cfg sim.Config) (sim.Result, error) {
+	ipc := make([]float64, cfg.Cores)
+	for i := range ipc {
+		ipc[i] = 1 + float64(i)*0.25 + cfg.NRH/1e6
+	}
+	return sim.Result{IPC: ipc, Cycles: 1000, Finished: true}, nil
+}
+
+func tinySpec() Spec {
+	base := sim.DefaultConfig()
+	base.Cores = 2
+	return Spec{
+		Figures:  []string{Fig12, Fig13},
+		Base:     base,
+		Mixes:    [][]string{{"mcf06", "lbm06"}},
+		NRHs:     []float64{64},
+		Defenses: []string{"para"},
+		Profiles: []string{"S0"},
+		Benign:   []string{"mcf06"},
+	}
+}
+
+func TestEngineMemoryOnlyStore(t *testing.T) {
+	store := newStore(t, "") // no disk: still deduplicates and folds
+	eng := &Engine{Store: store, Workers: 2, Sim: fakeSim}
+	out, err := eng.Run(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fig12: 1 baseline + 1*1*2*1*1 cells = 3; fig13: 2*(2+1) = 6.
+	if out.Total != 9 {
+		t.Errorf("Total = %d, want 9", out.Total)
+	}
+	if len(out.Fig12) != 2 { // NoSvard + Svard-S0
+		t.Errorf("Fig12 cells = %d, want 2", len(out.Fig12))
+	}
+	if len(out.Fig13) != 4 {
+		t.Errorf("Fig13 cells = %d, want 4", len(out.Fig13))
+	}
+	if out.Stats.Writes != 0 {
+		t.Errorf("memory-only store wrote %d disk entries", out.Stats.Writes)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	for name, breakIt := range map[string]func(*Spec){
+		"unknown-figure":   func(s *Spec) { s.Figures = []string{"fig99"} },
+		"unknown-defense":  func(s *Spec) { s.Defenses = []string{"guardian"} },
+		"unknown-workload": func(s *Spec) { s.Mixes = [][]string{{"mcf06", "no-such"}} },
+		"unknown-profile":  func(s *Spec) { s.Profiles = []string{"S0", "X9"} },
+		"unknown-attack":   func(s *Spec) { s.Mixes = [][]string{{"mcf06", "attack:nope"}} },
+		"short-mix":        func(s *Spec) { s.Mixes = [][]string{{"mcf06"}} },
+		"bad-benign":       func(s *Spec) { s.Benign = []string{"no-such"} },
+		"fig13-one-core":   func(s *Spec) { s.Base.Cores = 1; s.Mixes = [][]string{{"mcf06"}} },
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := tinySpec()
+			breakIt(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("validation accepted a broken spec")
+			}
+		})
+	}
+	if err := tinySpec().Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestSpecFingerprint(t *testing.T) {
+	a, b := tinySpec(), tinySpec()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical specs fingerprint differently")
+	}
+	b.NRHs = []float64{128}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("different sweeps share a fingerprint")
+	}
+	// Normalization makes implicit and explicit defaults agree.
+	c := tinySpec()
+	c.Figures = nil
+	d := tinySpec()
+	d.Figures = []string{Fig12, Fig13}
+	if c.Fingerprint() != d.Fingerprint() {
+		t.Error("default figures fingerprint differently from explicit ones")
+	}
+}
+
+func TestJournalTornLineAndResume(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir, strings.Repeat("ab", 32), 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := strings.Repeat("11", 32), strings.Repeat("22", 32)
+	j.done(k1)
+	j.done(k2)
+	j.done(k2) // idempotent
+	j.close()
+
+	// Simulate a crash mid-append: a torn half-written key.
+	path := journalPath(dir, strings.Repeat("ab", 32))
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString(strings.Repeat("33", 10))
+	f.Close()
+
+	r, err := openJournal(dir, strings.Repeat("ab", 32), 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.resumed() != 2 {
+		t.Errorf("resumed = %d, want 2 (torn line must be dropped)", r.resumed())
+	}
+	// A key appended right after the torn line must not be glued onto it:
+	// the next resume still sees it.
+	k3 := strings.Repeat("44", 32)
+	r.done(k3)
+	r.close()
+	r2, err := openJournal(dir, strings.Repeat("ab", 32), 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.close()
+	if r2.resumed() != 3 {
+		t.Errorf("resumed = %d, want 3 (key after torn line must survive)", r2.resumed())
+	}
+
+	// Without resume, the journal restarts from zero.
+	fresh, err := openJournal(dir, strings.Repeat("ab", 32), 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.close()
+	if fresh.resumed() != 0 {
+		t.Errorf("fresh journal resumed %d", fresh.resumed())
+	}
+}
+
+func TestSpecJobsCounts(t *testing.T) {
+	spec, _ := goldenSpec(t)
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// baselines: 1 profile x 2 mixes; cells: 2 defenses x 2 nRHs x
+	// 2 svard x 1 profile x 2 mixes.
+	if want := 2 + 16; len(jobs) != want {
+		t.Errorf("jobs = %d, want %d", len(jobs), want)
+	}
+	// Every job must carry a complete, runnable config with a distinct
+	// cache key (the engine relies on key uniqueness for journaling).
+	seen := map[string]bool{}
+	for _, job := range jobs {
+		key := cache.Key(job.Config)
+		if seen[key] {
+			t.Errorf("duplicate cache key for job %q", job.Label)
+		}
+		seen[key] = true
+	}
+}

@@ -10,6 +10,35 @@ import (
 	"svard/internal/trace"
 )
 
+// Runner executes one simulation of a sweep. RunFig12 and RunFig13 route
+// every job through their options' Runner, so a caller can interpose on
+// the unit of work — the campaign engine (internal/campaign) injects a
+// runner that consults the content-addressed result cache before falling
+// back to Run. A nil Runner means Run itself. A Runner must be
+// deterministic in its Config (Run is) and safe for concurrent use.
+type Runner func(Config) (Result, error)
+
+// Job is one simulation of a sweep's flat job list: the full Config it
+// runs plus a human-readable progress label.
+type Job struct {
+	Label  string
+	Config Config
+}
+
+// runJobs fans the job list out over the deterministic worker pool,
+// routing each job through run (nil: Run). Results come back in job
+// order, bit-identical for any worker count.
+func runJobs(workers int, run Runner, progress func(string), jobs []Job) ([]Result, error) {
+	if run == nil {
+		run = Run
+	}
+	report := exec.Progress(progress)
+	return exec.Map(workers, len(jobs), func(i int) (Result, error) {
+		report(jobs[i].Label)
+		return run(jobs[i].Config)
+	})
+}
+
 // Fig12Options parameterizes the Fig. 12 sweep: five defenses, with and
 // without Svärd (one configuration per representative manufacturer
 // profile), across worst-case HCfirst values from 4K down to 64.
@@ -20,7 +49,26 @@ type Fig12Options struct {
 	Defenses []string   // default all five
 	Profiles []string   // default S0, M0, H1
 	Workers  int        // max concurrent simulations (<= 0: GOMAXPROCS)
+	Runner   Runner     // per-job executor (nil: Run); see Runner
 	Progress func(string)
+}
+
+// fill applies the sweep defaults; it is idempotent, so RunFig12 and
+// Fig12Jobs agree on the expansion no matter which is called first.
+func (opt Fig12Options) fill() Fig12Options {
+	if len(opt.Mixes) == 0 {
+		opt.Mixes = trace.Mixes(4, opt.Base.Cores, opt.Base.Seed)
+	}
+	if len(opt.NRHs) == 0 {
+		opt.NRHs = DefaultNRHs()
+	}
+	if len(opt.Defenses) == 0 {
+		opt.Defenses = DefenseNames
+	}
+	if len(opt.Profiles) == 0 {
+		opt.Profiles = profile.RepresentativeLabels()
+	}
+	return opt
 }
 
 // DefaultNRHs returns the paper's swept worst-case HCfirst values.
@@ -41,132 +89,98 @@ type Fig12Cell struct {
 	Violations uint64
 }
 
-// runMetrics is the outcome of one (defense, nRH, module, svard, mix)
-// simulation, the atomic unit of the Fig. 12 sweep.
-type runMetrics struct {
-	ws, hs, ms float64
-	violations uint64
-}
-
-// RunFig12 executes the sweep and returns cells in (defense, nRH,
-// config) order.
-//
-// The sweep's cells are fully independent simulations, so they are
-// fanned out over a deterministic worker pool (see internal/exec):
-// baselines first, then every (defense, nRH, module, svard, mix) cell.
-// Results are bit-identical for any Workers value, including 1.
-func RunFig12(opt Fig12Options) ([]Fig12Cell, error) {
-	if len(opt.Mixes) == 0 {
-		opt.Mixes = trace.Mixes(4, opt.Base.Cores, opt.Base.Seed)
-	}
-	if len(opt.NRHs) == 0 {
-		opt.NRHs = DefaultNRHs()
-	}
-	if len(opt.Defenses) == 0 {
-		opt.Defenses = DefenseNames
-	}
-	if len(opt.Profiles) == 0 {
-		opt.Profiles = profile.RepresentativeLabels()
-	}
-	progress := exec.Progress(opt.Progress)
-
-	// Phase 1 — baselines: per (module, mix), defense-free.
-	type runKey struct {
-		module string
-		mix    int
-	}
-	var baseJobs []runKey
+// Fig12Jobs expands the sweep into its flat job list, the enumeration
+// every execution path shares: the defense-free baselines first (one per
+// (module, mix), module-major), then one job per
+// (defense, nRH, svard, module, mix) cell in the exact order the serial
+// sweep visits them. The campaign engine uses the same expansion to size
+// and checkpoint a campaign before running it.
+func Fig12Jobs(opt Fig12Options) []Job {
+	opt = opt.fill()
+	var jobs []Job
 	for _, mod := range opt.Profiles {
 		for mi := range opt.Mixes {
-			baseJobs = append(baseJobs, runKey{mod, mi})
+			cfg := opt.Base
+			cfg.ModuleLabel = mod
+			cfg.Mix = opt.Mixes[mi]
+			cfg.Defense = "none"
+			jobs = append(jobs, Job{
+				Label:  fmt.Sprintf("baseline %s mix %d", mod, mi),
+				Config: cfg,
+			})
 		}
 	}
-	baseIPCs, err := exec.Map(opt.Workers, len(baseJobs), func(i int) ([]float64, error) {
-		j := baseJobs[i]
-		cfg := opt.Base
-		cfg.ModuleLabel = j.module
-		cfg.Mix = opt.Mixes[j.mix]
-		cfg.Defense = "none"
-		progress(fmt.Sprintf("baseline %s mix %d", j.module, j.mix))
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return res.IPC, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	baselines := map[runKey][]float64{}
-	for i, j := range baseJobs {
-		baselines[j] = baseIPCs[i]
-	}
-
-	// Phase 2 — the full cell fan-out: one job per
-	// (defense, nRH, module, svard, mix) simulation, enumerated in the
-	// exact order the serial sweep visits them.
-	type cellJob struct {
-		defense string
-		nrh     float64
-		module  string
-		svard   bool
-		mix     int
-	}
-	var jobs []cellJob
 	for _, defense := range opt.Defenses {
 		for _, nrh := range opt.NRHs {
 			for _, svard := range []bool{false, true} {
 				for _, mod := range opt.Profiles {
 					for mi := range opt.Mixes {
-						jobs = append(jobs, cellJob{defense, nrh, mod, svard, mi})
+						cfg := opt.Base
+						cfg.ModuleLabel = mod
+						cfg.Mix = opt.Mixes[mi]
+						cfg.Defense = defense
+						cfg.NRH = nrh
+						cfg.Svard = svard
+						name := "NoSvard (" + mod + ")"
+						if svard {
+							name = "Svard-" + mod
+						}
+						jobs = append(jobs, Job{
+							Label:  fmt.Sprintf("%s nRH=%v %s mix %d", defense, nrh, name, mi),
+							Config: cfg,
+						})
 					}
 				}
 			}
 		}
 	}
-	perRun, err := exec.Map(opt.Workers, len(jobs), func(i int) (runMetrics, error) {
-		j := jobs[i]
-		cfg := opt.Base
-		cfg.ModuleLabel = j.module
-		cfg.Mix = opt.Mixes[j.mix]
-		cfg.Defense = j.defense
-		cfg.NRH = j.nrh
-		cfg.Svard = j.svard
-		name := "NoSvard (" + j.module + ")"
-		if j.svard {
-			name = "Svard-" + j.module
-		}
-		progress(fmt.Sprintf("%s nRH=%v %s mix %d", j.defense, j.nrh, name, j.mix))
-		res, err := Run(cfg)
-		if err != nil {
-			return runMetrics{}, err
-		}
-		base := baselines[runKey{j.module, j.mix}]
-		cores := make([]metrics.PerCore, len(res.IPC))
-		for c := range cores {
-			cores[c] = metrics.PerCore{BaselineIPC: base[c], IPC: res.IPC[c]}
-		}
-		return runMetrics{
-			ws:         metrics.WeightedSpeedup(cores),
-			hs:         metrics.HarmonicSpeedup(cores),
-			ms:         metrics.MaxSlowdown(cores),
-			violations: res.Violations,
-		}, nil
-	})
+	return jobs
+}
+
+// RunFig12 executes the sweep and returns cells in (defense, nRH,
+// config) order.
+//
+// The sweep's cells are fully independent simulations: Fig12Jobs
+// enumerates them as one flat list (baselines, then every
+// (defense, nRH, module, svard, mix) cell), each job flows through
+// opt.Runner (default Run) on the deterministic worker pool, and the
+// results fold back into cells by walking the same enumeration. Cells
+// are bit-identical for any Workers value and for any Runner that is
+// faithful to Run — in particular with the campaign engine's result
+// cache cold, warm, or mixed.
+func RunFig12(opt Fig12Options) ([]Fig12Cell, error) {
+	opt = opt.fill()
+	jobs := Fig12Jobs(opt)
+	results, err := runJobs(opt.Workers, opt.Runner, opt.Progress, jobs)
 	if err != nil {
 		return nil, err
 	}
 
-	// Phase 3 — fold the per-run metrics back into cells, walking the
-	// job list in its (deterministic) enumeration order.
-	foldCell := func(defense string, nrh float64, per []runMetrics) Fig12Cell {
+	// The first len(Profiles)*len(Mixes) results are the baselines, in
+	// module-major order.
+	nMix := len(opt.Mixes)
+	baseline := func(modIdx, mixIdx int) []float64 {
+		return results[modIdx*nMix+mixIdx].IPC
+	}
+	next := len(opt.Profiles) * nMix
+
+	// Fold the per-run results back into cells, walking the job list in
+	// its (deterministic) enumeration order.
+	foldCell := func(defense string, nrh float64, modIdx int) Fig12Cell {
 		cell := Fig12Cell{Defense: defense, NRH: nrh}
 		var wss, hss, mss []float64
-		for _, r := range per {
-			cell.Violations += r.violations
-			wss = append(wss, r.ws)
-			hss = append(hss, r.hs)
-			mss = append(mss, r.ms)
+		for mi := 0; mi < nMix; mi++ {
+			res := results[next]
+			next++
+			base := baseline(modIdx, mi)
+			cores := make([]metrics.PerCore, len(res.IPC))
+			for c := range cores {
+				cores[c] = metrics.PerCore{BaselineIPC: base[c], IPC: res.IPC[c]}
+			}
+			cell.Violations += res.Violations
+			wss = append(wss, metrics.WeightedSpeedup(cores))
+			hss = append(hss, metrics.HarmonicSpeedup(cores))
+			mss = append(mss, metrics.MaxSlowdown(cores))
 		}
 		cell.WS = mean(wss)
 		cell.HS = mean(hss)
@@ -175,25 +189,18 @@ func RunFig12(opt Fig12Options) ([]Fig12Cell, error) {
 		return cell
 	}
 
-	nMix := len(opt.Mixes)
-	next := 0
-	take := func() []runMetrics {
-		per := perRun[next : next+nMix]
-		next += nMix
-		return per
-	}
 	var cells []Fig12Cell
 	for _, defense := range opt.Defenses {
 		for _, nrh := range opt.NRHs {
 			// No-Svärd: averaged over the three modules' chips (the
 			// defense sees only the single worst-case threshold).
 			var agg []Fig12Cell
-			for range opt.Profiles {
-				agg = append(agg, foldCell(defense, nrh, take()))
+			for modIdx := range opt.Profiles {
+				agg = append(agg, foldCell(defense, nrh, modIdx))
 			}
 			cells = append(cells, mergeCells(defense, nrh, "NoSvard", agg))
-			for _, mod := range opt.Profiles {
-				c := foldCell(defense, nrh, take())
+			for modIdx, mod := range opt.Profiles {
+				c := foldCell(defense, nrh, modIdx)
 				c.Config = "Svard-" + mod
 				cells = append(cells, c)
 			}
@@ -244,14 +251,13 @@ type Fig13Options struct {
 	NRH      float64  // paper: 64
 	Benign   []string // 7 benign workloads joining the attacker
 	Profiles []string
-	Workers  int // max concurrent simulations (<= 0: GOMAXPROCS)
+	Workers  int    // max concurrent simulations (<= 0: GOMAXPROCS)
+	Runner   Runner // per-job executor (nil: Run); see Runner
 	Progress func(string)
 }
 
-// RunFig13 evaluates Hydra's and RRS's adversarial access patterns.
-// Like RunFig12, the independent runs fan out over the exec pool and
-// the result is identical for any Workers value.
-func RunFig13(opt Fig13Options) ([]Fig13Cell, error) {
+// fill applies the adversarial sweep defaults (idempotent).
+func (opt Fig13Options) fill() Fig13Options {
 	if opt.NRH == 0 {
 		opt.NRH = 64
 	}
@@ -261,71 +267,95 @@ func RunFig13(opt Fig13Options) ([]Fig13Cell, error) {
 	if len(opt.Benign) == 0 {
 		opt.Benign = []string{"mcf06", "lbm06", "ycsb-a", "tpcc", "h264dec", "milc06", "xz17"}
 	}
+	return opt
+}
+
+// validate checks the core count against the mix the sweep builds.
+func (opt Fig13Options) validate() error {
 	// Each mix is 1 attacker + the benign workloads; the config must ask
 	// for at least one benign core (the slowdown metric averages over
 	// them) and no more cores than the mix can fill.
 	if opt.Base.Cores < 2 {
-		return nil, fmt.Errorf("sim: Fig. 13 needs >= 2 cores (1 attacker + >= 1 benign), got %d", opt.Base.Cores)
+		return fmt.Errorf("sim: Fig. 13 needs >= 2 cores (1 attacker + >= 1 benign), got %d", opt.Base.Cores)
 	}
 	if max := 1 + len(opt.Benign); opt.Base.Cores > max {
-		return nil, fmt.Errorf("sim: Fig. 13 mix has %d workloads (1 attacker + %d benign) but the config asks for %d cores; add Benign workloads or lower Cores",
+		return fmt.Errorf("sim: Fig. 13 mix has %d workloads (1 attacker + %d benign) but the config asks for %d cores; add Benign workloads or lower Cores",
 			max, len(opt.Benign), opt.Base.Cores)
 	}
-	progress := exec.Progress(opt.Progress)
+	return nil
+}
 
-	defenses := []string{"hydra", "rrs"}
-	// Per defense: baseline, NoSvard, then one Svärd run per profile —
-	// all independent, enumerated as one flat job list.
-	type advJob struct {
-		defense     string
-		module      string
-		withDefense bool
-		svard       bool
-		label       string
+// fig13Defenses are the defenses with known adversarial patterns: the
+// targets trace.AttackTargets declares. Config.generatorFor must build a
+// generator for every one of them — adding a target means adding its
+// "attack:<target>" case there too; TestAttackTargetsHaveGenerators
+// fails until both sides agree.
+var fig13Defenses = trace.AttackTargets
+
+// Fig13Jobs expands the adversarial evaluation into its flat job list:
+// per defense, the no-defense baseline, the defense without Svärd, then
+// one Svärd run per profile — all independent.
+func Fig13Jobs(opt Fig13Options) ([]Job, error) {
+	opt = opt.fill()
+	if err := opt.validate(); err != nil {
+		return nil, err
 	}
-	var jobs []advJob
-	mod0 := opt.Profiles[0]
-	for _, defense := range defenses {
-		jobs = append(jobs,
-			advJob{defense, mod0, false, false, defense + " baseline"},
-			advJob{defense, mod0, true, false, defense + " NoSvard"})
-		for _, mod := range opt.Profiles {
-			jobs = append(jobs, advJob{defense, mod, true, true, defense + " Svard-" + mod})
-		}
-	}
-	benignIPC, err := exec.Map(opt.Workers, len(jobs), func(i int) (float64, error) {
-		j := jobs[i]
-		mix := append([]string{"attack:" + j.defense}, opt.Benign...)
+	job := func(defense, module string, withDefense, svard bool, label string) Job {
+		mix := append([]string{"attack:" + defense}, opt.Benign...)
 		mix = mix[:opt.Base.Cores]
 		cfg := opt.Base
-		cfg.ModuleLabel = j.module
+		cfg.ModuleLabel = module
 		cfg.Mix = mix
 		cfg.NRH = opt.NRH
-		if j.withDefense {
-			cfg.Defense = j.defense
-			cfg.Svard = j.svard
+		if withDefense {
+			cfg.Defense = defense
+			cfg.Svard = svard
 		} else {
 			cfg.Defense = "none"
 		}
-		progress(j.label)
-		res, err := Run(cfg)
-		if err != nil {
-			return 0, err
+		return Job{Label: label, Config: cfg}
+	}
+	var jobs []Job
+	mod0 := opt.Profiles[0]
+	for _, defense := range fig13Defenses {
+		jobs = append(jobs,
+			job(defense, mod0, false, false, defense+" baseline"),
+			job(defense, mod0, true, false, defense+" NoSvard"))
+		for _, mod := range opt.Profiles {
+			jobs = append(jobs, job(defense, mod, true, true, defense+" Svard-"+mod))
 		}
-		// Mean IPC of the benign cores (core 0 is the attacker).
-		sum := 0.0
-		for c := 1; c < len(res.IPC); c++ {
-			sum += res.IPC[c]
-		}
-		return sum / float64(len(res.IPC)-1), nil
-	})
+	}
+	return jobs, nil
+}
+
+// RunFig13 evaluates Hydra's and RRS's adversarial access patterns.
+// Like RunFig12, the independent runs flow as a flat job list through
+// opt.Runner over the exec pool, and the cells are identical for any
+// Workers value and any Runner faithful to Run.
+func RunFig13(opt Fig13Options) ([]Fig13Cell, error) {
+	opt = opt.fill()
+	jobs, err := Fig13Jobs(opt)
+	if err != nil {
+		return nil, err
+	}
+	results, err := runJobs(opt.Workers, opt.Runner, opt.Progress, jobs)
 	if err != nil {
 		return nil, err
 	}
 
+	// Mean IPC of the benign cores (core 0 is the attacker).
+	benignIPC := make([]float64, len(results))
+	for i, res := range results {
+		sum := 0.0
+		for c := 1; c < len(res.IPC); c++ {
+			sum += res.IPC[c]
+		}
+		benignIPC[i] = sum / float64(len(res.IPC)-1)
+	}
+
 	var cells []Fig13Cell
 	next := 0
-	for _, defense := range defenses {
+	for _, defense := range fig13Defenses {
 		baseIPC := benignIPC[next]
 		noSvIPC := benignIPC[next+1]
 		next += 2

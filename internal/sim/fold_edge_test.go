@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// sameFloat compares exactly, treating NaN as equal to NaN.
+func sameFloat(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b
+}
+
+func TestMeanEdgeCases(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	for _, tc := range []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"empty-slice", []float64{}, 0},
+		{"single", []float64{3.25}, 3.25},
+		{"pair", []float64{1, 3}, 2},
+		{"nan-poisons", []float64{1, nan, 3}, nan},
+		{"plus-inf", []float64{1, inf}, inf},
+		{"minus-inf", []float64{1, -inf}, -inf},
+		{"inf-cancel", []float64{inf, -inf}, nan},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := mean(tc.in); !sameFloat(got, tc.want) {
+				t.Errorf("mean(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMinMaxEdgeCases(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	for _, tc := range []struct {
+		name   string
+		in     []float64
+		lo, hi float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{1.5}, 1.5, 1.5},
+		{"ordered", []float64{1, 2, 3}, 1, 3},
+		{"reversed", []float64{3, 2, 1}, 1, 3},
+		{"infinities", []float64{1, inf, -inf}, -inf, inf},
+		// NaN after the first element loses every comparison and is
+		// skipped; real extremes still track.
+		{"nan-later", []float64{2, nan, 1, 3}, 1, 3},
+		// A leading NaN also loses every comparison, so it sticks as
+		// both bounds — documented behavior, not a target.
+		{"nan-first", []float64{nan, 1, 3}, nan, nan},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			lo, hi := minMax(tc.in)
+			if !sameFloat(lo, tc.lo) || !sameFloat(hi, tc.hi) {
+				t.Errorf("minMax(%v) = %v, %v, want %v, %v", tc.in, lo, hi, tc.lo, tc.hi)
+			}
+		})
+	}
+}
+
+func TestMergeCellsEdgeCases(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cell := func(ws, hs, ms, lo, hi float64, v uint64) Fig12Cell {
+		return Fig12Cell{Defense: "rrs", NRH: 64, WS: ws, HS: hs, MS: ms, WSMin: lo, WSMax: hi, Violations: v}
+	}
+	for _, tc := range []struct {
+		name string
+		in   []Fig12Cell
+		want Fig12Cell
+	}{
+		{
+			// The previously untested path: no cells must fold to a
+			// finite zero cell, not an Inf-seeded span.
+			name: "empty",
+			in:   nil,
+			want: Fig12Cell{Defense: "rrs", NRH: 64, Config: "NoSvard"},
+		},
+		{
+			name: "single-cell-identity",
+			in:   []Fig12Cell{cell(0.8, 0.7, 1.3, 0.6, 0.9, 2)},
+			want: Fig12Cell{Defense: "rrs", NRH: 64, Config: "NoSvard", WS: 0.8, HS: 0.7, MS: 1.3, WSMin: 0.6, WSMax: 0.9, Violations: 2},
+		},
+		{
+			name: "averages-and-span-union",
+			in:   []Fig12Cell{cell(0.5, 0.4, 2, 0.4, 0.6, 1), cell(0.9, 0.8, 1, 0.3, 1.1, 2)},
+			want: Fig12Cell{Defense: "rrs", NRH: 64, Config: "NoSvard", WS: 0.7, HS: 0.6000000000000001, MS: 1.5, WSMin: 0.3, WSMax: 1.1, Violations: 3},
+		},
+		{
+			name: "inf-metric-propagates",
+			in:   []Fig12Cell{cell(inf, 0.5, 1, 0.4, 0.6, 0), cell(1, 0.5, 1, 0.4, 0.6, 0)},
+			want: Fig12Cell{Defense: "rrs", NRH: 64, Config: "NoSvard", WS: inf, HS: 0.5, MS: 1, WSMin: 0.4, WSMax: 0.6},
+		},
+		{
+			name: "nan-metric-poisons-mean-not-span",
+			in:   []Fig12Cell{cell(nan, 0.5, 1, nan, nan, 0), cell(1, 0.5, 1, 0.4, 0.6, 0)},
+			want: Fig12Cell{Defense: "rrs", NRH: 64, Config: "NoSvard", WS: nan, HS: 0.5, MS: 1, WSMin: 0.4, WSMax: 0.6},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := mergeCells("rrs", 64, "NoSvard", tc.in)
+			if got.Defense != tc.want.Defense || got.NRH != tc.want.NRH || got.Config != tc.want.Config ||
+				got.Violations != tc.want.Violations ||
+				!sameFloat(got.WS, tc.want.WS) || !sameFloat(got.HS, tc.want.HS) || !sameFloat(got.MS, tc.want.MS) ||
+				!sameFloat(got.WSMin, tc.want.WSMin) || !sameFloat(got.WSMax, tc.want.WSMax) {
+				t.Errorf("mergeCells(%v)\n got %+v\nwant %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"svard/internal/memctrl"
+	"svard/internal/trace"
+)
+
+// TestAttackTargetsHaveGenerators: every adversarial target the
+// validator (and thus Fig. 13's sweep) accepts must have a generator, so
+// a target added to trace.AttackTargets without a generatorFor case
+// fails here instead of mid-campaign.
+func TestAttackTargetsHaveGenerators(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	mcCfg := memctrl.DefaultConfig(cfg.RowsPerBank)
+	for _, target := range trace.AttackTargets {
+		if _, _, err := cfg.generatorFor(mcCfg, 0, "attack:"+target); err != nil {
+			t.Errorf("attack target %q has no generator: %v", target, err)
+		}
+	}
+}
+
+// FuzzGeneratorFor pins the contract between the campaign-spec validator
+// (trace.CheckWorkload, behind svard-sweep's -mix flag and spec files)
+// and the simulator's generator factory — including the "attack:" prefix
+// path RunFig13 builds its mixes with: the two must accept exactly the
+// same names, neither may panic, and every accepted generator must
+// produce accesses.
+func FuzzGeneratorFor(f *testing.F) {
+	f.Add("mcf06")
+	f.Add("attack:hydra")
+	f.Add("attack:rrs")
+	f.Add("attack:")
+	f.Add("attack:aqua")
+	f.Add("")
+	f.Add("ycsb-a\x00")
+	f.Fuzz(func(t *testing.T, name string) {
+		cfg := DefaultConfig()
+		cfg.Cores = 2
+		mcCfg := memctrl.DefaultConfig(cfg.RowsPerBank)
+
+		gen, uncached, err := cfg.generatorFor(mcCfg, 1, name)
+		simOK := err == nil
+		traceOK := trace.CheckWorkload(name) == nil
+		if simOK != traceOK {
+			t.Fatalf("validator and simulator disagree on %q: sim err=%v, trace err=%v",
+				name, err, trace.CheckWorkload(name))
+		}
+		if !simOK {
+			return
+		}
+		// Attackers bypass the LLC; benign workloads must not.
+		if wantUncached := len(name) > 7 && name[:7] == "attack:"; uncached != wantUncached {
+			t.Fatalf("%q: uncached = %v", name, uncached)
+		}
+		for i := 0; i < 16; i++ {
+			gap, _, _ := gen.Next()
+			if gap < 0 {
+				t.Fatalf("%q: negative instruction gap %d", name, gap)
+			}
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AttackTargets lists the defenses with modeled adversarial access
+// patterns; a mix entry "attack:<target>" selects the pattern instead of
+// a catalog workload (Fig. 13's attacker core).
+var AttackTargets = []string{"hydra", "rrs"}
+
+// CheckWorkload validates one mix entry: either a catalog workload name
+// or an "attack:<target>" adversarial pattern.
+func CheckWorkload(name string) error {
+	if target, ok := strings.CutPrefix(name, "attack:"); ok {
+		for _, a := range AttackTargets {
+			if target == a {
+				return nil
+			}
+		}
+		return fmt.Errorf("trace: unknown attack pattern %q (have attack:%s)",
+			name, strings.Join(AttackTargets, ", attack:"))
+	}
+	if _, ok := ByName(name); !ok {
+		return fmt.Errorf("trace: unknown workload %q", name)
+	}
+	return nil
+}
+
+// ParseMix parses a comma-separated workload mix as supplied to
+// svard-sweep ("mcf06, lbm06, attack:rrs, ..."), trimming whitespace and
+// validating every entry against the catalog and the attack patterns.
+// If cores > 0 the mix must have exactly that many entries.
+func ParseMix(s string, cores int) ([]string, error) {
+	parts := strings.Split(s, ",")
+	mix := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("trace: empty workload entry in mix %q", s)
+		}
+		if err := CheckWorkload(p); err != nil {
+			return nil, err
+		}
+		mix = append(mix, p)
+	}
+	if cores > 0 && len(mix) != cores {
+		return nil, fmt.Errorf("trace: mix %q has %d workloads, need one per core (%d)", s, len(mix), cores)
+	}
+	return mix, nil
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseMix(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		in    string
+		cores int
+		want  []string // nil: expect an error
+	}{
+		{"plain", "mcf06,lbm06", 2, []string{"mcf06", "lbm06"}},
+		{"spaces", " mcf06 ,\tlbm06 ", 2, []string{"mcf06", "lbm06"}},
+		{"attack-entries", "attack:hydra,mcf06", 0, []string{"attack:hydra", "mcf06"}},
+		{"attack-rrs", "attack:rrs", 1, []string{"attack:rrs"}},
+		{"any-count", "mcf06,lbm06,tpcc", 0, []string{"mcf06", "lbm06", "tpcc"}},
+		{"unknown-workload", "mcf06,nope", 2, nil},
+		{"unknown-attack", "attack:para,mcf06", 2, nil},
+		{"bare-attack-prefix", "attack:,mcf06", 2, nil},
+		{"empty-entry", "mcf06,,lbm06", 3, nil},
+		{"empty-string", "", 1, nil},
+		{"trailing-comma", "mcf06,lbm06,", 2, nil},
+		{"wrong-count", "mcf06,lbm06", 3, nil},
+		{"case-sensitive", "MCF06", 1, nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseMix(tc.in, tc.cores)
+			if tc.want == nil {
+				if err == nil {
+					t.Errorf("ParseMix(%q, %d) = %v, want error", tc.in, tc.cores, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseMix(%q, %d): %v", tc.in, tc.cores, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("ParseMix(%q, %d) = %v, want %v", tc.in, tc.cores, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckWorkloadCoversCatalogAndAttacks(t *testing.T) {
+	for _, w := range Catalog() {
+		if err := CheckWorkload(w.Name); err != nil {
+			t.Errorf("catalog workload rejected: %v", err)
+		}
+	}
+	for _, a := range AttackTargets {
+		if err := CheckWorkload("attack:" + a); err != nil {
+			t.Errorf("attack pattern rejected: %v", err)
+		}
+	}
+	for _, bad := range []string{"", "attack:", "attack:aqua", "Attack:rrs", "mcf06 "} {
+		if err := CheckWorkload(bad); err == nil {
+			t.Errorf("CheckWorkload(%q) accepted", bad)
+		}
+	}
+}
+
+// FuzzParseMix hardens svard-sweep's user-supplied campaign specs: the
+// parser must never panic, and anything it accepts must be a mix the
+// simulator can actually run — every entry validated and round-trippable
+// through the same flag syntax.
+func FuzzParseMix(f *testing.F) {
+	f.Add("mcf06,lbm06", 2)
+	f.Add("attack:hydra,mcf06", 0)
+	f.Add("attack:rrs", 1)
+	f.Add(" attack: , ,", 3)
+	f.Add("attack:attack:rrs", 1)
+	f.Add("mcf06,\x00,lbm06", 3)
+	f.Add(strings.Repeat("mcf06,", 64)+"mcf06", 0)
+	f.Fuzz(func(t *testing.T, s string, cores int) {
+		mix, err := ParseMix(s, cores)
+		if err != nil {
+			return
+		}
+		if cores > 0 && len(mix) != cores {
+			t.Fatalf("ParseMix(%q, %d) accepted %d entries", s, cores, len(mix))
+		}
+		for _, w := range mix {
+			if err := CheckWorkload(w); err != nil {
+				t.Fatalf("accepted mix carries invalid entry: %v", err)
+			}
+			if w != strings.TrimSpace(w) || strings.Contains(w, ",") {
+				t.Fatalf("accepted entry %q is not normalized", w)
+			}
+		}
+		// Round trip: re-rendering the accepted mix must reparse to the
+		// identical mix.
+		again, err := ParseMix(strings.Join(mix, ","), len(mix))
+		if err != nil {
+			t.Fatalf("accepted mix %v does not reparse: %v", mix, err)
+		}
+		if !reflect.DeepEqual(mix, again) {
+			t.Fatalf("round trip changed the mix: %v vs %v", mix, again)
+		}
+	})
+}
