@@ -213,8 +213,12 @@ func BenchmarkFig12RRS(b *testing.B)         { benchFig12(b, "rrs") }
 // given worker count. The Serial/Parallel pair below documents the
 // exec-pool speedup: on an N-core runner the Parallel variant should
 // approach N x the Serial wall-clock (>= 2x on 4 cores), with
-// bit-identical cells — see EXPERIMENTS.md, "parallel sweeps".
-func benchFig12Sweep(b *testing.B, workers int) {
+// bit-identical cells — see EXPERIMENTS.md, "parallel sweeps". The
+// NoSkip variant drives the same sweep through the per-cycle reference
+// loop; Serial vs NoSkip documents the event engine's cycle-skipping
+// speedup (>= 2x on the default spec, bit-identical cells — see
+// EXPERIMENTS.md, "event-driven engine").
+func benchFig12Sweep(b *testing.B, workers int, noSkip bool) {
 	b.Helper()
 	base := sim.DefaultConfig()
 	base.Cores = 2
@@ -222,6 +226,7 @@ func benchFig12Sweep(b *testing.B, workers int) {
 	base.CellsPerRow = 2048
 	base.InstrPerCore = 15_000
 	base.WarmupPerCore = 3_000
+	base.NoSkip = noSkip
 	opt := sim.Fig12Options{
 		Base:     base,
 		Mixes:    [][]string{{"mcf06", "ycsb-a"}},
@@ -248,10 +253,14 @@ func benchFig12Sweep(b *testing.B, workers int) {
 }
 
 // BenchmarkFig12SweepSerial is the Workers=1 reference for the sweep.
-func BenchmarkFig12SweepSerial(b *testing.B) { benchFig12Sweep(b, 1) }
+func BenchmarkFig12SweepSerial(b *testing.B) { benchFig12Sweep(b, 1, false) }
 
 // BenchmarkFig12SweepParallel fans the same sweep across all cores.
-func BenchmarkFig12SweepParallel(b *testing.B) { benchFig12Sweep(b, runtime.GOMAXPROCS(0)) }
+func BenchmarkFig12SweepParallel(b *testing.B) { benchFig12Sweep(b, runtime.GOMAXPROCS(0), false) }
+
+// BenchmarkFig12SweepSerialNoSkip is the per-cycle reference loop on
+// the Serial sweep: the denominator of the event engine's speedup.
+func BenchmarkFig12SweepSerialNoSkip(b *testing.B) { benchFig12Sweep(b, 1, true) }
 
 // BenchmarkFig13Adversarial regenerates Fig. 13 at bench scale.
 func BenchmarkFig13Adversarial(b *testing.B) {

@@ -40,6 +40,7 @@ func main() {
 		obsv15   = flag.Bool("obsv15", false, "print Obsv. 15 overheads at HCfirst=64")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		cacheDir = flag.String("cache-dir", "", "reuse simulation results from this content-addressed cache (see svard-sweep)")
+		noSkip   = flag.Bool("noskip", false, "drive every simulation through the per-cycle reference loop instead of the event-driven engine (bit-identical, ~2x slower; see EXPERIMENTS.md)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -53,6 +54,7 @@ func main() {
 	base.InstrPerCore = *instr
 	base.WarmupPerCore = *warmup
 	base.Seed = *seed
+	base.NoSkip = *noSkip
 
 	progress := func(msg string) {
 		if !*quiet {

@@ -18,7 +18,19 @@ import (
 // results stale (a new Config field is covered automatically — it changes
 // the key — but a behavioural change behind the same Config is not):
 // stale entries then simply miss and are recomputed, never misread.
-const SchemaVersion = "svard-sim-v1"
+//
+// v2: sim.Run ends at the exact cycle the last core finishes (the v1
+// loop polled every 1024 cycles, overstating Result.Cycles and the MC
+// stats' tail), and truncated runs report measurement-region IPC.
+//
+// Config.NoSkip participates in the key like every other field, even
+// though the two engines are bit-identical by (test-enforced) contract:
+// a -noskip run therefore recomputes rather than reading entries a
+// normal run wrote. That duplication is deliberate — the reference loop
+// exists to check the engine, and a shared entry would hand it the
+// engine's cached answer, masking exactly the divergence it is there to
+// catch.
+const SchemaVersion = "svard-sim-v2"
 
 // Key returns the canonical content address of one simulation: a hex
 // SHA-256 over SchemaVersion and a stable field-order encoding of cfg.

@@ -98,6 +98,18 @@ func New(id int, cfg Config, gen Generator, port MemPort) *Core {
 // Finished reports whether the core has retired its measurement target.
 func (c *Core) Finished() bool { return c.finished }
 
+// Started reports whether the core has retired past its warmup target
+// (entered the measurement region).
+func (c *Core) Started() bool { return c.started }
+
+// StartCycle returns the cycle the measurement region began (valid once
+// Started).
+func (c *Core) StartCycle() uint64 { return c.startCycle }
+
+// DoneCycle returns the cycle the measurement region ended (valid once
+// Finished).
+func (c *Core) DoneCycle() uint64 { return c.doneCycle }
+
 // IPC returns the measured instructions per cycle (0 until finished).
 func (c *Core) IPC() float64 {
 	if !c.finished || c.doneCycle <= c.startCycle {
@@ -115,8 +127,13 @@ func (c *Core) MeasuredCycles() uint64 {
 }
 
 // Tick advances the core one cycle: retire from the window head, then
-// issue into the window.
-func (c *Core) Tick(cycle uint64) {
+// issue into the window. It reports whether the core made any progress
+// (retired or issued at least one instruction); a false return means
+// the tick was a no-op — the core's state is bit-identical to not
+// having ticked at all, which is what lets the event-driven engine in
+// sim.Run skip its idle cycles.
+func (c *Core) Tick(cycle uint64) bool {
+	progress := false
 	// Retire.
 	for n := 0; n < c.Cfg.IssueWidth && c.count > 0; n++ {
 		if c.rob[c.head] > cycle {
@@ -125,6 +142,7 @@ func (c *Core) Tick(cycle uint64) {
 		c.head = (c.head + 1) % len(c.rob)
 		c.count--
 		c.Retired++
+		progress = true
 		if !c.started && c.Retired >= c.WarmupTarget {
 			c.started = true
 			c.startCycle = cycle
@@ -146,12 +164,29 @@ func (c *Core) Tick(cycle uint64) {
 		if c.gap > 0 {
 			c.push(cycle + 1)
 			c.gap--
+			progress = true
 			continue
 		}
 		if !c.issueMem(cycle) {
 			break // memory system back-pressure: retry next cycle
 		}
+		progress = true
 	}
+	return progress
+}
+
+// NextEvent returns the earliest cycle after cycle at which an idle
+// core could make progress on its own: the completion time of the
+// window head. A core blocked on memory (head in flight, or issue
+// back-pressured by MSHRs or a full controller queue) returns
+// math.MaxUint64 — it can only be unblocked by memory-controller
+// activity, after which the driver re-ticks every component anyway.
+// Only meaningful after a Tick(cycle) that returned false.
+func (c *Core) NextEvent(cycle uint64) uint64 {
+	if c.count > 0 && c.rob[c.head] != pendingMem && c.rob[c.head] > cycle {
+		return c.rob[c.head]
+	}
+	return math.MaxUint64
 }
 
 func (c *Core) push(doneAt uint64) int {

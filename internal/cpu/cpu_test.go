@@ -1,6 +1,9 @@
 package cpu
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // scriptGen yields a fixed access script.
 type scriptGen struct {
@@ -151,6 +154,118 @@ func TestLLCEvictionsWriteBack(t *testing.T) {
 		t.Error("dirty evictions produced no writebacks")
 	}
 	_ = c
+}
+
+// TestTickReportsProgress pins the activity contract the event engine
+// depends on: the first idle tick may latch the next pending
+// instruction (it always executes — the driver steps active→+1), but
+// every consecutive idle tick must leave the core bit-identical, so
+// skipping those cycles cannot diverge from ticking through them.
+func TestTickReportsProgress(t *testing.T) {
+	cfg := DefaultConfig()
+	p := &instantPort{latency: 1 << 40} // reads never complete
+	c := New(0, cfg, &scriptGen{gap: 0, step: 1 << 20}, p)
+	c.MeasureTarget = 1 << 40
+	active, idle := 0, 0
+	wasIdle := false
+	for cyc := uint64(0); cyc < 1000; cyc++ {
+		var before Core
+		var beforeRob []uint64
+		if wasIdle {
+			before = *c
+			beforeRob = append([]uint64(nil), c.rob...)
+		}
+		if c.Tick(cyc) {
+			active++
+			wasIdle = false
+			continue
+		}
+		if wasIdle {
+			idle++
+			after := *c
+			before.rob, after.rob = nil, nil // compared via the snapshot below
+			if !reflect.DeepEqual(before, after) {
+				t.Fatalf("cycle %d: consecutive idle tick mutated core state", cyc)
+			}
+			if !reflect.DeepEqual(beforeRob, c.rob) {
+				t.Fatalf("cycle %d: consecutive idle tick mutated the window", cyc)
+			}
+		}
+		wasIdle = true
+		if n := c.NextEvent(cyc); n != 1<<64-1 {
+			t.Fatalf("cycle %d: memory-blocked core has self next event %d", cyc, n)
+		}
+	}
+	if active == 0 || idle == 0 {
+		t.Fatalf("degenerate run: %d active, %d idle ticks", active, idle)
+	}
+}
+
+// TestEventDrivenCoreMatchesNaive drives two identical cores over the
+// same deterministic port — one ticked every cycle, one only at cycles
+// the NextEvent contract requires — and checks they retire the same
+// instruction count at the same finish cycle.
+func TestEventDrivenCoreMatchesNaive(t *testing.T) {
+	mk := func() (*Core, *instantPort) {
+		cfg := DefaultConfig()
+		p := &instantPort{latency: 137}
+		c := New(0, cfg, &scriptGen{gap: 3, step: 1 << 14}, p)
+		c.WarmupTarget = 500
+		c.MeasureTarget = 10_000
+		return c, p
+	}
+	naive, np := mk()
+	var naiveEnd uint64
+	for cyc := uint64(0); ; cyc++ {
+		np.tick(cyc)
+		naive.Tick(cyc)
+		if naive.Finished() {
+			naiveEnd = cyc
+			break
+		}
+		if cyc > 10_000_000 {
+			t.Fatal("naive run did not finish")
+		}
+	}
+
+	ev, ep := mk()
+	var evEnd uint64
+	ticks := uint64(0)
+	for cyc := uint64(0); ; {
+		ep.tick(cyc)
+		active := ev.Tick(cyc)
+		ticks++
+		if ev.Finished() {
+			evEnd = cyc
+			break
+		}
+		if active {
+			cyc++
+			continue
+		}
+		next := ev.NextEvent(cyc)
+		// The port is the core's "memory controller": its earliest
+		// pending completion is the external wake-up.
+		for _, at := range ep.at {
+			if at > cyc && at < next {
+				next = at
+			}
+		}
+		if next <= cyc {
+			next = cyc + 1
+		}
+		cyc = next
+		if cyc > 10_000_000 {
+			t.Fatal("event-driven run did not finish")
+		}
+	}
+	if evEnd != naiveEnd || ev.Retired != naive.Retired {
+		t.Fatalf("event-driven run diverged: end %d vs %d, retired %d vs %d",
+			evEnd, naiveEnd, ev.Retired, naive.Retired)
+	}
+	if ticks >= naiveEnd {
+		t.Errorf("event-driven run ticked %d times over %d cycles (no skipping)", ticks, naiveEnd)
+	}
 }
 
 type writeGen struct {

@@ -360,11 +360,23 @@ func (m *Model) Couple(bank, row int, pat dram.Pattern) float64 {
 // row: 1 at the minimum tRAS, growing sublinearly with on-time (§5.3),
 // with per-victim sensitivity spread.
 func (m *Model) PressFactor(bank, victimRow int, onTimeNs float64) float64 {
+	return m.PressFactorFromPsi(m.PressPsi(bank, victimRow), onTimeNs)
+}
+
+// PressPsi returns the victim row's RowPress susceptibility multiplier —
+// the row-dependent term of PressFactor. It depends only on the module
+// seed and the row, so callers that evaluate PressFactor at high rate
+// (the simulator's security tracker) precompute it per row.
+func (m *Model) PressPsi(bank, victimRow int) float64 {
+	return math.Exp(m.P.PressRowSigma * rng.NormalAt(m.P.Seed, domPress, uint64(bank), uint64(victimRow)))
+}
+
+// PressFactorFromPsi is PressFactor with a precomputed PressPsi value.
+func (m *Model) PressFactorFromPsi(psi, onTimeNs float64) float64 {
 	if onTimeNs <= m.P.PressRefNs {
 		return 1
 	}
 	base := math.Pow(onTimeNs/m.P.PressRefNs, m.P.PressAlpha)
-	psi := math.Exp(m.P.PressRowSigma * rng.NormalAt(m.P.Seed, domPress, uint64(bank), uint64(victimRow)))
 	// Only the RowPress excess varies by victim; the RowHammer unit does
 	// not, so HCfirst at the reference on-time stays exact.
 	return 1 + (base-1)*psi

@@ -221,6 +221,62 @@ func (s *System) EndRefreshIfDone(rank int, cycle uint64) {
 	}
 }
 
+// The earliest-issue methods below are the timing exposure the
+// event-driven simulation engine skips by: given the current (frozen)
+// device state, each returns a lower bound on the first cycle at which
+// the corresponding command could issue to the bank. The bounds are
+// exact while no command issues — every ready time in Bank/Rank/Channel
+// only moves when a command does — so a driver that ticks the
+// controller at every returned cycle observes the identical command
+// sequence as one that ticks every cycle (see sim.Run).
+
+// ActEarliest returns the earliest cycle an ACT could issue to bank,
+// assuming the bank stays precharged. Mirrors every CanACT constraint:
+// bank ready times, refresh occupancy, tRRD, and tFAW.
+func (s *System) ActEarliest(bank int) uint64 {
+	b := &s.Banks[bank]
+	t := maxU(b.ActReady, b.BusyUntil)
+	r := &s.Ranks[s.RankOf(bank)]
+	if r.Refreshing {
+		t = maxU(t, r.RefUntil)
+	}
+	if r.anyAct {
+		rrd := s.T.RRDS
+		if s.GroupOf(bank) == r.lastBG {
+			rrd = s.T.RRDL
+		}
+		t = maxU(t, r.lastAct+rrd)
+	}
+	if r.actCount >= 4 {
+		t = maxU(t, r.actTimes[r.actIdx]+s.T.FAW)
+	}
+	return t
+}
+
+// PreEarliest returns the earliest cycle a PRE could issue to bank,
+// assuming its row stays open (CanPRE's ready times).
+func (s *System) PreEarliest(bank int) uint64 {
+	b := &s.Banks[bank]
+	return maxU(b.PreReady, b.BusyUntil)
+}
+
+// ColumnEarliest returns the earliest cycle a RD/WR could issue to the
+// open row of bank, assuming it stays open (CanColumn's ready times and
+// the data-bus occupancy).
+func (s *System) ColumnEarliest(bank int, write bool) uint64 {
+	b := &s.Banks[bank]
+	t := maxU(b.ColReady, b.BusyUntil)
+	lat := s.T.CL
+	if write {
+		lat = s.T.CWL
+	}
+	// dataStart = cycle + lat must reach Chan.DataFree.
+	if s.Chan.DataFree > lat {
+		t = maxU(t, s.Chan.DataFree-lat)
+	}
+	return t
+}
+
 // BlockBank blocks a bank for extra cycles (row migration, swap).
 func (s *System) BlockBank(bank int, cycle, busyCycles uint64) {
 	b := &s.Banks[bank]

@@ -140,6 +140,84 @@ func TestRefreshBlocksRank(t *testing.T) {
 	}
 }
 
+// checkEarliest asserts the three *Earliest bounds agree exactly with
+// their Can* predicates in the system's current state: the command is
+// rejected one cycle before the bound and accepted at it.
+func checkEarliest(t *testing.T, s *System, ctx string) {
+	t.Helper()
+	for b := range s.Banks {
+		if s.Banks[b].OpenRow < 0 {
+			e := s.ActEarliest(b)
+			if e > 0 && s.CanACT(b, e-1) {
+				t.Fatalf("%s: bank %d: ACT allowed at %d before ActEarliest %d", ctx, b, e-1, e)
+			}
+			if !s.CanACT(b, e) {
+				t.Fatalf("%s: bank %d: ACT rejected at ActEarliest %d", ctx, b, e)
+			}
+			continue
+		}
+		row := s.Banks[b].OpenRow
+		pe := s.PreEarliest(b)
+		if pe > 0 && s.CanPRE(b, pe-1) {
+			t.Fatalf("%s: bank %d: PRE allowed at %d before PreEarliest %d", ctx, b, pe-1, pe)
+		}
+		if !s.CanPRE(b, pe) {
+			t.Fatalf("%s: bank %d: PRE rejected at PreEarliest %d", ctx, b, pe)
+		}
+		for _, write := range []bool{false, true} {
+			e := s.ColumnEarliest(b, write)
+			if e > 0 && s.CanColumn(b, row, write, e-1) {
+				t.Fatalf("%s: bank %d: column(write=%v) allowed at %d before ColumnEarliest %d", ctx, b, write, e-1, e)
+			}
+			if !s.CanColumn(b, row, write, e) {
+				t.Fatalf("%s: bank %d: column(write=%v) rejected at ColumnEarliest %d", ctx, b, write, e)
+			}
+		}
+	}
+}
+
+// TestEarliestMatchesCanPredicates drives a deterministic pseudo-random
+// command walk and, after every command, cross-checks every bank's
+// earliest-issue bounds against the Can* predicates the event engine
+// replaces with them.
+func TestEarliestMatchesCanPredicates(t *testing.T) {
+	s := testSystem()
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	cycle := uint64(0)
+	for step := 0; step < 4000; step++ {
+		cycle += next(40)
+		for rank := range s.Ranks {
+			s.EndRefreshIfDone(rank, cycle)
+			if s.RefreshDue(rank, cycle) && !s.Ranks[rank].Refreshing && s.AllPrecharged(rank) {
+				s.REF(rank, cycle)
+			}
+		}
+		bank := int(next(uint64(s.TotalBanks())))
+		switch b := &s.Banks[bank]; {
+		case b.OpenRow < 0:
+			if s.CanACT(bank, cycle) {
+				s.ACT(bank, int(next(64)), cycle)
+			}
+		case next(3) == 0:
+			if s.CanPRE(bank, cycle) {
+				s.PRE(bank, cycle)
+			}
+		default:
+			write := next(2) == 0
+			if s.CanColumn(bank, b.OpenRow, write, cycle) {
+				s.Column(bank, write, cycle)
+			}
+		}
+		checkEarliest(t, s, "walk")
+	}
+}
+
 func TestBlockBank(t *testing.T) {
 	s := testSystem()
 	s.BlockBank(5, 100, 1000)

@@ -115,7 +115,23 @@ type Controller struct {
 	writeMode    bool
 	refSlice     []int // per-rank next refresh slice row
 	rowsPerREF   int
-	hitScratch   []bool // per-bank scratch for schedule
+	actScratch   []uint64 // per-bank ActEarliest memo for NextEvent
+	suppScratch  []uint64 // per-bank open-row suppression for NextEvent
+	idleUntil    uint64   // Tick fast path: no-op until this cycle
+
+	// Per-scan bank memos for schedule (see bankScan). The epoch is
+	// uint64 so it cannot wrap within any run length a caller can
+	// configure (schedule runs a few times per cycle at most).
+	scanFlags     []uint8
+	scanBankEpoch []uint64
+	scanEpoch     uint64
+
+	// mutated records command-free state changes within one Tick (a
+	// defense throttle stamping retryAt, a victim op adopting an
+	// already-open row), so Tick can report them as activity to the
+	// event-driven engine: a cycle that changed anything must not be
+	// treated as skippable.
+	mutated bool
 }
 
 // New builds a controller over timing t, defense def (nil = none), and
@@ -215,6 +231,7 @@ func (c *Controller) EnqueueRead(r *Request, cycle uint64) bool {
 	r.phys = c.physOf(r.bank, r.row)
 	r.Write = false
 	c.readQ = append(c.readQ, r)
+	c.idleUntil = 0 // the new request may be actionable immediately
 	return true
 }
 
@@ -229,6 +246,7 @@ func (c *Controller) EnqueueWrite(r *Request, cycle uint64) bool {
 	r.phys = c.physOf(r.bank, r.row)
 	r.Write = true
 	c.writeQ = append(c.writeQ, r)
+	c.idleUntil = 0 // the new request may be actionable immediately
 	return true
 }
 
@@ -241,8 +259,42 @@ func (c *Controller) Idle() bool {
 }
 
 // Tick advances the controller one CPU cycle, issuing at most one DRAM
-// command.
-func (c *Controller) Tick(cycle uint64) {
+// command. It reports whether the controller did anything — issued a
+// command or changed scheduling state. A false return guarantees the
+// tick was a no-op (re-ticking any later cycle before NextEvent's bound
+// would also be a no-op), which is what lets the event-driven engine in
+// sim.Run skip the controller's idle cycles.
+//
+// Tick exploits its own guarantee: after an idle cycle it caches the
+// NextEvent bound and answers every Tick before it with an immediate
+// false, skipping the scheduling scan entirely. The cache is dropped on
+// any enqueue (a new request can be actionable at once); every other
+// state change happens inside an active tick, which recomputes the
+// bound at the next idle one.
+func (c *Controller) Tick(cycle uint64) bool {
+	if cycle < c.idleUntil {
+		return false
+	}
+	if c.TickFull(cycle) {
+		return true
+	}
+	c.idleUntil = c.NextEvent(cycle)
+	return false
+}
+
+// TickFull is Tick without the idle fast path: it always evaluates the
+// full per-cycle scheduling pass. The per-cycle reference loop
+// (sim.Config.NoSkip) drives the controller through TickFull so the
+// baseline the differential tests compare against contains none of the
+// event machinery.
+func (c *Controller) TickFull(cycle uint64) bool {
+	c.mutated = false
+	issued := c.tick(cycle)
+	return issued || c.mutated
+}
+
+// tick is Tick's body; true when a DRAM command issued.
+func (c *Controller) tick(cycle uint64) bool {
 	// Refresh management.
 	for rank := 0; rank < c.Cfg.Ranks; rank++ {
 		c.Sys.EndRefreshIfDone(rank, cycle)
@@ -252,14 +304,14 @@ func (c *Controller) Tick(cycle uint64) {
 				c.Track.OnRefresh(rank, c.refSlice[rank], c.rowsPerREF)
 				c.refSlice[rank] = (c.refSlice[rank] + c.rowsPerREF) % c.Cfg.RowsPerBank
 				c.Stats.Refreshes++
-				return // REF consumes the command slot
+				return true // REF consumes the command slot
 			}
 			// Close a bank blocking the refresh.
 			base := rank * c.Sys.BanksPerRank()
 			for b := base; b < base+c.Sys.BanksPerRank(); b++ {
 				if c.Sys.Banks[b].OpenRow >= 0 && c.Sys.CanPRE(b, cycle) {
 					c.issuePRE(b, cycle)
-					return
+					return true
 				}
 			}
 		}
@@ -268,7 +320,7 @@ func (c *Controller) Tick(cycle uint64) {
 	// Preventive victim refreshes have priority over demand traffic:
 	// they are the defense's security-critical action.
 	if c.tickVictims(cycle) {
-		return
+		return true
 	}
 
 	// Write drain mode with high/low watermarks.
@@ -281,15 +333,160 @@ func (c *Controller) Tick(cycle uint64) {
 	}
 
 	if c.writeMode && c.schedule(c.writeQ, cycle, true) {
-		return
+		return true
 	}
 	if c.schedule(c.readQ, cycle, false) {
-		return
+		return true
 	}
 	if !c.writeMode && len(c.writeQ) > 0 {
 		// Opportunistically drain writes when reads have nothing to do.
-		c.schedule(c.writeQ, cycle, true)
+		return c.schedule(c.writeQ, cycle, true)
 	}
+	return false
+}
+
+// NextEvent returns the earliest cycle after cycle at which an idle
+// controller could act, or math.MaxUint64 when it has nothing pending.
+// It is meaningful only right after a Tick(cycle) that returned false:
+// in that state no command can issue, so every device ready time is
+// frozen until the returned cycle, and mem.System's *Earliest bounds
+// are exact. The bound is conservative (it may name a cycle where the
+// controller still does nothing — e.g. a conflict PRE suppressed by the
+// open-row policy, or a defense denying the ACT it anticipated), which
+// costs a wasted tick but can never skip a cycle the per-cycle loop
+// would have acted on.
+//
+// Two Tick-internal mutations deliberately do not appear here because
+// they cannot change scheduling outcomes: EndRefreshIfDone only clears
+// a flag that CanACT already double-checks against RefUntil, and the
+// write-drain mode flip is a pure function of the (frozen) queue depths
+// and the previous mode, so it reaches the same state on the wake tick
+// as it would have on the next per-cycle tick — NextEvent therefore
+// considers both queues regardless of the current mode.
+func (c *Controller) NextEvent(cycle uint64) uint64 {
+	if cycle < c.idleUntil {
+		return c.idleUntil // computed by the idle Tick that got us here
+	}
+	next := ^uint64(0)
+	consider := func(at uint64) {
+		if at < next {
+			next = at
+		}
+	}
+	// Refresh: either the next deadline, or — when one is overdue — the
+	// earliest close of a bank blocking it (REF itself needs every bank
+	// precharged) or the end of the refresh already in flight.
+	for rank := range c.Sys.Ranks {
+		r := &c.Sys.Ranks[rank]
+		if r.Refreshing && r.RefUntil > cycle {
+			consider(r.RefUntil)
+		}
+		if r.NextREF > cycle {
+			consider(r.NextREF)
+			continue
+		}
+		base := rank * c.Sys.BanksPerRank()
+		for b := base; b < base+c.Sys.BanksPerRank(); b++ {
+			if c.Sys.Banks[b].OpenRow >= 0 {
+				consider(c.Sys.PreEarliest(b))
+			}
+		}
+	}
+	// Preventive refreshes: only the head of the backlog (up to the
+	// per-tick scan cap) can act; later entries wait for a removal,
+	// which is itself an active tick.
+	for i := range c.victims {
+		if i >= victimScanCap {
+			break
+		}
+		v := &c.victims[i]
+		b := &c.Sys.Banks[v.bank]
+		switch {
+		case !v.opened && b.OpenRow == v.row:
+			consider(cycle + 1) // adopts the open row on the next tick
+		case !v.opened && b.OpenRow >= 0:
+			consider(c.Sys.PreEarliest(v.bank))
+		case !v.opened:
+			consider(c.Sys.ActEarliest(v.bank))
+		case b.OpenRow >= 0:
+			consider(maxU64(v.preAt, c.Sys.PreEarliest(v.bank)))
+		default:
+			// Opened, but the bank was since closed underneath (a
+			// refresh-blocking PRE): the completing PRE needs an open
+			// row again, so the wake-up is the next ACT to this bank —
+			// an active tick — not a time this victim can name.
+		}
+	}
+	// Demand and write queues: each request's earliest actionable cycle
+	// under the frozen bank state (column to its open row, PRE of a
+	// conflicting or cap-rotated row, or ACT of a closed bank), gated by
+	// any defense-imposed retry time. ActEarliest walks rank state, so
+	// memoize it per bank across the scan.
+	if c.actScratch == nil {
+		c.actScratch = make([]uint64, c.Sys.TotalBanks())
+		c.suppScratch = make([]uint64, c.Sys.TotalBanks())
+	}
+	unset := ^uint64(0)
+	for i := range c.actScratch {
+		c.actScratch[i] = unset
+	}
+	actEarliest := func(bank int) uint64 {
+		if c.actScratch[bank] == unset {
+			c.actScratch[bank] = c.Sys.ActEarliest(bank)
+		}
+		return c.actScratch[bank]
+	}
+	for _, q := range [2][]*Request{c.readQ, c.writeQ} {
+		// Open-row suppression: schedule never closes a bank while a
+		// same-queue request still hits its open row, so a conflicting
+		// request only gets its PRE once every hit has drained — an
+		// active tick that reschedules everything. suppScratch[bank] is
+		// the first cycle some hit request suppresses the bank (its
+		// defense retry time; usually 0 = suppressed throughout): a
+		// conflict wake-up is only real if it lands strictly before it.
+		supp := c.suppScratch
+		for i := range supp {
+			supp[i] = unset
+		}
+		for _, r := range q {
+			if c.Sys.Banks[r.bank].OpenRow == r.phys && r.retryAt < supp[r.bank] {
+				supp[r.bank] = r.retryAt
+			}
+		}
+		for _, r := range q {
+			b := &c.Sys.Banks[r.bank]
+			var at uint64
+			switch {
+			case b.OpenRow == r.phys && b.HitStreak < c.Cfg.ColumnCap:
+				at = c.Sys.ColumnEarliest(r.bank, r.Write)
+			case b.OpenRow == r.phys:
+				at = c.Sys.PreEarliest(r.bank) // column-cap rotation
+			case b.OpenRow >= 0:
+				at = c.Sys.PreEarliest(r.bank)
+				if r.retryAt > at {
+					at = r.retryAt
+				}
+				if at <= cycle {
+					at = cycle + 1
+				}
+				if at >= supp[r.bank] {
+					continue // suppressed until an active tick intervenes
+				}
+				consider(at)
+				continue
+			default:
+				at = actEarliest(r.bank)
+			}
+			if r.retryAt > at {
+				at = r.retryAt
+			}
+			consider(at)
+		}
+	}
+	if next <= cycle {
+		next = cycle + 1
+	}
+	return next
 }
 
 // victimScanCap bounds how many pending preventive refreshes are
@@ -309,9 +506,13 @@ func (c *Controller) tickVictims(cycle uint64) bool {
 			b := &c.Sys.Banks[v.bank]
 			if b.OpenRow == v.row {
 				// The victim row happens to be open: reopening is
-				// unnecessary; close it to complete the restore.
+				// unnecessary; close it to complete the restore. preAt
+				// captures the current cycle, so this transition must
+				// count as activity or a skipping driver could stamp it
+				// later than a per-cycle one.
 				v.opened = true
 				v.preAt = maxU64(cycle, b.PreReady)
+				c.mutated = true
 				continue
 			}
 			if b.OpenRow >= 0 {
@@ -340,6 +541,30 @@ func (c *Controller) tickVictims(cycle uint64) bool {
 	return false
 }
 
+// Per-scan bank memo flags: within one schedule pass no command issues,
+// so CanColumn/CanPRE/CanACT answer identically for every request on
+// the same bank. The flags live in epoch-tagged scratch (scanFlags is
+// lazily reset by bumping scanEpoch, never cleared) and also replace
+// the per-scan hit mask.
+const (
+	scanHit uint8 = 1 << iota
+	scanColChecked
+	scanColOK
+	scanPreChecked
+	scanPreOK
+	scanActChecked
+	scanActOK
+)
+
+// bankScan returns the bank's memo flags for the current scan epoch.
+func (c *Controller) bankScan(bank int) *uint8 {
+	if c.scanBankEpoch[bank] != c.scanEpoch {
+		c.scanBankEpoch[bank] = c.scanEpoch
+		c.scanFlags[bank] = 0
+	}
+	return &c.scanFlags[bank]
+}
+
 // schedule applies FR-FCFS to one queue in a single pass: it finds the
 // oldest ready row-hit column command, and failing that, the oldest
 // request needing an ACT, a cap-rotation PRE, or a conflict PRE — where
@@ -349,13 +574,11 @@ func (c *Controller) schedule(q []*Request, cycle uint64, writes bool) bool {
 	if len(q) == 0 {
 		return false
 	}
-	if c.hitScratch == nil {
-		c.hitScratch = make([]bool, c.Sys.TotalBanks())
+	if c.scanFlags == nil {
+		c.scanFlags = make([]uint8, c.Sys.TotalBanks())
+		c.scanBankEpoch = make([]uint64, c.Sys.TotalBanks())
 	}
-	hits := c.hitScratch
-	for i := range hits {
-		hits[i] = false
-	}
+	c.scanEpoch++
 	var colCand, actCand, capCand *Request
 	var confCands []*Request
 	for _, r := range q {
@@ -363,23 +586,48 @@ func (c *Controller) schedule(q []*Request, cycle uint64, writes bool) bool {
 			continue
 		}
 		b := &c.Sys.Banks[r.bank]
+		f := c.bankScan(r.bank)
 		switch {
 		case b.OpenRow == r.phys:
-			hits[r.bank] = true
-			if colCand == nil && b.HitStreak < c.Cfg.ColumnCap &&
-				c.Sys.CanColumn(r.bank, r.phys, writes, cycle) {
-				colCand = r
-			} else if capCand == nil && b.HitStreak >= c.Cfg.ColumnCap && c.Sys.CanPRE(r.bank, cycle) {
+			*f |= scanHit
+			if b.HitStreak < c.Cfg.ColumnCap {
+				if *f&scanColChecked == 0 {
+					*f |= scanColChecked
+					if c.Sys.CanColumn(r.bank, r.phys, writes, cycle) {
+						*f |= scanColOK
+					}
+				}
+				if *f&scanColOK != 0 {
+					colCand = r
+				}
+			} else if capCand == nil && actCand == nil && c.canPREMemo(r.bank, f, cycle) {
 				capCand = r
 			}
 		case b.OpenRow >= 0:
-			if c.Sys.CanPRE(r.bank, cycle) {
+			// Collected only while no ACT candidate exists: the ACT
+			// path below returns (issue or throttle) without reaching
+			// the conflict PREs, so later ones are dead the moment an
+			// ACT candidate appears. Same for the cap rotation above.
+			if actCand == nil && c.canPREMemo(r.bank, f, cycle) {
 				confCands = append(confCands, r)
 			}
 		default:
-			if actCand == nil && c.Sys.CanACT(r.bank, cycle) {
-				actCand = r
+			if actCand == nil {
+				if *f&scanActChecked == 0 {
+					*f |= scanActChecked
+					if c.Sys.CanACT(r.bank, cycle) {
+						*f |= scanActOK
+					}
+				}
+				if *f&scanActOK != 0 {
+					actCand = r
+				}
 			}
+		}
+		if colCand != nil {
+			// Oldest ready row hit wins outright; the rest of the scan
+			// only feeds the lower-priority paths.
+			break
 		}
 	}
 	if colCand != nil {
@@ -397,10 +645,11 @@ func (c *Controller) schedule(q []*Request, cycle uint64, writes bool) bool {
 		}
 		actCand.retryAt = retry
 		c.Stats.ThrottleStalls++
+		c.mutated = true
 		return false
 	}
 	for _, r := range confCands {
-		if !hits[r.bank] {
+		if c.scanFlags[r.bank]&scanHit == 0 {
 			c.issuePRE(r.bank, cycle)
 			return true
 		}
@@ -410,6 +659,17 @@ func (c *Controller) schedule(q []*Request, cycle uint64, writes bool) bool {
 		return true
 	}
 	return false
+}
+
+// canPREMemo is CanPRE with the per-scan bank memo.
+func (c *Controller) canPREMemo(bank int, f *uint8, cycle uint64) bool {
+	if *f&scanPreChecked == 0 {
+		*f |= scanPreChecked
+		if c.Sys.CanPRE(bank, cycle) {
+			*f |= scanPreOK
+		}
+	}
+	return *f&scanPreOK != 0
 }
 
 func (c *Controller) issuePRE(bank int, cycle uint64) {

@@ -234,6 +234,157 @@ func TestRowSwapRemapsFutureAccesses(t *testing.T) {
 	}
 }
 
+// newMC1Rank builds a single-rank controller so refresh edges can be
+// probed without the other rank's refresh interleaving.
+func newMC1Rank(def mitigation.Defense) *Controller {
+	cfg := DefaultConfig(4096)
+	cfg.Ranks = 1
+	t := mem.CyclesFrom(dram.DDR4Timing(3200), cfg.CPUGHz)
+	return New(cfg, t, def, nil)
+}
+
+// TestNextEventRefreshEdges covers the refresh components of NextEvent:
+// the idle controller's next event is the refresh deadline; while a
+// refresh is in flight it is the earlier of tRFC's end and the next
+// deadline; and an overdue refresh blocked by an open bank waits on
+// that bank's precharge readiness.
+func TestNextEventRefreshEdges(t *testing.T) {
+	c := newMC1Rank(nil)
+	refi := c.Sys.T.REFI
+
+	// Idle, nothing queued: next event is the refresh deadline.
+	if c.Tick(0) {
+		t.Fatal("empty controller issued at cycle 0")
+	}
+	if got := c.NextEvent(0); got != refi {
+		t.Fatalf("idle NextEvent = %d, want tREFI %d", got, refi)
+	}
+
+	// The refresh issues exactly at the deadline.
+	if !c.Tick(refi) || c.Stats.Refreshes != 1 {
+		t.Fatalf("REF did not issue at its deadline (refreshes=%d)", c.Stats.Refreshes)
+	}
+	// During the refresh: the next event is tRFC's end (the banks
+	// unblock), which precedes the next deadline.
+	if c.Tick(refi + 1) {
+		t.Fatal("controller active mid-refresh")
+	}
+	want := refi + c.Sys.T.RFC
+	if got := c.NextEvent(refi + 1); got != want {
+		t.Fatalf("mid-refresh NextEvent = %d, want RefUntil %d (next deadline %d)", got, want, 2*refi)
+	}
+
+	// Overdue refresh blocked by an open bank: the wake-up is the
+	// bank's precharge readiness, not the (past) deadline.
+	c2 := newMC1Rank(nil)
+	actAt := 2*refi - 2 // open a row just before the deadline
+	c2.Sys.ACT(0, 7, actAt)
+	c2.Sys.Ranks[0].NextREF = 2 * refi // skip the first deadline for setup simplicity
+	if c2.Tick(2 * refi) {
+		t.Fatal("blocked refresh issued a command")
+	}
+	if got, want := c2.NextEvent(2*refi), c2.Sys.PreEarliest(0); got != want {
+		t.Fatalf("blocked-refresh NextEvent = %d, want PreEarliest %d", got, want)
+	}
+}
+
+// TestNextEventVictimBacklog covers the preventive-refresh components:
+// a victim on a free bank acts immediately; an opened victim waits for
+// its tRAS-derived precharge time; entries beyond the per-tick scan cap
+// contribute nothing.
+func TestNextEventVictimBacklog(t *testing.T) {
+	c := newMC1Rank(nil)
+	c.execute(mitigation.Directive{Kind: mitigation.RefreshVictim, Bank: 2, Row: 9}, 0)
+	// Tick 0: the victim ACT issues (bank free).
+	if !c.Tick(0) || c.Stats.Acts != 1 {
+		t.Fatalf("victim ACT did not issue (acts=%d)", c.Stats.Acts)
+	}
+	// Opened: the completing PRE waits out tRAS.
+	if c.Tick(1) {
+		t.Fatal("controller active while victim row restores")
+	}
+	if got, want := c.NextEvent(1), c.Sys.T.RAS; got != want {
+		t.Fatalf("opened-victim NextEvent = %d, want preAt %d", got, want)
+	}
+	if !c.Tick(c.Sys.T.RAS) || c.Stats.VictimRefreshes != 1 {
+		t.Fatalf("victim PRE did not complete at preAt (victims=%d)", c.Stats.VictimRefreshes)
+	}
+
+	// Backlog beyond the scan cap: fill the head of the backlog with
+	// victims on a far-blocked bank; a victim past the cap on a free
+	// bank must not contribute a wake-up.
+	c3 := newMC1Rank(nil)
+	c3.Sys.BlockBank(1, 0, 1_000_000)
+	for i := 0; i < victimScanCap; i++ {
+		c3.execute(mitigation.Directive{Kind: mitigation.RefreshVictim, Bank: 1, Row: 100 + i}, 0)
+	}
+	c3.execute(mitigation.Directive{Kind: mitigation.RefreshVictim, Bank: 3, Row: 5}, 0)
+	if c3.Tick(0) {
+		t.Fatal("blocked backlog issued a command")
+	}
+	// The beyond-cap victim's bank is actionable immediately; if it
+	// leaked into NextEvent the wake-up would be cycle+1. The earliest
+	// real event is the refresh deadline (the capped head entries are
+	// blocked until cycle 1000000).
+	if got, want := c3.NextEvent(0), c3.Sys.T.REFI; got != want {
+		t.Fatalf("NextEvent = %d, want the refresh deadline %d (beyond-cap victim must not contribute)", got, want)
+	}
+}
+
+// TestNextEventWriteDrainWatermark covers the write-drain edges: writes
+// are considered by NextEvent regardless of the current drain mode, and
+// the 3/4 watermark flips the first serviced queue.
+func TestNextEventWriteDrainWatermark(t *testing.T) {
+	// A read on a far-blocked bank and a write on a sooner-blocked one:
+	// the wake-up must be the write's unblock time even though the
+	// controller is not in write-drain mode.
+	c := newMC1Rank(nil)
+	b0, _ := c.Decode(0)
+	b1, _ := c.Decode(4 * 64) // next MOP group: a different bank
+	if b0 == b1 {
+		t.Fatalf("test addresses share bank %d", b0)
+	}
+	c.Sys.BlockBank(b0, 0, 10_000)
+	c.Sys.BlockBank(b1, 0, 5_000)
+	c.EnqueueRead(&Request{Addr: 0}, 0)
+	c.EnqueueWrite(&Request{Addr: 4 * 64}, 0)
+	if c.Tick(0) {
+		t.Fatal("blocked queues issued a command")
+	}
+	if got, want := c.NextEvent(0), c.Sys.ActEarliest(b1); got != want {
+		t.Fatalf("NextEvent = %d, want the write bank's ActEarliest %d", got, want)
+	}
+
+	// Watermark edge: at WriteQ*3/4 pending writes the first command
+	// serves the write queue; one below, the read goes first.
+	for _, tc := range []struct {
+		writes    int
+		wantWrite bool
+	}{
+		{DefaultConfig(4096).WriteQ*3/4 - 1, false},
+		{DefaultConfig(4096).WriteQ * 3 / 4, true},
+	} {
+		c := newMC1Rank(nil)
+		c.EnqueueRead(&Request{Addr: 0}, 0)
+		for i := 0; i < tc.writes; i++ {
+			if !c.EnqueueWrite(&Request{Addr: 4*64 + uint64(i)<<20}, 0) {
+				t.Fatalf("write %d rejected", i)
+			}
+		}
+		if !c.Tick(0) {
+			t.Fatal("nothing issued with free banks")
+		}
+		readBank, _ := c.Decode(0)
+		writeBank, _ := c.Decode(4 * 64)
+		openedWrite := c.Sys.Banks[writeBank].OpenRow >= 0
+		openedRead := c.Sys.Banks[readBank].OpenRow >= 0
+		if openedWrite != tc.wantWrite || openedRead == tc.wantWrite {
+			t.Errorf("writes=%d: first ACT went to write=%v read=%v, want write-first=%v",
+				tc.writes, openedWrite, openedRead, tc.wantWrite)
+		}
+	}
+}
+
 func TestExtraMemGeneratesTraffic(t *testing.T) {
 	c := newMC(nil, nil)
 	c.execute(mitigation.Directive{Kind: mitigation.ExtraMem, Bank: 0, Row: 5, MemReads: 2, MemWrites: 1}, 0)

@@ -20,7 +20,7 @@ func TestGroupPhaseIsFree(t *testing.T) {
 
 func TestRCCHitsAvoidTraffic(t *testing.T) {
 	si := mitigation.SystemInfo{Banks: 2, RowsPerBank: 4096, REFWCycles: 1 << 30, Seed: 3}
-	d := New(si, core.Fixed(1 << 20)) // huge budget: no refreshes
+	d := New(si, core.Fixed(1<<20)) // huge budget: no refreshes
 	// Saturate one group, then hit the same row repeatedly: exactly one
 	// miss, the rest RCC hits.
 	meta := 0

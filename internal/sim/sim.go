@@ -54,6 +54,13 @@ type Config struct {
 	// acts-per-window to threshold ratio is what shapes every defense's
 	// behaviour (see EXPERIMENTS.md, "time scaling"). 1 = unscaled.
 	WindowScale float64
+
+	// NoSkip forces the per-cycle reference loop instead of the
+	// event-driven cycle-skipping engine. Results are bit-identical
+	// either way — the differential tests enforce it — so the reference
+	// loop exists only for those tests and for debugging the engine
+	// itself (see EXPERIMENTS.md, "event-driven engine").
+	NoSkip bool
 }
 
 // DefaultConfig returns the Table 4 system with scaled-down workload
@@ -98,10 +105,19 @@ type moduleEntry struct {
 	once sync.Once
 	mod  *profile.Module
 	prof *profile.VulnProfile
-	err  error
+	// Per-row tables the security tracker reads at high rate, derived
+	// once from the disturbance model (they cost an exp/log chain per
+	// row and depend only on the module): the unscaled true HCfirst and
+	// the RowPress susceptibility psi. Deliberate trade: eager and
+	// process-lifetime (16 B/row — 4 MB per module at the default 8K
+	// rows, ~67 MB at the paper's 128K) in exchange for hundreds of
+	// sweep runs skipping the per-run, per-touched-row rederivation.
+	hcBase [][]float64
+	psi    [][]float64
+	err    error
 }
 
-func buildModule(label string, rows, cells, banks int, seed uint64) (*profile.Module, *profile.VulnProfile, error) {
+func buildModule(label string, rows, cells, banks int, seed uint64) (*moduleEntry, error) {
 	key := fmt.Sprintf("%s/%d/%d/%d/%d", label, rows, cells, banks, seed)
 	v, _ := moduleCache.LoadOrStore(key, &moduleEntry{})
 	e := v.(*moduleEntry)
@@ -124,8 +140,19 @@ func buildModule(label string, rows, cells, banks int, seed uint64) (*profile.Mo
 		}
 		e.mod = m
 		e.prof = profile.Capture(m.NewModel(), label, all)
+		model := disturb.NewModel(m.Params, m.Geom)
+		e.hcBase = make([][]float64, banks)
+		e.psi = make([][]float64, banks)
+		for b := 0; b < banks; b++ {
+			e.hcBase[b] = make([]float64, rows)
+			e.psi[b] = make([]float64, rows)
+			for r := 0; r < rows; r++ {
+				e.hcBase[b][r] = model.HCFirst(b, r)
+				e.psi[b][r] = model.PressPsi(b, r)
+			}
+		}
 	})
-	return e.mod, e.prof, e.err
+	return e, e.err
 }
 
 // buildDefense constructs the configured defense over thresholds th.
@@ -150,9 +177,8 @@ func buildDefense(name string, si mitigation.SystemInfo, th core.Thresholds, cpu
 
 // port adapts the controller to the core's MemPort.
 type port struct {
-	mc    *memctrl.Controller
-	cycle *uint64
-	core  int
+	mc   *memctrl.Controller
+	core int
 }
 
 func (p port) Read(addr uint64, done func(uint64), cycle uint64) bool {
@@ -189,26 +215,39 @@ func (c *Config) generatorFor(mcCfg memctrl.Config, slot int, name string) (gen 
 	}
 }
 
-// Run executes one simulation.
-func Run(cfg Config) (Result, error) {
+// machine is one assembled simulation — the controller, the cores, and
+// the security tracker — ready to be driven to completion by either
+// engine loop. Tests reach into it to assert per-core invariants the
+// folded Result cannot express (exact finish cycles, measurement-region
+// accounting).
+type machine struct {
+	mc      *memctrl.Controller
+	cores   []*cpu.Core
+	tracker *secTracker
+	ticks   uint64 // simulated cycles actually ticked by the driver loop
+}
+
+// newMachine builds the simulated system of cfg.
+func newMachine(cfg Config) (*machine, error) {
 	if cfg.Cores <= 0 || len(cfg.Mix) != cfg.Cores {
-		return Result{}, fmt.Errorf("sim: mix has %d entries for %d cores", len(cfg.Mix), cfg.Cores)
+		return nil, fmt.Errorf("sim: mix has %d entries for %d cores", len(cfg.Mix), cfg.Cores)
 	}
 	mcCfg := memctrl.DefaultConfig(cfg.RowsPerBank)
 	mcCfg.CPUGHz = cfg.CPUGHz
 	banks := mcCfg.Ranks * mcCfg.BankGroups * mcCfg.BanksPerGroup
 
-	mod, prof, err := buildModule(cfg.ModuleLabel, cfg.RowsPerBank, cfg.CellsPerRow, banks, cfg.Seed)
+	entry, err := buildModule(cfg.ModuleLabel, cfg.RowsPerBank, cfg.CellsPerRow, banks, cfg.Seed)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
+	mod, prof := entry.mod, entry.prof
 	scaled := prof.ScaledTo(cfg.NRH)
 
 	var th core.Thresholds
 	if cfg.Svard {
 		sv, err := core.New(scaled)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		th = sv
 	} else {
@@ -233,62 +272,138 @@ func Run(cfg Config) (Result, error) {
 	}
 	def, err := buildDefense(cfg.Defense, si, th, cfg.CPUGHz)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 
 	model := disturb.NewModel(mod.Params, mod.Geom)
-	tracker := newSecTracker(model, scaled.Factor, cfg.CPUGHz, banks, mcCfg.BankGroups*mcCfg.BanksPerGroup)
+	tracker := newSecTracker(model, entry.hcBase, entry.psi, scaled.Factor, cfg.CPUGHz, banks, mcCfg.BankGroups*mcCfg.BanksPerGroup)
 	mc := memctrl.New(mcCfg, timing, def, tracker)
 
-	var cycle uint64
 	cores := make([]*cpu.Core, cfg.Cores)
 	for i := range cores {
 		gen, uncached, err := cfg.generatorFor(mcCfg, i, cfg.Mix[i])
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		coreCfg := cfg.Core
 		coreCfg.Uncached = uncached
-		cores[i] = cpu.New(i, coreCfg, gen, port{mc: mc, cycle: &cycle, core: i})
+		cores[i] = cpu.New(i, coreCfg, gen, port{mc: mc, core: i})
 		cores[i].WarmupTarget = cfg.WarmupPerCore
 		cores[i].MeasureTarget = cfg.InstrPerCore
 	}
+	return &machine{mc: mc, cores: cores, tracker: tracker}, nil
+}
 
-	finished := false
-	for cycle = 0; cycle < cfg.MaxCycles; cycle++ {
-		mc.Tick(cycle)
-		for _, c := range cores {
+// runNaive is the per-cycle reference loop: tick the controller and
+// every core on every CPU cycle. It ends at the exact cycle the last
+// core finishes (no polling granularity) and returns that cycle with
+// finished=true, or (maxCycles, false) on a truncated run.
+func (m *machine) runNaive(maxCycles uint64) (uint64, bool) {
+	remaining := len(m.cores)
+	for cycle := uint64(0); cycle < maxCycles; cycle++ {
+		m.ticks++
+		m.mc.TickFull(cycle)
+		for _, c := range m.cores {
+			was := c.Finished()
 			c.Tick(cycle)
+			if !was && c.Finished() {
+				remaining--
+			}
 		}
-		if cycle%1024 == 0 {
-			done := true
-			for _, c := range cores {
-				if !c.Finished() {
-					done = false
-					break
-				}
-			}
-			if done {
-				finished = true
-				break
-			}
+		if remaining == 0 {
+			return cycle, true
 		}
 	}
+	return maxCycles, false
+}
 
+// runSkip is the event-driven engine: it performs exactly the ticks of
+// runNaive that do something and jumps over the rest. After a cycle in
+// which neither the controller nor any core made progress, every ready
+// time in the system is frozen, so the next cycle anything can happen
+// is the minimum of the components' NextEvent bounds — the driver
+// advances straight to it. Cycles where any component was active
+// advance by one, like the reference loop, because activity (an issued
+// command, a retired instruction, an enqueue) can enable any other
+// component on the very next cycle. The two loops are bit-identical by
+// construction; the differential tests in engine_diff_test.go enforce
+// it across every defense, attack mix, and Svärd setting.
+func (m *machine) runSkip(maxCycles uint64) (uint64, bool) {
+	remaining := len(m.cores)
+	cycle := uint64(0)
+	for cycle < maxCycles {
+		m.ticks++
+		active := m.mc.Tick(cycle)
+		for _, c := range m.cores {
+			was := c.Finished()
+			if c.Tick(cycle) {
+				active = true
+			}
+			if !was && c.Finished() {
+				remaining--
+			}
+		}
+		if remaining == 0 {
+			return cycle, true
+		}
+		if active {
+			cycle++
+			continue
+		}
+		next := m.mc.NextEvent(cycle)
+		for _, c := range m.cores {
+			if n := c.NextEvent(cycle); n < next {
+				next = n
+			}
+		}
+		if next <= cycle {
+			next = cycle + 1
+		}
+		if next > maxCycles {
+			next = maxCycles // quiescent to the horizon: truncate
+		}
+		cycle = next
+	}
+	return maxCycles, false
+}
+
+// result folds the machine's final state into a Result. endCycle is the
+// cycle the run stopped at: the last core's finish cycle, or MaxCycles
+// when truncated.
+func (m *machine) result(cfg Config, endCycle uint64, finished bool) Result {
 	res := Result{
-		IPC:        make([]float64, cfg.Cores),
-		Cycles:     cycle,
-		MC:         mc.Stats,
-		Violations: tracker.Violations,
+		IPC:        make([]float64, len(m.cores)),
+		Cycles:     endCycle,
+		MC:         m.mc.Stats,
+		Violations: m.tracker.Violations,
 		Finished:   finished,
 	}
-	for i, c := range cores {
-		if c.Finished() {
+	for i, c := range m.cores {
+		switch {
+		case c.Finished():
 			res.IPC[i] = c.IPC()
-		} else if cycle > 0 {
-			// Truncated run: use progress so far.
-			res.IPC[i] = float64(c.Retired) / float64(cycle)
+		case c.Started() && endCycle > c.StartCycle():
+			// Truncated run: report measurement-region progress only,
+			// consistent with Core.IPC — warmup instructions and warmup
+			// cycles are excluded. A core still in warmup reports 0.
+			res.IPC[i] = float64(c.Retired-c.WarmupTarget) / float64(endCycle-c.StartCycle())
 		}
 	}
-	return res, nil
+	return res
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (Result, error) {
+	m, err := newMachine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	var cycle uint64
+	var finished bool
+	if cfg.NoSkip {
+		cycle, finished = m.runNaive(cfg.MaxCycles)
+	} else {
+		cycle, finished = m.runSkip(cfg.MaxCycles)
+	}
+	return m.result(cfg, cycle, finished), nil
 }

@@ -13,45 +13,42 @@ import (
 // defense-free baseline at low thresholds must not (tests assert both).
 type secTracker struct {
 	model  *disturb.Model
-	factor float64 // profile scaling factor (§7.1 future-chip scaling)
+	hcBase [][]float64 // unscaled true HCfirst per (bank, row), from buildModule
+	psi    [][]float64 // RowPress susceptibility per (bank, row), from buildModule
+	factor float64     // profile scaling factor (§7.1 future-chip scaling)
 	cpuGHz float64
 
 	rows         int
 	banksPerRank int
 	cur          [][]float32 // accrued effective hammers per (bank, row)
-	hcCache      [][]float32 // scaled true HCfirst, lazily computed; 0 = unset
 
 	Violations uint64
 	acts       uint64
 }
 
-func newSecTracker(model *disturb.Model, factor, cpuGHz float64, banks, banksPerRank int) *secTracker {
+func newSecTracker(model *disturb.Model, hcBase, psi [][]float64, factor, cpuGHz float64, banks, banksPerRank int) *secTracker {
 	rows := model.Geom.RowsPerBank
 	t := &secTracker{
 		model:        model,
+		hcBase:       hcBase,
+		psi:          psi,
 		factor:       factor,
 		cpuGHz:       cpuGHz,
 		rows:         rows,
 		banksPerRank: banksPerRank,
 		cur:          make([][]float32, banks),
-		hcCache:      make([][]float32, banks),
 	}
 	for b := range t.cur {
 		t.cur[b] = make([]float32, rows)
-		t.hcCache[b] = make([]float32, rows)
 	}
 	return t
 }
 
 func (t *secTracker) hcFirst(bank, row int) float32 {
-	if v := t.hcCache[bank][row]; v != 0 {
-		return v
-	}
-	v := float32(t.model.HCFirst(bank, row) * t.factor)
+	v := float32(t.hcBase[bank][row] * t.factor)
 	if v == 0 {
 		v = math.SmallestNonzeroFloat32
 	}
-	t.hcCache[bank][row] = v
 	return v
 }
 
@@ -75,7 +72,7 @@ func (t *secTracker) OnPre(bank, row int, onCycles uint64) {
 		if d == -2 || d == 2 {
 			w *= t.model.P.BlastDecay
 		}
-		acc := t.cur[bank][v] + float32(w*t.model.PressFactor(bank, v, onNs))
+		acc := t.cur[bank][v] + float32(w*t.model.PressFactorFromPsi(t.psi[bank][v], onNs))
 		if acc >= t.hcFirst(bank, v) {
 			t.Violations++
 			acc = 0 // count each crossing once; the row has flipped

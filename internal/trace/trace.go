@@ -7,6 +7,8 @@
 package trace
 
 import (
+	"sync"
+
 	"svard/internal/rng"
 )
 
@@ -100,6 +102,22 @@ type Synth struct {
 	cur  uint64
 }
 
+// zipfCache memoizes Zipf samplers by (support, exponent). Building the
+// inverse CDF costs one pow per hot block (131K for the YCSB suite) and
+// depends only on the workload shape, yet every simulation of a sweep
+// used to rebuild it per core; sharing is safe because Sample only
+// reads the CDF (the caller supplies the random stream).
+var zipfCache sync.Map // [2]float64{n, s} -> *rng.Zipf
+
+func zipfFor(n int, s float64) *rng.Zipf {
+	key := [2]float64{float64(n), s}
+	if z, ok := zipfCache.Load(key); ok {
+		return z.(*rng.Zipf)
+	}
+	z, _ := zipfCache.LoadOrStore(key, rng.NewZipf(n, s))
+	return z.(*rng.Zipf)
+}
+
 // NewSynth builds the generator for one core: base is the core's
 // address-space offset (cores are multiprogrammed, so footprints are
 // disjoint).
@@ -110,7 +128,7 @@ func NewSynth(w Workload, base uint64, seed uint64) *Synth {
 		base: base,
 	}
 	if w.ZipfS > 0 && w.HotBlocks > 1 {
-		s.zipf = rng.NewZipf(w.HotBlocks, w.ZipfS)
+		s.zipf = zipfFor(w.HotBlocks, w.ZipfS)
 	}
 	s.cur = s.randomBlock()
 	return s
