@@ -13,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"svard/internal/cache"
 	"svard/internal/report"
@@ -47,6 +50,16 @@ func main() {
 	if !*fig12 && !*fig13 && !*obsv15 {
 		*fig12, *fig13, *obsv15 = true, true, true
 	}
+
+	// Ctrl-C / SIGTERM aborts the sweep within one simulation's latency
+	// instead of draining the whole job list; a second signal during the
+	// drain kills the process the default way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
 
 	base := sim.DefaultConfig()
 	base.Cores = *cores
@@ -102,7 +115,7 @@ func main() {
 				opt.NRHs = append(opt.NRHs, v)
 			}
 		}
-		cells, err := sim.RunFig12(opt)
+		cells, err := sim.RunFig12Ctx(ctx, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -129,7 +142,7 @@ func main() {
 	}
 
 	if *fig13 {
-		cells, err := sim.RunFig13(sim.Fig13Options{Base: base, Workers: *parallel, Runner: runner, Progress: progress})
+		cells, err := sim.RunFig13Ctx(ctx, sim.Fig13Options{Base: base, Workers: *parallel, Runner: runner, Progress: progress})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

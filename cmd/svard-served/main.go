@@ -1,0 +1,109 @@
+// svard-served is the resident campaign service: one process holding
+// the shared content-addressed result cache, the warm module pool, and
+// a job scheduler, multiplexed over HTTP so many clients can submit
+// sweeps without paying process startup or duplicating in-flight work.
+//
+// Usage:
+//
+//	svard-served [-addr HOST:PORT] [-cache-dir DIR] [-workers N]
+//	             [-max-jobs N] [-lru N]
+//
+// Endpoints (see EXPERIMENTS.md, "Campaign service", for the full table
+// and curl examples):
+//
+//	POST   /api/v1/jobs               submit a campaign.Spec as an async job
+//	GET    /api/v1/jobs               list jobs
+//	GET    /api/v1/jobs/{id}          inspect one job
+//	POST   /api/v1/jobs/{id}/cancel   cancel (also DELETE /api/v1/jobs/{id})
+//	GET    /api/v1/jobs/{id}/events   stream NDJSON per-cell progress
+//	GET    /api/v1/jobs/{id}/result   folded Fig. 12/13 cells
+//	GET    /api/v1/cells/{key}        raw cached cell by config key
+//	POST   /api/v1/key                config -> content-addressed key
+//	GET    /healthz                   liveness + scheduler summary
+//	GET    /metrics                   Prometheus text exposition
+//
+// SIGTERM/Ctrl-C shuts down gracefully: admission stops, every job is
+// cancelled (in-flight cells finish — the service returns within one
+// cell's latency), journals stay intact, and a resubmitted spec resumes
+// from the cache.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"svard/internal/cache"
+	"svard/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8344", "listen address")
+		cacheDir = flag.String("cache-dir", ".svard-cache", "result cache directory ('' = memory only)")
+		workers  = flag.Int("workers", 0, "max concurrent simulations across all jobs (0 = GOMAXPROCS)")
+		maxJobs  = flag.Int("max-jobs", 4, "max concurrently admitted jobs (queued jobs wait, highest priority first)")
+		retain   = flag.Int("retain", 0, "max jobs kept queryable; oldest finished jobs evicted beyond it (0 = 256)")
+		lru      = flag.Int("lru", 0, "in-memory LRU entries (0 = default)")
+		grace    = flag.Duration("grace", 2*time.Minute, "graceful shutdown budget before exiting anyway")
+	)
+	flag.Parse()
+
+	store, err := cache.Open(*cacheDir, *lru)
+	if err != nil {
+		fatal(err)
+	}
+	svc, err := server.New(server.Config{
+		Store:         store,
+		Workers:       *workers,
+		MaxActiveJobs: *maxJobs,
+		RetainJobs:    *retain,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	where := *cacheDir
+	if where == "" {
+		where = "(memory only)"
+	}
+	fmt.Fprintf(os.Stderr, "svard-served: listening on %s, cache %s, stats: %s\n",
+		*addr, where, store.Stats())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		fatal(err) // listener died before any signal
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Fprintln(os.Stderr, "svard-served: shutting down (in-flight cells finish; journals stay resumable)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Jobs first (they are the long pole), then the listener: streaming
+	// clients see their terminal events before connections close.
+	if err := svc.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "svard-served: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "svard-served: http shutdown: %v\n", err)
+	}
+	fmt.Fprintf(os.Stderr, "svard-served: bye; cache %s\n", store.Stats())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -30,12 +30,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"svard/internal/cache"
 	"svard/internal/campaign"
@@ -195,7 +198,18 @@ func main() {
 	if !*quiet {
 		eng.Progress = func(msg string) { fmt.Fprintf(os.Stderr, "\r%-60s", msg) }
 	}
-	out, err := eng.Run(spec)
+	// Ctrl-C / SIGTERM cancels the campaign promptly: in-flight cells
+	// finish (and are cached and journaled), nothing new starts, and the
+	// journal stays valid for -resume. Deregistering on the first signal
+	// restores default handling, so a second Ctrl-C during the drain
+	// kills the process instead of being swallowed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	out, err := eng.RunCtx(ctx, spec)
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
 	}
@@ -219,7 +233,7 @@ func main() {
 		fmt.Println(report.Fig13(out.Fig13))
 	}
 
-	fmt.Printf("campaign: %d jobs", out.Total)
+	fmt.Printf("campaign: %d jobs, %d computed, %d served from cache", out.Total, out.Computed, out.Served)
 	if out.Resumed > 0 {
 		fmt.Printf(", %d resumed from a previous run's journal", out.Resumed)
 	}

@@ -7,19 +7,25 @@
 // Each sim.Config canonically hashes to a key (see Key); the key maps to
 // a JSON-encoded sim.Result on disk under the store directory, fronted
 // by an in-memory LRU. Concurrent requests for the same key coalesce
-// onto a single computation (singleflight), and corrupt or truncated
-// disk entries are counted and silently recomputed, never surfaced as
-// errors. All methods are safe for concurrent use.
+// onto a single computation (singleflight; a computation that died with
+// its caller's cancellation is inherited by no one — waiters retry with
+// their own), and corrupt or truncated disk entries are counted and
+// silently recomputed, never surfaced as errors. All methods are safe
+// for concurrent use.
 package cache
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"svard/internal/sim"
 )
@@ -30,7 +36,9 @@ import (
 // comfortably.
 const DefaultLRUEntries = 32768
 
-// Stats is a point-in-time snapshot of the store's counters.
+// Stats is a point-in-time snapshot of the store's counters, plus the
+// disk-layer gauges (entry count and bytes, maintained incrementally
+// from a startup scan — cheap to read, never a directory walk).
 type Stats struct {
 	MemHits  uint64 // served from the in-memory LRU
 	DiskHits uint64 // served from a valid on-disk entry
@@ -38,14 +46,32 @@ type Stats struct {
 	Deduped  uint64 // coalesced onto a concurrent identical computation
 	Corrupt  uint64 // on-disk entries that failed to load and were recomputed
 	Writes   uint64 // entries persisted to disk
+
+	Entries   uint64 // entries currently on disk (gauge, not a counter)
+	DiskBytes uint64 // bytes those entries occupy (gauge)
 }
 
 // Hits is the total number of lookups served without recomputing.
 func (s Stats) Hits() uint64 { return s.MemHits + s.DiskHits + s.Deduped }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%d hits (%d mem, %d disk, %d deduped), %d misses, %d corrupt, %d written",
-		s.Hits(), s.MemHits, s.DiskHits, s.Deduped, s.Misses, s.Corrupt, s.Writes)
+	return fmt.Sprintf("%d hits (%d mem, %d disk, %d deduped), %d misses, %d corrupt, %d written; %d entries, %s on disk",
+		s.Hits(), s.MemHits, s.DiskHits, s.Deduped, s.Misses, s.Corrupt, s.Writes,
+		s.Entries, humanBytes(s.DiskBytes))
+}
+
+// humanBytes renders a byte gauge for the stats footer.
+func humanBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // Store is a content-addressed sim.Result store. The zero value is not
@@ -60,6 +86,10 @@ type Store struct {
 	deduped  atomic.Uint64
 	corrupt  atomic.Uint64
 	writes   atomic.Uint64
+
+	entries   atomic.Int64 // on-disk entries (gauge; seeded by the Open scan)
+	diskBytes atomic.Int64 // bytes those entries occupy
+	lastScan  atomic.Int64 // unix nanos of the last disk scan (rescan pacing)
 
 	mu     sync.Mutex
 	lru    *list.List // most-recent first; values are *entry
@@ -92,58 +122,164 @@ func Open(dir string, lruEntries int) (*Store, error) {
 	if lruEntries <= 0 {
 		lruEntries = DefaultLRUEntries
 	}
-	return &Store{
+	s := &Store{
 		dir:    dir,
 		lruMax: lruEntries,
 		lru:    list.New(),
 		idx:    make(map[string]*list.Element),
 		flight: make(map[string]*call),
-	}, nil
+	}
+	s.scanDisk()
+	s.lastScan.Store(time.Now().UnixNano())
+	return s, nil
+}
+
+// staleTempAge bounds the startup temp-file sweep: a *.tmp younger than
+// this may belong to another live process persisting into the same
+// cache directory (svard-served and svard-sweep sharing one store is
+// the intended setup), and deleting it would silently lose that
+// process's in-flight write when its rename fails. Crash residue, by
+// contrast, only gets older.
+const staleTempAge = time.Hour
+
+// scanDisk walks the shard directories once at Open: it removes stale
+// *.tmp files stranded by a crash mid-persist (the atomic write's only
+// failure residue; see staleTempAge for why only old ones) and seeds
+// the entry-count and disk-bytes gauges. Errors are ignored throughout
+// — the scan is hygiene and accounting, and an unreadable directory
+// must not fail Open any more than it fails a lookup.
+func (s *Store) scanDisk() {
+	if s.dir == "" {
+		return
+	}
+	var entries, bytes int64
+	cutoff := time.Now().Add(-staleTempAge)
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, shard := range shards {
+		// Shard directories are the 2-hex-char key prefixes; everything
+		// else at the top level (campaign journals) is not ours to touch.
+		if !shard.IsDir() || len(shard.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, shard.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			name := f.Name()
+			switch {
+			case strings.Contains(name, ".tmp"):
+				if info, err := f.Info(); err == nil && info.ModTime().Before(cutoff) {
+					os.Remove(filepath.Join(s.dir, shard.Name(), name))
+				}
+			case strings.HasSuffix(name, ".json"):
+				if info, err := f.Info(); err == nil {
+					entries++
+					bytes += info.Size()
+				}
+			}
+		}
+	}
+	s.entries.Store(entries)
+	s.diskBytes.Store(bytes)
 }
 
 // Dir returns the store's on-disk directory ("" for memory-only stores).
 func (s *Store) Dir() string { return s.dir }
 
+// rescanInterval paces how often Stats refreshes the disk gauges with a
+// real directory walk. The gauges track this process's writes exactly,
+// but the directory may be shared with other processes (svard-served
+// plus CLI sweeps over one -cache-dir); the periodic rescan keeps the
+// gauges eventually consistent with their writes too, without a walk
+// per Stats call.
+const rescanInterval = 5 * time.Minute
+
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
+	s.maybeRescan()
 	return Stats{
-		MemHits:  s.memHits.Load(),
-		DiskHits: s.diskHits.Load(),
-		Misses:   s.misses.Load(),
-		Deduped:  s.deduped.Load(),
-		Corrupt:  s.corrupt.Load(),
-		Writes:   s.writes.Load(),
+		MemHits:   s.memHits.Load(),
+		DiskHits:  s.diskHits.Load(),
+		Misses:    s.misses.Load(),
+		Deduped:   s.deduped.Load(),
+		Corrupt:   s.corrupt.Load(),
+		Writes:    s.writes.Load(),
+		Entries:   clampUint(s.entries.Load()),
+		DiskBytes: clampUint(s.diskBytes.Load()),
 	}
+}
+
+// clampUint guards the gauges against transient negatives (a concurrent
+// external deletion racing the incremental accounting).
+func clampUint(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// maybeRescan refreshes the disk gauges if the last scan is older than
+// rescanInterval; the CAS elects one scanner per interval.
+func (s *Store) maybeRescan() {
+	if s.dir == "" {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := s.lastScan.Load()
+	if now-last < int64(rescanInterval) || !s.lastScan.CompareAndSwap(last, now) {
+		return
+	}
+	s.scanDisk()
 }
 
 // GetOrCompute returns the stored result for cfg, computing and storing
 // it via compute on a miss. Concurrent calls with the same key wait for
 // one computation instead of duplicating it. Errors from compute are
-// returned to every waiter and never cached.
+// returned to waiters and never cached — with one carve-out: a leader
+// that failed with a *cancellation* (context.Canceled/DeadlineExceeded
+// anywhere in the chain) reflects its own lifetime, not the cell, so
+// coalesced waiters retry with their own compute instead of inheriting
+// it (one campaign job's cancellation must not surface as a failure in
+// an overlapping job). Genuine compute failures still propagate to all
+// waiters, so a deterministically failing cell is not re-executed once
+// per waiter.
 func (s *Store) GetOrCompute(cfg sim.Config, compute func(sim.Config) (sim.Result, error)) (sim.Result, error) {
 	key := Key(cfg)
 
-	s.mu.Lock()
-	if el, ok := s.idx[key]; ok {
-		s.lru.MoveToFront(el)
-		res := copyResult(el.Value.(*entry).res)
-		s.mu.Unlock()
-		s.memHits.Add(1)
-		return res, nil
-	}
-	if c, ok := s.flight[key]; ok {
-		s.mu.Unlock()
-		<-c.done
-		if c.err != nil {
-			// Not a hit: the coalesced computation produced nothing.
-			return sim.Result{}, c.err
+	var c *call
+	for {
+		s.mu.Lock()
+		if el, ok := s.idx[key]; ok {
+			s.lru.MoveToFront(el)
+			res := copyResult(el.Value.(*entry).res)
+			s.mu.Unlock()
+			s.memHits.Add(1)
+			return res, nil
 		}
-		s.deduped.Add(1)
-		return copyResult(c.res), nil
+		if inflight, ok := s.flight[key]; ok {
+			s.mu.Unlock()
+			<-inflight.done
+			if inflight.err != nil {
+				if isCancellation(inflight.err) {
+					continue // the leader was cancelled, not the cell; retry ourselves
+				}
+				return sim.Result{}, inflight.err
+			}
+			s.deduped.Add(1)
+			return copyResult(inflight.res), nil
+		}
+		c = &call{done: make(chan struct{})}
+		s.flight[key] = c
+		s.mu.Unlock()
+		break
 	}
-	c := &call{done: make(chan struct{})}
-	s.flight[key] = c
-	s.mu.Unlock()
 
 	res, fromDisk, err := s.load(key)
 	if err != nil {
@@ -170,6 +306,31 @@ func (s *Store) GetOrCompute(cfg sim.Config, compute func(sim.Config) (sim.Resul
 		return sim.Result{}, err
 	}
 	return copyResult(res), nil
+}
+
+// Get returns the stored result for key from memory or disk, without
+// computing anything or touching the hit/miss counters: it is the
+// observability read behind the service's raw-cell endpoint, and an
+// inspection read must not skew the effectiveness counters the
+// campaign footer and /metrics report. A disk read is promoted into
+// the LRU like any other.
+func (s *Store) Get(key string) (sim.Result, bool) {
+	s.mu.Lock()
+	if el, ok := s.idx[key]; ok {
+		s.lru.MoveToFront(el)
+		res := copyResult(el.Value.(*entry).res)
+		s.mu.Unlock()
+		return res, true
+	}
+	s.mu.Unlock()
+	res, err := s.read(key)
+	if err != nil {
+		return sim.Result{}, false
+	}
+	s.mu.Lock()
+	s.remember(key, res)
+	s.mu.Unlock()
+	return copyResult(res), true
 }
 
 // Contains reports whether key has a valid entry in memory or on disk,
@@ -214,11 +375,13 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key+".json")
 }
 
-// read loads and validates one disk entry. Keys shorter than the shard
-// prefix cannot name an entry (Key always returns 64 hex chars; the
-// guard keeps exported lookups like Contains total).
+// read loads and validates one disk entry. Only a well-formed key — 64
+// lowercase hex chars, the exact shape Key produces — can name an
+// entry; anything else (including path-traversal shapes fed through
+// exported lookups like Get and Contains) is a plain miss before any
+// filesystem access.
 func (s *Store) read(key string) (sim.Result, error) {
-	if s.dir == "" || len(key) < 2 {
+	if s.dir == "" || !wellFormedKey(key) {
 		return sim.Result{}, os.ErrNotExist
 	}
 	b, err := os.ReadFile(s.path(key))
@@ -266,6 +429,12 @@ func (s *Store) persist(key string, res sim.Result) {
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return
 	}
+	// The rename either creates a new entry or replaces a corrupt one;
+	// stat first so the gauges track both cases.
+	var oldSize, isNew int64 = 0, 1
+	if info, err := os.Stat(p); err == nil {
+		oldSize, isNew = info.Size(), 0
+	}
 	tmp, err := os.CreateTemp(filepath.Dir(p), key+".tmp*")
 	if err != nil {
 		return
@@ -277,6 +446,29 @@ func (s *Store) persist(key string, res sim.Result) {
 		return
 	}
 	s.writes.Add(1)
+	s.entries.Add(isNew)
+	s.diskBytes.Add(int64(len(b)) - oldSize)
+}
+
+// wellFormedKey reports whether key is 64 lowercase hex chars.
+func wellFormedKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// isCancellation reports whether err stems from a cancelled or expired
+// context rather than the computation itself. Callers that cancel with
+// a custom cause should wrap context.Canceled so their waiters-must-
+// retry intent survives (the campaign service's scheduler does).
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // copyResult deep-copies a result so cached entries are immune to caller

@@ -1,11 +1,15 @@
 package cache
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"svard/internal/memctrl"
 	"svard/internal/sim"
@@ -205,6 +209,75 @@ func TestSingleflightCoalesces(t *testing.T) {
 	}
 }
 
+// TestCoalescedWaiterSurvivesLeaderCancellation: a waiter coalesced
+// onto a computation that dies with its leader's *cancellation* must
+// not inherit the error — it retries with its own compute and succeeds.
+// This is the isolation the campaign service's cross-job dedup relies
+// on: cancelling one job cannot fail another. A genuine compute failure
+// is different: it describes the cell, so every waiter inherits it and
+// nobody re-executes a deterministically failing computation.
+func TestCoalescedWaiterSurvivesLeaderCancellation(t *testing.T) {
+	for name, tc := range map[string]struct {
+		leaderErr   error
+		wantInherit bool
+	}{
+		"cancellation-retries":   {leaderErr: fmt.Errorf("job gone (%w)", context.Canceled), wantInherit: false},
+		"genuine-error-inherits": {leaderErr: errors.New("simulation blew up"), wantInherit: true},
+	} {
+		t.Run(name, func(t *testing.T) {
+			s, _ := Open("", 0)
+			var leaderCalls, waiterCalls atomic.Int64
+			waiterArrived := make(chan struct{})
+			failingLeader := func(cfg sim.Config) (sim.Result, error) {
+				leaderCalls.Add(1)
+				<-waiterArrived // fail only once the waiter has coalesced
+				return sim.Result{}, tc.leaderErr
+			}
+
+			leaderDone := make(chan error, 1)
+			go func() {
+				_, err := s.GetOrCompute(testCfg(64), failingLeader)
+				leaderDone <- err
+			}()
+			for leaderCalls.Load() == 0 {
+			}
+
+			waiterDone := make(chan error, 1)
+			go func() {
+				_, err := s.GetOrCompute(testCfg(64), func(cfg sim.Config) (sim.Result, error) {
+					waiterCalls.Add(1)
+					return fakeCompute(nil)(cfg)
+				})
+				waiterDone <- err
+			}()
+			// The waiter is either parked on the leader's flight or will
+			// retry; give it a moment to coalesce before the leader fails.
+			time.Sleep(10 * time.Millisecond)
+			close(waiterArrived)
+
+			if err := <-leaderDone; !errors.Is(err, tc.leaderErr) {
+				t.Errorf("leader's own error = %v, want %v", err, tc.leaderErr)
+			}
+			waiterErr := <-waiterDone
+			if tc.wantInherit {
+				if !errors.Is(waiterErr, tc.leaderErr) {
+					t.Errorf("waiter error = %v, want the leader's (cell-describing) failure", waiterErr)
+				}
+				if waiterCalls.Load() != 0 {
+					t.Errorf("waiter re-executed a deterministically failing compute %d times", waiterCalls.Load())
+				}
+			} else {
+				if waiterErr != nil {
+					t.Errorf("waiter inherited the leader's cancellation: %v", waiterErr)
+				}
+				if waiterCalls.Load() != 1 {
+					t.Errorf("waiter computed %d times, want 1 (its own retry)", waiterCalls.Load())
+				}
+			}
+		})
+	}
+}
+
 func TestComputeErrorsPropagateAndAreNotCached(t *testing.T) {
 	s, _ := Open(t.TempDir(), 0)
 	var calls atomic.Int64
@@ -248,6 +321,176 @@ func TestLRUEvictionFallsBackToDiskOrRecompute(t *testing.T) {
 	}
 	if calls.Load() != 4 {
 		t.Error("resident entry recomputed")
+	}
+}
+
+// TestConcurrentOverlappingConfigs is the dedup guarantee under real
+// concurrency: many goroutines submit overlapping config sets (the
+// cross-job shape of two clients sweeping intersecting specs), and
+// every distinct key must compute exactly once — the rest must be
+// served by the singleflight or a cache layer. Run under -race in CI.
+func TestConcurrentOverlappingConfigs(t *testing.T) {
+	s, _ := Open(t.TempDir(), 0)
+
+	nrhs := []float64{64, 128, 256, 512, 1024, 2048, 4096, 8192}
+	perKey := make(map[string]*atomic.Int64, len(nrhs))
+	for _, nrh := range nrhs {
+		perKey[Key(testCfg(nrh))] = new(atomic.Int64)
+	}
+	compute := func(cfg sim.Config) (sim.Result, error) {
+		perKey[Key(cfg)].Add(1)
+		return fakeCompute(nil)(cfg)
+	}
+
+	// 16 goroutines, each sweeping an 8-key window into the shared key
+	// space so every pair of goroutines overlaps on most keys.
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < len(nrhs); i++ {
+				nrh := nrhs[(g+i)%len(nrhs)]
+				res, err := s.GetOrCompute(testCfg(nrh), compute)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if want := nrh / 1024; res.IPC[0] != want {
+					t.Errorf("key nrh=%v served result for %v", nrh, res.IPC[0]*1024)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for key, calls := range perKey {
+		if calls.Load() != 1 {
+			t.Errorf("key %s computed %d times, want exactly 1", key[:8], calls.Load())
+		}
+	}
+	st := s.Stats()
+	if want := uint64(goroutines * len(nrhs)); st.Hits()+st.Misses != want {
+		t.Errorf("lookups = %d hits + %d misses, want %d total", st.Hits(), st.Misses, want)
+	}
+	if st.Misses != uint64(len(nrhs)) {
+		t.Errorf("misses = %d, want %d (one per distinct key)", st.Misses, len(nrhs))
+	}
+}
+
+// TestOpenSweepsStaleTempFiles: *.tmp residue from a crash mid-persist
+// is removed by the next Open once it is old enough to be provably
+// stale; a fresh temp file — possibly another live process's in-flight
+// write into the shared directory — and valid entries are untouched.
+func TestOpenSweepsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := Open(dir, 0)
+	if _, err := s1.GetOrCompute(testCfg(64), fakeCompute(nil)); err != nil {
+		t.Fatal(err)
+	}
+	key := Key(testCfg(64))
+	shard := filepath.Join(dir, key[:2])
+	stale := filepath.Join(shard, key+".tmp12345")
+	if err := os.WriteFile(stale, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(shard, key+".tmp67890")
+	if err := os.WriteFile(fresh, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _ := Open(dir, 0)
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived Open")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh temp file (a possible live writer's) was swept")
+	}
+	if !s2.Contains(key) {
+		t.Error("valid entry was swept along with the temp file")
+	}
+	if st := s2.Stats(); st.Entries != 1 {
+		t.Errorf("Entries = %d after sweep, want 1", st.Entries)
+	}
+}
+
+// TestStatsGauges: entry-count and disk-bytes track writes incrementally
+// and are re-seeded by a fresh Open's scan.
+func TestStatsGauges(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := Open(dir, 0)
+	if st := s1.Stats(); st.Entries != 0 || st.DiskBytes != 0 {
+		t.Errorf("fresh store gauges = %+v", st)
+	}
+	for _, nrh := range []float64{64, 128} {
+		if _, err := s1.GetOrCompute(testCfg(nrh), fakeCompute(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st1 := s1.Stats()
+	if st1.Entries != 2 || st1.DiskBytes == 0 {
+		t.Errorf("gauges after 2 writes = %+v", st1)
+	}
+
+	// A fresh store over the same directory scans the same footprint.
+	s2, _ := Open(dir, 0)
+	st2 := s2.Stats()
+	if st2.Entries != st1.Entries || st2.DiskBytes != st1.DiskBytes {
+		t.Errorf("rescan gauges = %+v, incremental said %+v", st2, st1)
+	}
+
+	// Memory-only stores have no disk footprint.
+	m, _ := Open("", 0)
+	if _, err := m.GetOrCompute(testCfg(64), fakeCompute(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Entries != 0 || st.DiskBytes != 0 {
+		t.Errorf("memory-only gauges = %+v", st)
+	}
+}
+
+// TestGetByKey: the observability read returns entries from memory and
+// disk without perturbing the hit/miss counters, and reports absence.
+func TestGetByKey(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := Open(dir, 0)
+	want, err := s1.GetOrCompute(testCfg(64), fakeCompute(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(testCfg(64))
+
+	before := s1.Stats()
+	got, ok := s1.Get(key)
+	if !ok {
+		t.Fatal("Get missed a resident entry")
+	}
+	sameResult(t, want, got)
+	if s1.Stats() != before {
+		t.Errorf("Get changed counters: %v -> %v", before, s1.Stats())
+	}
+
+	// Fresh store: served from disk.
+	s2, _ := Open(dir, 0)
+	got2, ok := s2.Get(key)
+	if !ok {
+		t.Fatal("Get missed a disk entry")
+	}
+	sameResult(t, want, got2)
+	if st := s2.Stats(); st.DiskHits != 0 || st.MemHits != 0 {
+		t.Errorf("Get counted as a hit: %v", st)
+	}
+
+	if _, ok := s2.Get(Key(testCfg(99))); ok {
+		t.Error("Get fabricated a missing entry")
+	}
+	if _, ok := s2.Get("zz"); ok {
+		t.Error("Get accepted a malformed key")
 	}
 }
 

@@ -14,11 +14,13 @@
 package campaign
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"svard/internal/cache"
 	"svard/internal/profile"
@@ -204,9 +206,22 @@ type Outcome struct {
 	Fig12 []sim.Fig12Cell
 	Fig13 []sim.Fig13Cell
 
-	Total   int         // simulation jobs in the campaign
-	Resumed int         // jobs already journaled as complete when the run started
-	Stats   cache.Stats // cache counters delta for this run
+	Total   int // simulation jobs in the campaign
+	Resumed int // jobs already journaled as complete when the run started
+
+	// Computed counts the cells THIS campaign actually simulated: its
+	// compute callback ran (exactly-once attribution — a cell another
+	// concurrent campaign computed, or that any cache layer served, is
+	// not counted here). Served is the rest: Total - Computed.
+	Computed int
+	Served   int
+
+	// Stats is the shared store's counter snapshot when the run
+	// finished. The store may be shared with concurrent campaigns (the
+	// svard-served scheduler runs several engines over one store), so
+	// these are global totals, not this campaign's share — Computed and
+	// Served carry the per-campaign attribution.
+	Stats cache.Stats
 }
 
 // Engine executes campaigns. Fields are read-only during Run.
@@ -225,6 +240,12 @@ type Engine struct {
 	Sim sim.Runner
 
 	Progress func(string)
+
+	// Observe, when set, is called once per completed cell (cache hit or
+	// fresh computation alike) with the cell's config, from worker
+	// goroutines. The campaign service streams per-cell progress from it.
+	// It must not block for long: it runs on the sweep's critical path.
+	Observe func(sim.Config)
 }
 
 // Run executes the campaign, reusing every cached cell and journaling
@@ -232,6 +253,16 @@ type Engine struct {
 // (including an interruption injected through Sim), everything completed
 // so far remains in the cache and the journal.
 func (e *Engine) Run(spec Spec) (*Outcome, error) {
+	return e.RunCtx(context.Background(), spec)
+}
+
+// RunCtx is Run with cancellation: once ctx is done, no new simulation
+// starts, cells already running finish (and are cached and journaled),
+// and the call returns ctx's cause within one cell's latency. The
+// journal stays intact, so the cancelled campaign resumes exactly like
+// an interrupted one — re-run with Resume (svard-sweep -resume) and
+// only the never-computed cells simulate.
+func (e *Engine) RunCtx(ctx context.Context, spec Spec) (*Outcome, error) {
 	if e.Store == nil {
 		return nil, fmt.Errorf("campaign: engine has no result store")
 	}
@@ -247,17 +278,30 @@ func (e *Engine) Run(spec Spec) (*Outcome, error) {
 	}
 	defer j.close()
 
-	before := e.Store.Stats()
 	out := &Outcome{Total: len(jobs), Resumed: j.resumed()}
 
 	base := e.Sim
 	if base == nil {
 		base = sim.Run
 	}
+	// computed counts only the cells whose compute callback actually ran
+	// for THIS campaign: a lookup that coalesces onto another campaign's
+	// in-flight computation, or hits any cache layer, never invokes it.
+	var computed atomic.Int64
+	compute := func(cfg sim.Config) (sim.Result, error) {
+		res, err := base(cfg)
+		if err == nil {
+			computed.Add(1)
+		}
+		return res, err
+	}
 	runner := func(cfg sim.Config) (sim.Result, error) {
-		res, err := e.Store.GetOrCompute(cfg, base)
+		res, err := e.Store.GetOrCompute(cfg, compute)
 		if err == nil {
 			j.done(cache.Key(cfg))
+			if e.Observe != nil {
+				e.Observe(cfg)
+			}
 		}
 		return res, err
 	}
@@ -267,26 +311,20 @@ func (e *Engine) Run(spec Spec) (*Outcome, error) {
 		case Fig12:
 			opt := spec.fig12Options()
 			opt.Workers, opt.Runner, opt.Progress = e.Workers, runner, e.Progress
-			if out.Fig12, err = sim.RunFig12(opt); err != nil {
+			if out.Fig12, err = sim.RunFig12Ctx(ctx, opt); err != nil {
 				return nil, err
 			}
 		case Fig13:
 			opt := spec.fig13Options()
 			opt.Workers, opt.Runner, opt.Progress = e.Workers, runner, e.Progress
-			if out.Fig13, err = sim.RunFig13(opt); err != nil {
+			if out.Fig13, err = sim.RunFig13Ctx(ctx, opt); err != nil {
 				return nil, err
 			}
 		}
 	}
 
-	after := e.Store.Stats()
-	out.Stats = cache.Stats{
-		MemHits:  after.MemHits - before.MemHits,
-		DiskHits: after.DiskHits - before.DiskHits,
-		Misses:   after.Misses - before.Misses,
-		Deduped:  after.Deduped - before.Deduped,
-		Corrupt:  after.Corrupt - before.Corrupt,
-		Writes:   after.Writes - before.Writes,
-	}
+	out.Computed = int(computed.Load())
+	out.Served = out.Total - out.Computed
+	out.Stats = e.Store.Stats()
 	return out, nil
 }

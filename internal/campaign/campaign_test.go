@@ -100,6 +100,9 @@ func TestCampaignColdThenWarmMatchesGolden(t *testing.T) {
 	if cold.Total != len(jobs) || int(calls.Load()) != len(jobs) {
 		t.Errorf("cold run: total=%d sims=%d, want %d", cold.Total, calls.Load(), len(jobs))
 	}
+	if cold.Computed != len(jobs) || cold.Served != 0 {
+		t.Errorf("cold attribution: computed=%d served=%d, want %d/0", cold.Computed, cold.Served, len(jobs))
+	}
 	if cold.Stats.Misses != uint64(len(jobs)) || cold.Stats.Hits() != 0 {
 		t.Errorf("cold stats = %v", cold.Stats)
 	}
@@ -114,7 +117,12 @@ func TestCampaignColdThenWarmMatchesGolden(t *testing.T) {
 	if int(calls.Load()) != len(jobs) {
 		t.Errorf("warm run re-simulated: %d total sims, want %d", calls.Load(), len(jobs))
 	}
-	if warm.Stats.Misses != 0 || warm.Stats.Hits() != uint64(len(jobs)) {
+	if warm.Computed != 0 || warm.Served != len(jobs) {
+		t.Errorf("warm attribution: computed=%d served=%d, want 0/%d", warm.Computed, warm.Served, len(jobs))
+	}
+	// Stats is the shared store's global snapshot: after the warm run it
+	// still reports the cold run's misses plus the warm run's hits.
+	if warm.Stats.Misses != uint64(len(jobs)) || warm.Stats.Hits() != uint64(len(jobs)) {
 		t.Errorf("warm stats = %v", warm.Stats)
 	}
 }
@@ -160,8 +168,11 @@ func TestCampaignInterruptedThenResumed(t *testing.T) {
 		t.Errorf("resume re-simulated %d jobs, want %d (the %d interrupted-run cells must come from cache)",
 			calls2.Load(), want, interruptAt)
 	}
+	if out.Computed != int(want) || out.Served != interruptAt {
+		t.Errorf("resume attribution: computed=%d served=%d, want %d/%d", out.Computed, out.Served, want, interruptAt)
+	}
 	if out.Stats.DiskHits != interruptAt {
-		t.Errorf("resume stats = %v, want %d disk hits", out.Stats, interruptAt)
+		t.Errorf("resume stats = %v, want %d disk hits (fresh store, so global == this run)", out.Stats, interruptAt)
 	}
 }
 

@@ -15,6 +15,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -42,6 +43,16 @@ func Workers(n int) int {
 // nil slice with every observed error joined in job-index order (each
 // wrapped with its index). Jobs already running are allowed to finish.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with cancellation: once ctx is done, no new job starts
+// (jobs already running finish — the pool returns within one job's
+// latency), and the joined error ends with the context's cause after
+// any job errors. Cancellation does not change what completed jobs
+// computed, so a sweep that persists per-job results (the campaign
+// engine) can be cancelled and later resumed with bit-identical cells.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -61,7 +72,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
+				if i >= n || failed.Load() || ctx.Err() != nil {
 					return
 				}
 				r, err := fn(i)
@@ -76,12 +87,16 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	wg.Wait()
 
-	if failed.Load() {
+	canceled := ctx.Err() != nil
+	if failed.Load() || canceled {
 		var agg []error
 		for i, err := range errs {
 			if err != nil {
 				agg = append(agg, fmt.Errorf("job %d: %w", i, err))
 			}
+		}
+		if canceled {
+			agg = append(agg, context.Cause(ctx))
 		}
 		return nil, errors.Join(agg...)
 	}
@@ -90,7 +105,12 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 
 // Each is Map for jobs with no result value.
 func Each(workers, n int, fn func(i int) error) error {
-	_, err := Map(workers, n, func(i int) (struct{}, error) {
+	return EachCtx(context.Background(), workers, n, fn)
+}
+
+// EachCtx is MapCtx for jobs with no result value.
+func EachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	_, err := MapCtx(ctx, workers, n, func(i int) (struct{}, error) {
 		return struct{}{}, fn(i)
 	})
 	return err

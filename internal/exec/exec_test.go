@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -107,6 +108,75 @@ func TestMapBoundsConcurrency(t *testing.T) {
 	}
 	if m := max.Load(); m > workers {
 		t.Fatalf("observed %d concurrent jobs, want <= %d", m, workers)
+	}
+}
+
+// TestMapCtxCancelStopsDispatch: cancelling mid-sweep lets running jobs
+// finish but starts nothing new, and the error carries the cancel cause.
+func TestMapCtxCancelStopsDispatch(t *testing.T) {
+	cause := errors.New("client hung up")
+	ctx, cancel := context.WithCancelCause(context.Background())
+
+	var ran atomic.Int64
+	started := make(chan struct{})
+	var once atomic.Bool
+	go func() {
+		<-started
+		cancel(cause)
+	}()
+	_, err := MapCtx(ctx, 2, 1000, func(i int) (int, error) {
+		ran.Add(1)
+		if once.CompareAndSwap(false, true) {
+			close(started)
+		}
+		<-ctx.Done() // jobs in flight when the cancel lands
+		return i, nil
+	})
+
+	if err == nil {
+		t.Fatal("cancelled MapCtx reported success")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("error %v does not carry the cancel cause", err)
+	}
+	// Only the jobs that were already in flight may have run: with 2
+	// workers, at most 2 of the 1000.
+	if got := ran.Load(); got > 2 {
+		t.Fatalf("%d jobs ran after cancellation, want <= 2 (the in-flight ones)", got)
+	}
+}
+
+// TestMapCtxPreCancelled: a context cancelled before the call runs no
+// jobs at all.
+func TestMapCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := MapCtx(ctx, 4, 100, func(i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d jobs ran under a pre-cancelled context", ran.Load())
+	}
+}
+
+// TestMapCtxBackgroundMatchesMap: Map is exactly MapCtx under a
+// background context.
+func TestMapCtxBackgroundMatchesMap(t *testing.T) {
+	fn := func(i int) (int, error) { return i * 3, nil }
+	a, errA := Map(4, 50, fn)
+	b, errB := MapCtx(context.Background(), 4, 50, fn)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Map and MapCtx diverge at %d", i)
+		}
 	}
 }
 

@@ -21,15 +21,23 @@ type Table struct {
 // Add appends a row of cells.
 func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns. Widths are sized to
+// the widest row, not just the headers, so a row with more cells than
+// headers still aligns (its extra columns simply have empty headers).
 func (t *Table) String() string {
-	widths := make([]int, len(t.Headers))
+	cols := len(t.Headers)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

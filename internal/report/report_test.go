@@ -22,6 +22,46 @@ func TestTableAlignment(t *testing.T) {
 	}
 }
 
+// TestTableRowsWiderThanHeaders: a row with more cells than headers used
+// to misalign silently (the width loop guarded i < len(widths)); widths
+// must size to the widest row and every line must align.
+func TestTableRowsWiderThanHeaders(t *testing.T) {
+	tab := Table{Headers: []string{"h1", "h2"}}
+	tab.Add("a", "b", "a-third-cell")
+	tab.Add("wider-than-h1", "b", "c", "fourth")
+	out := tab.String()
+
+	for _, cell := range []string{"a-third-cell", "fourth", "wider-than-h1"} {
+		if !strings.Contains(out, cell) {
+			t.Errorf("cell %q missing from output:\n%s", cell, out)
+		}
+	}
+	// Every cell aligns on the same column starts: the second column of
+	// each line begins at the same offset (width of the widest first
+	// column + separator).
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Column starts must agree across rows: the second column begins
+	// after the widest first cell, the third after the widest second.
+	col2 := len("wider-than-h1") + 2
+	col3 := col2 + len("h2") + 2
+	row1, row2 := lines[2], lines[3]
+	if got := strings.Index(row1, "b"); got != col2 {
+		t.Errorf("row 1 second column at %d, want %d\n%s", got, col2, out)
+	}
+	if got := strings.Index(row2, "b"); got != col2 {
+		t.Errorf("row 2 second column at %d, want %d\n%s", got, col2, out)
+	}
+	if got := strings.Index(row1, "a-third-cell"); got != col3 {
+		t.Errorf("row 1 third column at %d, want %d\n%s", got, col3, out)
+	}
+	if got := strings.Index(row2, "c"); got != col3 {
+		t.Errorf("row 2 third column at %d, want %d\n%s", got, col3, out)
+	}
+}
+
 func TestRenderersProduceAllRows(t *testing.T) {
 	t5 := Table5([]charz.Table5Row{{Label: "H0", Mfr: "SK Hynix", MinHC: 16384, AvgHC: 47309, MaxHC: 98304}})
 	if !strings.Contains(t5, "H0") || !strings.Contains(t5, "16.0K") {

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// handleHealthz is the liveness/readiness probe: cheap, allocation-light,
+// and truthful — it reports the scheduler's aggregate state so an
+// orchestrator (or a curl) sees queue pressure at a glance.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	counts := s.sched.stateCounts()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+		"queued":         counts[StateQueued],
+		"running":        counts[StateRunning],
+		"workers":        s.sched.workers,
+		"workers_busy":   s.sched.busyWorkers(),
+	})
+}
+
+// handleMetrics renders Prometheus text exposition format (version
+// 0.0.4, the plain-text scrape format every Prometheus server accepts)
+// without taking a client dependency: the counters are all simple
+// atomics and gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.store.Stats()
+	counts := s.sched.stateCounts()
+	uptime := time.Since(s.start).Seconds()
+	cells := s.sched.cellsDone.Load()
+	rate := 0.0
+	if uptime > 0 {
+		rate = float64(cells) / uptime
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+
+	m("# HELP svard_cache_hits_total Lookups served without recomputing, by layer.")
+	m("# TYPE svard_cache_hits_total counter")
+	m(`svard_cache_hits_total{layer="mem"} %d`, st.MemHits)
+	m(`svard_cache_hits_total{layer="disk"} %d`, st.DiskHits)
+	m(`svard_cache_hits_total{layer="dedup"} %d`, st.Deduped)
+	m("# HELP svard_cache_misses_total Lookups that computed a fresh cell.")
+	m("# TYPE svard_cache_misses_total counter")
+	m("svard_cache_misses_total %d", st.Misses)
+	m("# HELP svard_cache_corrupt_total On-disk entries that failed to load and were recomputed.")
+	m("# TYPE svard_cache_corrupt_total counter")
+	m("svard_cache_corrupt_total %d", st.Corrupt)
+	m("# HELP svard_cache_writes_total Entries persisted to disk.")
+	m("# TYPE svard_cache_writes_total counter")
+	m("svard_cache_writes_total %d", st.Writes)
+	m("# HELP svard_cache_entries Entries currently on disk.")
+	m("# TYPE svard_cache_entries gauge")
+	m("svard_cache_entries %d", st.Entries)
+	m("# HELP svard_cache_disk_bytes Bytes the on-disk entries occupy.")
+	m("# TYPE svard_cache_disk_bytes gauge")
+	m("svard_cache_disk_bytes %d", st.DiskBytes)
+
+	m("# HELP svard_jobs Jobs by state.")
+	m("# TYPE svard_jobs gauge")
+	for _, state := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		m(`svard_jobs{state=%q} %d`, string(state), counts[state])
+	}
+	m("# HELP svard_queue_depth Jobs waiting for admission.")
+	m("# TYPE svard_queue_depth gauge")
+	m("svard_queue_depth %d", s.sched.queueDepth())
+	m("# HELP svard_workers Configured shared worker slots.")
+	m("# TYPE svard_workers gauge")
+	m("svard_workers %d", s.sched.workers)
+	m("# HELP svard_workers_busy Worker slots currently computing a cell.")
+	m("# TYPE svard_workers_busy gauge")
+	m("svard_workers_busy %d", s.sched.busyWorkers())
+
+	m("# HELP svard_cells_completed_total Cells completed across all jobs (cache hits included).")
+	m("# TYPE svard_cells_completed_total counter")
+	m("svard_cells_completed_total %d", cells)
+	m("# HELP svard_cells_per_second Completed cells per second of uptime (prefer rate() over svard_cells_completed_total for windows).")
+	m("# TYPE svard_cells_per_second gauge")
+	m("svard_cells_per_second %g", rate)
+	m("# HELP svard_uptime_seconds Seconds since the service started.")
+	m("# TYPE svard_uptime_seconds counter")
+	m("svard_uptime_seconds %g", uptime)
+}

@@ -1,0 +1,298 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"svard/internal/cache"
+	"svard/internal/campaign"
+	"svard/internal/sim"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Store is the shared result cache every job reads and writes
+	// (required). One store per daemon: that sharing is the point.
+	Store *cache.Store
+
+	// Workers bounds concurrent simulations across ALL jobs (<= 0:
+	// GOMAXPROCS). MaxActiveJobs bounds concurrently admitted jobs
+	// (<= 0: 4); queued jobs beyond it wait, highest priority first.
+	// RetainJobs bounds the job table (<= 0: 256): beyond it the oldest
+	// terminal jobs — their event logs and folded outcomes — are
+	// evicted so a long-lived daemon's memory stays bounded.
+	Workers       int
+	MaxActiveJobs int
+	RetainJobs    int
+
+	// Sim replaces sim.Run as the base executor (tests inject counting
+	// or failing runners; nil means the real simulator).
+	Sim sim.Runner
+}
+
+// Server is the campaign service: an HTTP API over one Scheduler and
+// one cache.Store. Construct with New, serve Handler(), stop with
+// Shutdown.
+type Server struct {
+	store *cache.Store
+	sched *Scheduler
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds the service.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("server: config has no result store")
+	}
+	s := &Server{
+		store: cfg.Store,
+		sched: newScheduler(cfg.Store, cfg.Sim, cfg.Workers, cfg.MaxActiveJobs, cfg.RetainJobs),
+		mux:   http.NewServeMux(),
+		start: time.Now().UTC(),
+	}
+	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /api/v1/cells/{key}", s.handleCell)
+	s.mux.HandleFunc("POST /api/v1/key", s.handleKey)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (also usable under
+// httptest and custom http.Servers).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Scheduler exposes the job table to in-process embedders (the daemon's
+// shutdown path, tests).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Shutdown stops admission, cancels all jobs, and waits for them (or
+// ctx). See Scheduler.Shutdown for the latency contract.
+func (s *Server) Shutdown(ctx context.Context) error { return s.sched.Shutdown(ctx) }
+
+// SubmitRequest is the body of POST /api/v1/jobs.
+type SubmitRequest struct {
+	Name     string        `json:"name,omitempty"`
+	Priority int           `json:"priority,omitempty"` // higher runs first; FIFO within a priority
+	Spec     campaign.Spec `json:"spec"`
+}
+
+// ResultResponse is the body of GET /api/v1/jobs/{id}/result.
+type ResultResponse struct {
+	Job     JobInfo         `json:"job"`
+	Fig12   []sim.Fig12Cell `json:"fig12,omitempty"`
+	Fig13   []sim.Fig13Cell `json:"fig13,omitempty"`
+	Total   int             `json:"total"`
+	Resumed int             `json:"resumed"`
+	// Computed/Served attribute this job's cells exactly: Computed were
+	// simulated by this job, Served came from the cache or another
+	// job's in-flight computation. Stats is the shared store's global
+	// counter snapshot (the whole daemon, not just this job).
+	Computed int         `json:"computed"`
+	Served   int         `json:"served"`
+	Stats    cache.Stats `json:"stats"`
+}
+
+// CellResponse is the body of GET /api/v1/cells/{key}.
+type CellResponse struct {
+	Key    string     `json:"key"`
+	Result sim.Result `json:"result"`
+}
+
+// KeyResponse is the body of POST /api/v1/key.
+type KeyResponse struct {
+	Key    string `json:"key"`
+	Cached bool   `json:"cached"`
+}
+
+// errorBody is every non-2xx JSON payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode submit request: %w", err))
+		return
+	}
+	info, err := s.sched.Submit(req.Spec, req.Name, req.Priority)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrShuttingDown) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	info, err := s.sched.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	info, err := s.sched.Cancel(r.PathValue("id"), r.URL.Query().Get("reason"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleEvents streams the job's progress as NDJSON: every line one
+// Event, flushed as it happens, following until the job is terminal
+// (or the client goes away). ?from=N resumes after a dropped
+// connection without replaying the whole stream.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from=%q: %w", q, err))
+			return
+		}
+		from = v
+	}
+	// Probe for existence before committing the streaming response.
+	if _, err := s.sched.Job(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	for {
+		evs, more, err := s.sched.Events(id, from)
+		if err != nil {
+			return // job vanished mid-stream: just end it
+		}
+		for _, ev := range evs {
+			if enc.Encode(ev) != nil {
+				return // client hung up
+			}
+			from = ev.Seq + 1
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if more == nil {
+			return // terminal and drained
+		}
+		select {
+		case <-more:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	out, info, err := s.sched.Outcome(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if out == nil {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s; results exist only for %s jobs", info.ID, info.State, StateDone))
+		return
+	}
+	writeJSON(w, http.StatusOK, ResultResponse{
+		Job:      info,
+		Fig12:    out.Fig12,
+		Fig13:    out.Fig13,
+		Total:    out.Total,
+		Resumed:  out.Resumed,
+		Computed: out.Computed,
+		Served:   out.Served,
+		Stats:    out.Stats,
+	})
+}
+
+// handleCell serves one raw cached simulation result by its
+// content-addressed key (see POST /api/v1/key, or cache.Key for Go
+// clients). 404 means the cell has never been computed and persisted.
+// The key is strictly validated before it goes anywhere near the
+// store's filesystem paths: PathValue decodes %2F, so an unvalidated
+// "key" could otherwise traverse out of the cache directory.
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("malformed cell key %q: want 64 lowercase hex chars (a cache.Key)", key))
+		return
+	}
+	res, ok := s.store.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no cached cell for key %s", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, CellResponse{Key: key, Result: res})
+}
+
+// validKey reports whether key has the exact shape cache.Key produces:
+// 64 lowercase hex characters, nothing else.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handleKey maps a posted sim.Config to its content-addressed cache
+// key, so non-Go clients can look up raw cells without reimplementing
+// the canonical hash.
+func (s *Server) handleKey(w http.ResponseWriter, r *http.Request) {
+	var cfg sim.Config
+	if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode config: %w", err))
+		return
+	}
+	key := cache.Key(cfg)
+	writeJSON(w, http.StatusOK, KeyResponse{Key: key, Cached: s.store.Contains(key)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -27,13 +28,15 @@ type Job struct {
 
 // runJobs fans the job list out over the deterministic worker pool,
 // routing each job through run (nil: Run). Results come back in job
-// order, bit-identical for any worker count.
-func runJobs(workers int, run Runner, progress func(string), jobs []Job) ([]Result, error) {
+// order, bit-identical for any worker count. Cancelling ctx stops
+// dispatching new jobs; jobs already running finish, so the sweep
+// returns within one simulation's latency.
+func runJobs(ctx context.Context, workers int, run Runner, progress func(string), jobs []Job) ([]Result, error) {
 	if run == nil {
 		run = Run
 	}
 	report := exec.Progress(progress)
-	return exec.Map(workers, len(jobs), func(i int) (Result, error) {
+	return exec.MapCtx(ctx, workers, len(jobs), func(i int) (Result, error) {
 		report(jobs[i].Label)
 		return run(jobs[i].Config)
 	})
@@ -149,9 +152,19 @@ func Fig12Jobs(opt Fig12Options) []Job {
 // faithful to Run — in particular with the campaign engine's result
 // cache cold, warm, or mixed.
 func RunFig12(opt Fig12Options) ([]Fig12Cell, error) {
+	return RunFig12Ctx(context.Background(), opt)
+}
+
+// RunFig12Ctx is RunFig12 with cancellation: once ctx is done no new
+// cell starts, in-flight cells finish, and the call returns ctx's cause
+// within one cell's latency. A cancelled sweep returns no cells —
+// partial figures would silently misrepresent the sweep — but every
+// completed cell already flowed through opt.Runner, so a caching runner
+// (the campaign engine's) keeps them for the next run.
+func RunFig12Ctx(ctx context.Context, opt Fig12Options) ([]Fig12Cell, error) {
 	opt = opt.fill()
 	jobs := Fig12Jobs(opt)
-	results, err := runJobs(opt.Workers, opt.Runner, opt.Progress, jobs)
+	results, err := runJobs(ctx, opt.Workers, opt.Runner, opt.Progress, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -333,12 +346,18 @@ func Fig13Jobs(opt Fig13Options) ([]Job, error) {
 // opt.Runner over the exec pool, and the cells are identical for any
 // Workers value and any Runner faithful to Run.
 func RunFig13(opt Fig13Options) ([]Fig13Cell, error) {
+	return RunFig13Ctx(context.Background(), opt)
+}
+
+// RunFig13Ctx is RunFig13 with cancellation, with the same contract as
+// RunFig12Ctx.
+func RunFig13Ctx(ctx context.Context, opt Fig13Options) ([]Fig13Cell, error) {
 	opt = opt.fill()
 	jobs, err := Fig13Jobs(opt)
 	if err != nil {
 		return nil, err
 	}
-	results, err := runJobs(opt.Workers, opt.Runner, opt.Progress, jobs)
+	results, err := runJobs(ctx, opt.Workers, opt.Runner, opt.Progress, jobs)
 	if err != nil {
 		return nil, err
 	}
