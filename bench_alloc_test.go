@@ -1,0 +1,122 @@
+package svard
+
+import (
+	"testing"
+
+	"svard/internal/core"
+	"svard/internal/mitigation"
+	"svard/internal/mitigation/aqua"
+	"svard/internal/mitigation/blockhammer"
+	"svard/internal/mitigation/hydra"
+	"svard/internal/mitigation/para"
+	"svard/internal/mitigation/rrs"
+	"svard/internal/sim"
+)
+
+// benchRunConfig is the single-simulation config the allocation
+// benchmarks run: small enough for tight iteration, busy enough
+// (low threshold, mixed locality) that every defense hot path fires.
+func benchRunConfig(defense string) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 2
+	cfg.RowsPerBank = 2048
+	cfg.CellsPerRow = 2048
+	cfg.InstrPerCore = 15_000
+	cfg.WarmupPerCore = 3_000
+	cfg.NRH = 64
+	cfg.Defense = defense
+	cfg.Mix = []string{"mcf06", "ycsb-a"}
+	return cfg
+}
+
+// BenchmarkSimRunAllocs measures one pooled simulation per iteration
+// with allocation reporting: the headline number for the run-state
+// pooling work. After the pool warms (first iteration), steady-state
+// allocs/op is the per-cell allocation cost an entire sweep pays.
+func BenchmarkSimRunAllocs(b *testing.B) {
+	cfg := benchRunConfig("para")
+	pool := sim.NewPool()
+	if _, err := pool.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimRunFreshAllocs is the unpooled reference: the same
+// simulation built from scratch every iteration, as every cell of a
+// sweep used to be. The ratio to BenchmarkSimRunAllocs is the pooling
+// win.
+func BenchmarkSimRunFreshAllocs(b *testing.B) {
+	cfg := benchRunConfig("para")
+	if _, err := sim.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchDefenseHot drives one defense's CanActivate/OnActivate hot path
+// directly (no simulator around it), the per-activation cost every ACT
+// pays. ReportAllocs pins the zero-allocation contract of the flat
+// per-row tables and directive scratch buffers.
+func benchDefenseHot(b *testing.B, build func(si mitigation.SystemInfo, th core.Thresholds) mitigation.Defense) {
+	b.Helper()
+	si := mitigation.SystemInfo{
+		Banks:       32,
+		RowsPerBank: 8192,
+		REFWCycles:  2_000_000,
+		Seed:        1,
+	}
+	d := build(si, core.Fixed(1024))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank := i & 31
+		row := (i * 613) & 8191
+		cycle := uint64(i) * 50
+		if ok, _ := d.CanActivate(bank, row, cycle); ok {
+			d.OnActivate(bank, row, cycle)
+		}
+	}
+}
+
+func BenchmarkDefenseAQUA(b *testing.B) {
+	benchDefenseHot(b, func(si mitigation.SystemInfo, th core.Thresholds) mitigation.Defense {
+		return aqua.New(si, th, 3.2)
+	})
+}
+
+func BenchmarkDefenseBlockHammer(b *testing.B) {
+	benchDefenseHot(b, func(si mitigation.SystemInfo, th core.Thresholds) mitigation.Defense {
+		return blockhammer.New(si, th)
+	})
+}
+
+func BenchmarkDefenseHydra(b *testing.B) {
+	benchDefenseHot(b, func(si mitigation.SystemInfo, th core.Thresholds) mitigation.Defense {
+		return hydra.New(si, th)
+	})
+}
+
+func BenchmarkDefensePARA(b *testing.B) {
+	benchDefenseHot(b, func(si mitigation.SystemInfo, th core.Thresholds) mitigation.Defense {
+		return para.New(si, th)
+	})
+}
+
+func BenchmarkDefenseRRS(b *testing.B) {
+	benchDefenseHot(b, func(si mitigation.SystemInfo, th core.Thresholds) mitigation.Defense {
+		return rrs.New(si, th, 3.2)
+	})
+}

@@ -235,11 +235,13 @@ func benchFig12Sweep(b *testing.B, workers int, noSkip bool) {
 		Profiles: []string{"S0"},
 		Workers:  workers,
 	}
-	// Warm the module cache so the timed region measures the simulation
-	// fan-out, not the one-off module calibration.
+	// Warm the module cache (and the run-state pool) so the timed region
+	// measures the simulation fan-out, not the one-off module
+	// calibration or the first-cell arena growth.
 	if _, err := sim.RunFig12(opt); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cells, err := sim.RunFig12(opt)

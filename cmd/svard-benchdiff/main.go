@@ -1,0 +1,59 @@
+// svard-benchdiff compares two Go benchmark outputs (benchstat's input
+// format — the BENCH_sim.json artifact CI uploads) and reports per-
+// benchmark changes in time/op and allocs/op. CI runs it against the
+// previous run's artifact and turns regressions beyond a threshold
+// into GitHub Actions warning annotations, so a perf or allocation
+// regression is visible on the pull request without failing the build
+// (shared runners make time/op noisy; allocs/op is deterministic).
+//
+// Usage:
+//
+//	svard-benchdiff [-threshold 10] [-gha] old.txt new.txt
+//
+// Exit status is 0 unless the inputs are unreadable; regressions warn.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"svard/internal/benchdiff"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 10, "warn when time/op or allocs/op regresses more than this percentage")
+		gha       = flag.Bool("gha", false, "emit GitHub Actions ::warning:: annotations for regressions")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: svard-benchdiff [-threshold PCT] [-gha] old.txt new.txt")
+		os.Exit(2)
+	}
+	oldB, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	newB, err := os.ReadFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	diffs := benchdiff.Compare(benchdiff.Parse(string(oldB)), benchdiff.Parse(string(newB)))
+	if len(diffs) == 0 {
+		fmt.Println("svard-benchdiff: no common benchmarks")
+		return
+	}
+	fmt.Print(benchdiff.Table(diffs))
+	for _, d := range diffs {
+		for _, r := range d.Regressions(*threshold) {
+			if *gha {
+				fmt.Printf("::warning title=benchmark regression::%s\n", r)
+			} else {
+				fmt.Printf("WARNING: %s\n", r)
+			}
+		}
+	}
+}

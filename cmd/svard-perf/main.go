@@ -6,6 +6,7 @@
 // Usage:
 //
 //	svard-perf [-mixes N] [-instr N] [-defenses para,rrs] [-nrhs 1024,64] [-fig13] [-parallel N]
+//	           [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // Defaults are scaled for minutes-scale runs; raise -mixes/-instr toward
 // the paper's 120 mixes x 200M instructions as budget allows (see
@@ -18,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -45,8 +48,53 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "reuse simulation results from this content-addressed cache (see svard-sweep)")
 		noSkip   = flag.Bool("noskip", false, "drive every simulation through the per-cycle reference loop instead of the event-driven engine (bit-identical, ~2x slower; see EXPERIMENTS.md)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	// flushProfiles finalizes -cpuprofile/-memprofile output. Every exit
+	// path must run it — the error paths below call fail, which flushes
+	// before os.Exit (a deferred flush alone would be skipped and leave
+	// a truncated CPU profile and no heap profile).
+	flushed := false
+	flushProfiles := func() {
+		if flushed {
+			return
+		}
+		flushed = true
+		if *cpuProf != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProf != "" {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}
+	defer flushProfiles()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		flushProfiles()
+		os.Exit(1)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer f.Close()
+	}
 	if !*fig12 && !*fig13 && !*obsv15 {
 		*fig12, *fig13, *obsv15 = true, true, true
 	}
@@ -84,10 +132,9 @@ func main() {
 		var err error
 		store, err = cache.Open(*cacheDir, 0)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
-		runner = func(cfg sim.Config) (sim.Result, error) { return store.GetOrCompute(cfg, sim.Run) }
+		runner = func(cfg sim.Config) (sim.Result, error) { return store.GetOrCompute(cfg, sim.PooledRun) }
 	}
 
 	fmt.Println("Table 4 simulated system: 8 cores 3.2GHz 4-wide 128-entry window,")
@@ -109,16 +156,14 @@ func main() {
 			for _, s := range splitList(*nrhs) {
 				v, err := strconv.ParseFloat(s, 64)
 				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+					fail(err)
 				}
 				opt.NRHs = append(opt.NRHs, v)
 			}
 		}
 		cells, err := sim.RunFig12Ctx(ctx, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		if !*quiet {
 			fmt.Fprintln(os.Stderr)
@@ -144,8 +189,7 @@ func main() {
 	if *fig13 {
 		cells, err := sim.RunFig13Ctx(ctx, sim.Fig13Options{Base: base, Workers: *parallel, Runner: runner, Progress: progress})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		if !*quiet {
 			fmt.Fprintln(os.Stderr)

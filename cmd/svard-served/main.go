@@ -6,7 +6,7 @@
 // Usage:
 //
 //	svard-served [-addr HOST:PORT] [-cache-dir DIR] [-workers N]
-//	             [-max-jobs N] [-lru N]
+//	             [-max-jobs N] [-lru N] [-pprof]
 //
 // Endpoints (see EXPERIMENTS.md, "Campaign service", for the full table
 // and curl examples):
@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,13 +46,14 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8344", "listen address")
-		cacheDir = flag.String("cache-dir", ".svard-cache", "result cache directory ('' = memory only)")
-		workers  = flag.Int("workers", 0, "max concurrent simulations across all jobs (0 = GOMAXPROCS)")
-		maxJobs  = flag.Int("max-jobs", 4, "max concurrently admitted jobs (queued jobs wait, highest priority first)")
-		retain   = flag.Int("retain", 0, "max jobs kept queryable; oldest finished jobs evicted beyond it (0 = 256)")
-		lru      = flag.Int("lru", 0, "in-memory LRU entries (0 = default)")
-		grace    = flag.Duration("grace", 2*time.Minute, "graceful shutdown budget before exiting anyway")
+		addr      = flag.String("addr", "127.0.0.1:8344", "listen address")
+		cacheDir  = flag.String("cache-dir", ".svard-cache", "result cache directory ('' = memory only)")
+		workers   = flag.Int("workers", 0, "max concurrent simulations across all jobs (0 = GOMAXPROCS)")
+		maxJobs   = flag.Int("max-jobs", 4, "max concurrently admitted jobs (queued jobs wait, highest priority first)")
+		retain    = flag.Int("retain", 0, "max jobs kept queryable; oldest finished jobs evicted beyond it (0 = 256)")
+		lru       = flag.Int("lru", 0, "in-memory LRU entries (0 = default)")
+		grace     = flag.Duration("grace", 2*time.Minute, "graceful shutdown budget before exiting anyway")
+		withPprof = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ (profile a live campaign service)")
 	)
 	flag.Parse()
 
@@ -69,7 +71,21 @@ func main() {
 		fatal(err)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *withPprof {
+		// The service handler keeps the API namespace; pprof mounts
+		// beside it so a live sweep can be profiled with
+		// `go tool pprof http://ADDR/debug/pprof/profile`.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 

@@ -1,0 +1,219 @@
+// Package benchdiff parses Go benchmark output (the format benchstat
+// consumes) and compares two runs: per-benchmark geometric-mean time/op
+// and allocs/op, with regression detection for CI. It is the minimal
+// self-contained core of a benchstat-style comparison — no external
+// dependencies, so the CI step works offline and the logic is testable.
+package benchdiff
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed benchmark result line.
+type Sample struct {
+	Name     string
+	NsPerOp  float64
+	AllocsOp float64 // NaN when the run did not report allocations
+}
+
+// Parse extracts benchmark samples from Go test output. Lines that are
+// not benchmark results (headers, PASS/ok, noise) are ignored. A
+// benchmark appearing multiple times (-count > 1) yields multiple
+// samples.
+func Parse(out string) []Sample {
+	var samples []Sample
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // iteration count must follow the name
+		}
+		s := Sample{Name: trimCPUSuffix(fields[0]), AllocsOp: math.NaN()}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.NsPerOp = v
+				ok = true
+			case "allocs/op":
+				s.AllocsOp = v
+			}
+		}
+		if ok {
+			samples = append(samples, s)
+		}
+	}
+	return samples
+}
+
+// trimCPUSuffix drops the -N GOMAXPROCS suffix so runs on machines with
+// different core counts still match.
+func trimCPUSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// Diff is one benchmark's old-vs-new comparison. Times are geometric
+// means over the runs' samples; alloc counts are means (they are
+// deterministic, so the samples agree anyway).
+type Diff struct {
+	Name               string
+	OldNs, NewNs       float64
+	OldAllocs          float64 // NaN when unreported
+	NewAllocs          float64
+	TimeDelta          float64 // percent; positive = slower
+	AllocsDelta        float64 // percent; positive = more allocations
+	HasAllocs          bool
+	OldCount, NewCount int // samples per side
+}
+
+// Compare matches benchmarks by name and computes deltas. Benchmarks
+// present on only one side are skipped (CI runs evolve).
+func Compare(oldS, newS []Sample) []Diff {
+	var diffs []Diff
+	oldBy := group(oldS)
+	newBy := group(newS)
+	names := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		if _, ok := newBy[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o, n := oldBy[name], newBy[name]
+		d := Diff{
+			Name:      name,
+			OldNs:     geomean(times(o)),
+			NewNs:     geomean(times(n)),
+			OldAllocs: mean(allocs(o)),
+			NewAllocs: mean(allocs(n)),
+			OldCount:  len(o),
+			NewCount:  len(n),
+		}
+		if d.OldNs > 0 {
+			d.TimeDelta = (d.NewNs/d.OldNs - 1) * 100
+		}
+		if !math.IsNaN(d.OldAllocs) && !math.IsNaN(d.NewAllocs) {
+			d.HasAllocs = true
+			if d.OldAllocs > 0 {
+				d.AllocsDelta = (d.NewAllocs/d.OldAllocs - 1) * 100
+			} else if d.NewAllocs > 0 {
+				d.AllocsDelta = math.Inf(1)
+			}
+		}
+		diffs = append(diffs, d)
+	}
+	return diffs
+}
+
+// Regressions returns human-readable regression descriptions for this
+// diff beyond thresholdPct.
+func (d Diff) Regressions(thresholdPct float64) []string {
+	var out []string
+	if d.TimeDelta > thresholdPct {
+		out = append(out, fmt.Sprintf("%s: time/op regressed %+.1f%% (%.3gms -> %.3gms)",
+			d.Name, d.TimeDelta, d.OldNs/1e6, d.NewNs/1e6))
+	}
+	if d.HasAllocs && d.AllocsDelta > thresholdPct {
+		out = append(out, fmt.Sprintf("%s: allocs/op regressed %+.1f%% (%.0f -> %.0f)",
+			d.Name, d.AllocsDelta, d.OldAllocs, d.NewAllocs))
+	}
+	return out
+}
+
+// Table renders the comparison as an aligned text table.
+func Table(diffs []Diff) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %12s %12s %8s %12s %12s %8s\n",
+		"benchmark", "old time/op", "new time/op", "delta", "old allocs", "new allocs", "delta")
+	for _, d := range diffs {
+		alloc1, alloc2, alloc3 := "-", "-", "-"
+		if d.HasAllocs {
+			alloc1 = fmt.Sprintf("%.0f", d.OldAllocs)
+			alloc2 = fmt.Sprintf("%.0f", d.NewAllocs)
+			alloc3 = fmt.Sprintf("%+.1f%%", d.AllocsDelta)
+		}
+		fmt.Fprintf(&b, "%-40s %12s %12s %7.1f%% %12s %12s %8s\n",
+			d.Name, fmtNs(d.OldNs), fmtNs(d.NewNs), d.TimeDelta, alloc1, alloc2, alloc3)
+	}
+	return b.String()
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.4gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.4gµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.4gns", ns)
+	}
+}
+
+func group(s []Sample) map[string][]Sample {
+	m := map[string][]Sample{}
+	for _, x := range s {
+		m[x.Name] = append(m[x.Name], x)
+	}
+	return m
+}
+
+func times(s []Sample) []float64 {
+	out := make([]float64, len(s))
+	for i, x := range s {
+		out[i] = x.NsPerOp
+	}
+	return out
+}
+
+func allocs(s []Sample) []float64 {
+	var out []float64
+	for _, x := range s {
+		if !math.IsNaN(x.AllocsOp) {
+			out = append(out, x.AllocsOp)
+		}
+	}
+	return out
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return mean(xs) // degenerate; fall back
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

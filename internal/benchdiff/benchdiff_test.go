@@ -1,0 +1,97 @@
+package benchdiff
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const oldRun = `goos: linux
+goarch: amd64
+pkg: svard
+BenchmarkFig12SweepSerial 	       3	 550000000 ns/op	37975492 B/op	  485790 allocs/op
+BenchmarkFig12SweepSerial 	       3	 560000000 ns/op	37976032 B/op	  485790 allocs/op
+BenchmarkFig12SweepParallel-4 	       6	 150000000 ns/op
+BenchmarkGone 	      10	    100 ns/op
+PASS
+ok  	svard	7.879s
+`
+
+const newRun = `BenchmarkFig12SweepSerial 	       5	 330000000 ns/op	   87002 B/op	     411 allocs/op
+BenchmarkFig12SweepParallel-8 	       6	 180000000 ns/op
+BenchmarkNew 	      10	     90 ns/op
+`
+
+func TestParse(t *testing.T) {
+	s := Parse(oldRun)
+	if len(s) != 4 {
+		t.Fatalf("parsed %d samples, want 4", len(s))
+	}
+	if s[0].Name != "BenchmarkFig12SweepSerial" || s[0].NsPerOp != 550000000 || s[0].AllocsOp != 485790 {
+		t.Errorf("sample 0 = %+v", s[0])
+	}
+	// -N CPU suffix trimmed; missing allocs reported as NaN.
+	if s[2].Name != "BenchmarkFig12SweepParallel" || !math.IsNaN(s[2].AllocsOp) {
+		t.Errorf("sample 2 = %+v", s[2])
+	}
+}
+
+func TestCompare(t *testing.T) {
+	diffs := Compare(Parse(oldRun), Parse(newRun))
+	if len(diffs) != 2 {
+		t.Fatalf("diffs = %d, want 2 (Gone/New skipped)", len(diffs))
+	}
+	serial := diffs[1]
+	if serial.Name != "BenchmarkFig12SweepSerial" {
+		t.Fatalf("order: %+v", diffs)
+	}
+	if serial.TimeDelta > -35 || serial.TimeDelta < -45 {
+		t.Errorf("serial time delta = %.1f%%, want ~-40%%", serial.TimeDelta)
+	}
+	if !serial.HasAllocs || serial.AllocsDelta > -99 {
+		t.Errorf("serial allocs delta = %.2f%%, want ~-99.9%%", serial.AllocsDelta)
+	}
+	parallel := diffs[0]
+	if parallel.TimeDelta < 19 || parallel.TimeDelta > 21 {
+		t.Errorf("parallel time delta = %.1f%%, want +20%%", parallel.TimeDelta)
+	}
+	if parallel.HasAllocs {
+		t.Error("parallel has no alloc data")
+	}
+}
+
+func TestRegressions(t *testing.T) {
+	diffs := Compare(Parse(oldRun), Parse(newRun))
+	var all []string
+	for _, d := range diffs {
+		all = append(all, d.Regressions(10)...)
+	}
+	if len(all) != 1 || !strings.Contains(all[0], "BenchmarkFig12SweepParallel") {
+		t.Errorf("regressions = %v, want only the parallel time regression", all)
+	}
+	// A higher threshold silences it.
+	for _, d := range diffs {
+		if r := d.Regressions(25); len(r) != 0 {
+			t.Errorf("threshold 25 still warns: %v", r)
+		}
+	}
+}
+
+func TestAllocRegressionFromZero(t *testing.T) {
+	diffs := Compare(
+		Parse("BenchmarkX 	 10	 100 ns/op	 0 B/op	 0 allocs/op\n"),
+		Parse("BenchmarkX 	 10	 100 ns/op	 64 B/op	 2 allocs/op\n"))
+	if len(diffs) != 1 {
+		t.Fatal("missing diff")
+	}
+	if r := diffs[0].Regressions(10); len(r) != 1 {
+		t.Errorf("0 -> 2 allocs must warn, got %v", r)
+	}
+}
+
+func TestTableRenders(t *testing.T) {
+	out := Table(Compare(Parse(oldRun), Parse(newRun)))
+	if !strings.Contains(out, "BenchmarkFig12SweepSerial") || !strings.Contains(out, "allocs") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+}

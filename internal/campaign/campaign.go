@@ -282,7 +282,7 @@ func (e *Engine) RunCtx(ctx context.Context, spec Spec) (*Outcome, error) {
 
 	base := e.Sim
 	if base == nil {
-		base = sim.Run
+		base = sim.PooledRun // bit-identical to sim.Run, allocation-flat
 	}
 	// computed counts only the cells whose compute callback actually ran
 	// for THIS campaign: a lookup that coalesces onto another campaign's

@@ -26,8 +26,9 @@ func NewBloomStore(p *profile.ScaledProfile, bitsPerBin int) *BloomStore {
 	if bitsPerBin < 64 {
 		bitsPerBin = 64
 	}
-	// Collect the distinct bins, weakest (below-grid) first.
-	present := map[uint8]bool{}
+	// Collect the distinct bins, weakest (below-grid) first. The bin id
+	// domain is a uint8: a fixed array beats hashing every row.
+	var present [256]bool
 	for _, bankBins := range p.P.Bins {
 		for _, b := range bankBins {
 			present[b] = true

@@ -52,6 +52,17 @@ type MemPort interface {
 
 const pendingMem = math.MaxUint64
 
+// fetchSlot is one in-flight line fetch's bookkeeping: the window entry
+// to wake (-1 for stores) and the line being installed. Slots are
+// preallocated per MSHR so issuing a fetch allocates nothing — the
+// completion callbacks handed to the memory port are built once per
+// slot at construction and reused for the core's lifetime.
+type fetchSlot struct {
+	rob   int
+	addr  uint64
+	dirty bool
+}
+
 // Core is one simulated core.
 type Core struct {
 	ID  int
@@ -70,7 +81,17 @@ type Core struct {
 	memAddr  uint64
 	memWrite bool
 
-	inflight int
+	inflight  int
+	fetch     []fetchSlot    // per-MSHR in-flight fetch records
+	fetchFree []int32        // free fetch-slot indices (stack)
+	doneFns   []func(uint64) // per-MSHR completion callbacks, built once
+
+	// missMemo caches one negative LLC lookup: a back-pressured core
+	// retries its pending access every tick, and a miss both mutates
+	// nothing and can only turn into a hit through an install — so the
+	// repeated lookups are skipped until completeFetch installs a line.
+	missMemoAddr  uint64
+	missMemoValid bool
 
 	Retired       uint64
 	WarmupTarget  uint64
@@ -85,14 +106,49 @@ type Core struct {
 
 // New builds a core over its trace and memory port.
 func New(id int, cfg Config, gen Generator, port MemPort) *Core {
-	return &Core{
-		ID:   id,
-		Cfg:  cfg,
-		gen:  gen,
-		port: port,
-		llc:  newLLC(cfg.LLCBytes, cfg.LLCWays),
-		rob:  make([]uint64, cfg.Window),
+	c := &Core{}
+	c.Reset(id, cfg, gen, port)
+	return c
+}
+
+// Reset reinitializes the core in place to the state
+// New(id, cfg, gen, port) produces, retaining the window, cache, and
+// MSHR allocations when cfg still fits them — the pooled-reuse path
+// between sweep cells.
+func (c *Core) Reset(id int, cfg Config, gen Generator, port MemPort) {
+	c.ID = id
+	c.gen = gen
+	c.port = port
+	if c.llc == nil || c.Cfg.LLCBytes != cfg.LLCBytes || c.Cfg.LLCWays != cfg.LLCWays {
+		c.llc = newLLC(cfg.LLCBytes, cfg.LLCWays)
+	} else {
+		c.llc.reset()
 	}
+	if len(c.rob) != cfg.Window {
+		c.rob = make([]uint64, cfg.Window)
+	}
+	if len(c.fetch) != cfg.MSHRs {
+		c.fetch = make([]fetchSlot, cfg.MSHRs)
+		c.fetchFree = make([]int32, 0, cfg.MSHRs)
+		c.doneFns = make([]func(uint64), cfg.MSHRs)
+		for i := range c.doneFns {
+			i := i
+			c.doneFns[i] = func(done uint64) { c.completeFetch(i, done) }
+		}
+	}
+	c.fetchFree = c.fetchFree[:0]
+	for i := cfg.MSHRs - 1; i >= 0; i-- {
+		c.fetchFree = append(c.fetchFree, int32(i))
+	}
+	c.Cfg = cfg
+	c.head, c.count = 0, 0
+	c.gap, c.haveMem, c.memAddr, c.memWrite = 0, false, 0, false
+	c.inflight = 0
+	c.missMemoAddr, c.missMemoValid = 0, false
+	c.Retired, c.WarmupTarget, c.MeasureTarget = 0, 0, 0
+	c.startCycle, c.doneCycle = 0, 0
+	c.started, c.finished = false, false
+	c.DroppedWB = 0
 }
 
 // Finished reports whether the core has retired its measurement target.
@@ -200,10 +256,13 @@ func (c *Core) push(doneAt uint64) int {
 // back-pressure.
 func (c *Core) issueMem(cycle uint64) bool {
 	addr := c.memAddr
-	if !c.Cfg.Uncached && c.llc.lookup(addr, c.memWrite) {
-		c.push(cycle + c.Cfg.LLCHitLat)
-		c.haveMem = false
-		return true
+	if !c.Cfg.Uncached && !(c.missMemoValid && c.missMemoAddr == addr) {
+		if c.llc.lookup(addr, c.memWrite) {
+			c.push(cycle + c.Cfg.LLCHitLat)
+			c.haveMem = false
+			return true
+		}
+		c.missMemoAddr, c.missMemoValid = addr, true
 	}
 	if c.inflight >= c.Cfg.MSHRs {
 		return false
@@ -231,34 +290,50 @@ func (c *Core) issueMem(cycle uint64) bool {
 
 // fetchLine requests a line from memory; on completion it installs the
 // line (emitting a writeback for a dirty eviction) and wakes the window
-// slot (slot < 0 for stores).
+// slot (slot < 0 for stores). The fetch's record lives in a
+// preallocated MSHR slot and the completion callback is reused, so the
+// per-access path allocates nothing. A free slot always exists here:
+// issueMem bounds inflight by Cfg.MSHRs before calling.
 func (c *Core) fetchLine(addr uint64, dirty bool, cycle uint64, slot int) bool {
-	ok := c.port.Read(addr, func(done uint64) {
-		c.inflight--
-		if !c.Cfg.Uncached {
-			if evicted, wb := c.llc.install(addr, dirty); evicted {
-				if !c.port.Write(wb, done) {
-					c.DroppedWB++
-				}
-			}
-		}
-		if slot >= 0 {
-			c.rob[slot] = done
-		}
-	}, cycle)
-	if ok {
-		c.inflight++
+	i := c.fetchFree[len(c.fetchFree)-1]
+	c.fetch[i] = fetchSlot{rob: slot, addr: addr, dirty: dirty}
+	if !c.port.Read(addr, c.doneFns[i], cycle) {
+		return false
 	}
-	return ok
+	c.fetchFree = c.fetchFree[:len(c.fetchFree)-1]
+	c.inflight++
+	return true
 }
 
-// llc is a set-associative LRU cache.
+// completeFetch is the body of the per-MSHR completion callbacks.
+func (c *Core) completeFetch(i int, done uint64) {
+	f := c.fetch[i]
+	c.inflight--
+	c.fetchFree = append(c.fetchFree, int32(i))
+	if !c.Cfg.Uncached {
+		c.missMemoValid = false // the install may satisfy the memoized miss
+		if evicted, wb := c.llc.install(f.addr, f.dirty); evicted {
+			if !c.port.Write(wb, done) {
+				c.DroppedWB++
+			}
+		}
+	}
+	if f.rob >= 0 {
+		c.rob[f.rob] = done
+	}
+}
+
+// llc is a set-associative LRU cache. Ages are stored as packed bytes
+// in uint64 words so that touch — which ages every way of a set on
+// every access, the single hottest loop of the core model — runs as a
+// couple of SWAR operations instead of a byte walk.
 type llc struct {
-	sets  int
-	ways  int
-	tags  []uint64 // tag per way; 0 = invalid (tags store line|1)
-	dirty []bool
-	lru   []uint8
+	sets     int
+	ways     int
+	lruWords int      // uint64 words of packed age bytes per set
+	tags     []uint64 // tag per way; 0 = invalid (tags store line|1)
+	dirty    []bool
+	lru      []uint64
 }
 
 func newLLC(bytes, ways int) *llc {
@@ -267,12 +342,25 @@ func newLLC(bytes, ways int) *llc {
 		sets = 1
 	}
 	return &llc{
-		sets:  sets,
-		ways:  ways,
-		tags:  make([]uint64, sets*ways),
-		dirty: make([]bool, sets*ways),
-		lru:   make([]uint8, sets*ways),
+		sets:     sets,
+		ways:     ways,
+		lruWords: (ways + 7) / 8,
+		tags:     make([]uint64, sets*ways),
+		dirty:    make([]bool, sets*ways),
+		lru:      make([]uint64, sets*((ways+7)/8)),
 	}
+}
+
+// reset invalidates every line in place (tag 0 = invalid).
+func (l *llc) reset() {
+	clear(l.tags)
+	clear(l.dirty)
+	clear(l.lru)
+}
+
+// age returns way's LRU age within set.
+func (l *llc) age(set, way int) uint8 {
+	return uint8(l.lru[set*l.lruWords+way/8] >> (uint(way%8) * 8))
 }
 
 func (l *llc) setOf(addr uint64) int { return int(addr >> 6 % uint64(l.sets)) }
@@ -285,7 +373,7 @@ func (l *llc) lookup(addr uint64, write bool) bool {
 	key := addr>>6 | 1<<63
 	for w := 0; w < l.ways; w++ {
 		if l.tags[base+w] == key {
-			l.touch(base, w)
+			l.touch(set, w)
 			if write {
 				l.dirty[base+w] = true
 			}
@@ -310,11 +398,11 @@ func (l *llc) install(addr uint64, dirty bool) (evictedDirty bool, wbAddr uint64
 		if l.tags[base+w] == key {
 			// Already present (racing fill); refresh state.
 			l.dirty[base+w] = l.dirty[base+w] || dirty
-			l.touch(base, w)
+			l.touch(set, w)
 			return false, 0
 		}
-		if l.lru[base+w] >= maxAge {
-			victim, maxAge = w, l.lru[base+w]
+		if a := l.age(set, w); a >= maxAge {
+			victim, maxAge = w, a
 		}
 	}
 	if l.tags[base+victim] != 0 && l.dirty[base+victim] {
@@ -323,16 +411,27 @@ func (l *llc) install(addr uint64, dirty bool) (evictedDirty bool, wbAddr uint64
 	}
 	l.tags[base+victim] = key
 	l.dirty[base+victim] = dirty
-	l.touch(base, victim)
+	l.touch(set, victim)
 	return evictedDirty, wbAddr
 }
 
-// touch ages the set and zeroes the touched way (LRU).
-func (l *llc) touch(base, way int) {
-	for w := 0; w < l.ways; w++ {
-		if l.lru[base+w] < 255 {
-			l.lru[base+w]++
-		}
+// touch ages every way of the set by one (saturating at 255) and
+// zeroes the touched way — classic aging LRU, eight ways per SWAR step.
+// Age bytes beyond ways in the set's last word are never read.
+func (l *llc) touch(set, way int) {
+	const (
+		low7  = 0x7F7F7F7F7F7F7F7F
+		highs = 0x8080808080808080
+	)
+	base := set * l.lruWords
+	for i := 0; i < l.lruWords; i++ {
+		x := l.lru[base+i]
+		v := ^x // bytes at 255 become 0
+		// High bit per byte of v that is nonzero = bytes not yet
+		// saturated; add 1 to exactly those.
+		m := ((v&low7 + low7) | v) & highs
+		l.lru[base+i] = x + m>>7
 	}
-	l.lru[base+way] = 0
+	w := base + way/8
+	l.lru[w] &^= 0xFF << (uint(way%8) * 8)
 }

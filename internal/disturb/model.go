@@ -373,10 +373,27 @@ func (m *Model) PressPsi(bank, victimRow int) float64 {
 
 // PressFactorFromPsi is PressFactor with a precomputed PressPsi value.
 func (m *Model) PressFactorFromPsi(psi, onTimeNs float64) float64 {
+	return PressFactorFromBase(m.PressBase(onTimeNs), psi)
+}
+
+// PressBase returns the on-time-dependent term of PressFactor — the
+// part shared by every victim of one aggressor closing. Callers that
+// account several neighbours per PRE (the simulator's security tracker)
+// compute it once per closing instead of once per victim; the pow
+// dominates the tracker's per-command cost otherwise.
+func (m *Model) PressBase(onTimeNs float64) float64 {
 	if onTimeNs <= m.P.PressRefNs {
 		return 1
 	}
-	base := math.Pow(onTimeNs/m.P.PressRefNs, m.P.PressAlpha)
+	return math.Pow(onTimeNs/m.P.PressRefNs, m.P.PressAlpha)
+}
+
+// PressFactorFromBase combines a PressBase value with a victim's
+// PressPsi, completing PressFactorFromPsi's arithmetic bit-exactly.
+func PressFactorFromBase(base, psi float64) float64 {
+	if base == 1 {
+		return 1
+	}
 	// Only the RowPress excess varies by victim; the RowHammer unit does
 	// not, so HCfirst at the reference on-time stays exact.
 	return 1 + (base-1)*psi

@@ -45,25 +45,59 @@ type System struct {
 	Banks       []Bank // [rank*banksPerRank + bank]
 	Chan        Channel
 	RowsPerBank int
+
+	// rankOf/groupOf memoize RankOf/GroupOf per bank: both sit on the
+	// per-candidate paths of the controller's scheduling scans, where an
+	// integer divide per call is measurable.
+	rankOf  []int32
+	groupOf []int32
 }
 
 // NewSystem builds a DRAM system with the given organization.
 func NewSystem(t Timing, ranks, bankGroups, banksPerGroup, rowsPerBank int) *System {
-	s := &System{
-		T:           t,
-		BankGroups:  bankGroups,
-		BanksPerGG:  banksPerGroup,
-		Ranks:       make([]Rank, ranks),
-		Banks:       make([]Bank, ranks*bankGroups*banksPerGroup),
-		RowsPerBank: rowsPerBank,
-	}
-	for i := range s.Banks {
-		s.Banks[i].OpenRow = -1
+	s := &System{}
+	s.Reset(t, ranks, bankGroups, banksPerGroup, rowsPerBank)
+	return s
+}
+
+// Reset reinitializes the system in place to the state NewSystem
+// produces, retaining the rank and bank slices when the organization
+// still fits — the pooled-reuse path between sweep cells.
+func (s *System) Reset(t Timing, ranks, bankGroups, banksPerGroup, rowsPerBank int) {
+	s.T = t
+	s.BankGroups = bankGroups
+	s.BanksPerGG = banksPerGroup
+	if cap(s.Ranks) >= ranks {
+		s.Ranks = s.Ranks[:ranks]
+	} else {
+		s.Ranks = make([]Rank, ranks)
 	}
 	for r := range s.Ranks {
-		s.Ranks[r].NextREF = t.REFI
+		s.Ranks[r] = Rank{NextREF: t.REFI}
 	}
-	return s
+	banks := ranks * bankGroups * banksPerGroup
+	if cap(s.Banks) >= banks {
+		s.Banks = s.Banks[:banks]
+	} else {
+		s.Banks = make([]Bank, banks)
+	}
+	for i := range s.Banks {
+		s.Banks[i] = Bank{OpenRow: -1}
+	}
+	s.Chan = Channel{}
+	s.RowsPerBank = rowsPerBank
+	if cap(s.rankOf) >= banks {
+		s.rankOf = s.rankOf[:banks]
+		s.groupOf = s.groupOf[:banks]
+	} else {
+		s.rankOf = make([]int32, banks)
+		s.groupOf = make([]int32, banks)
+	}
+	perRank := bankGroups * banksPerGroup
+	for b := 0; b < banks; b++ {
+		s.rankOf[b] = int32(b / perRank)
+		s.groupOf[b] = int32(b % perRank / banksPerGroup)
+	}
 }
 
 // BanksPerRank returns the banks in one rank.
@@ -73,10 +107,10 @@ func (s *System) BanksPerRank() int { return s.BankGroups * s.BanksPerGG }
 func (s *System) TotalBanks() int { return len(s.Banks) }
 
 // RankOf returns the rank of a global bank index.
-func (s *System) RankOf(bank int) int { return bank / s.BanksPerRank() }
+func (s *System) RankOf(bank int) int { return int(s.rankOf[bank]) }
 
 // GroupOf returns the bank group (within its rank) of a global bank.
-func (s *System) GroupOf(bank int) int { return bank % s.BanksPerRank() / s.BanksPerGG }
+func (s *System) GroupOf(bank int) int { return int(s.groupOf[bank]) }
 
 // CanACT reports whether an ACT to bank may issue at cycle.
 func (s *System) CanACT(bank int, cycle uint64) bool {

@@ -9,6 +9,7 @@ package memctrl
 import (
 	"svard/internal/mem"
 	"svard/internal/mitigation"
+	"svard/internal/rowtab"
 )
 
 // Config sizes the controller.
@@ -62,17 +63,22 @@ func (nopTracker) OnPre(int, int, uint64)      {}
 func (nopTracker) OnRefresh(int, int, int)     {}
 func (nopTracker) OnRowsSwapped(int, int, int) {}
 
-// Request is one memory transaction.
+// Request is one memory transaction. Enqueueing copies the request into
+// the controller's queues (which store values contiguously — the
+// FR-FCFS scan is the hot loop of the whole simulator), so callers must
+// not expect post-enqueue mutations to be observed.
 type Request struct {
 	Addr    uint64
-	Write   bool
-	Core    int
 	Done    func(cycle uint64) // read completion callback (may be nil)
 	arrive  uint64
-	bank    int // global bank
-	row     int // MC-visible row (pre-remap)
-	phys    int // physical row after migration indirection
 	retryAt uint64
+	Core    int
+	bank    int32 // global bank
+	row     int32 // MC-visible row (pre-remap)
+	phys    int32 // physical row after migration indirection
+	Write   bool
+	// The layout keeps a Request at 56 bytes, within one cache line
+	// per scanned queue entry in the FR-FCFS hot loop.
 }
 
 // victimOp is an in-flight preventive refresh (ACT+PRE of one row).
@@ -102,29 +108,56 @@ type Controller struct {
 	Track Tracker
 	Stats Stats
 
-	readQ     []*Request
-	writeQ    []*Request
-	victims   []victimOp
-	victimSet map[int64]bool
+	readQ   []Request
+	writeQ  []Request
+	victims []victimOp
+	// victimSet deduplicates pending preventive refreshes: a flat bitset
+	// over the (bank, row) key space.
+	victimSet *rowtab.Bits
 
-	// Row indirection installed by migration defenses (RRS/AQUA).
-	logToPhys []map[int]int // per bank; nil entry = identity
-	physToLog []map[int]int
+	// Row indirection installed by migration defenses (RRS/AQUA): paged
+	// flat tables over the (bank, row) key space storing mapped-row+1
+	// (0 = identity). remapped short-circuits the lookup entirely for
+	// the defenses that never migrate.
+	logToPhys *rowtab.Table[int32]
+	physToLog *rowtab.Table[int32]
+	remapped  bool
+
+	// hitCntR/hitCntW track, per bank, how many queued requests of each
+	// queue target the bank's open row (hit-class membership, regardless
+	// of any defense retry time); hitSumR/hitSumW are their totals. The
+	// counts change only at the command choke points (enqueue, column
+	// completion, issuePRE, issueACTRaw, row-swap repair), and a zero
+	// sum lets the FR-FCFS scan stop at the first eligible ACT: with no
+	// hit-class entry in the queue there can be no column or
+	// cap-rotation candidate, and every conflict PRE is trivially
+	// unsuppressed — exactly what the full scan would conclude.
+	hitCntR []int32
+	hitCntW []int32
+	hitSumR int
+	hitSumW int
 
 	blocksPerRow int
 	writeMode    bool
 	refSlice     []int // per-rank next refresh slice row
 	rowsPerREF   int
-	actScratch   []uint64 // per-bank ActEarliest memo for NextEvent
-	suppScratch  []uint64 // per-bank open-row suppression for NextEvent
-	idleUntil    uint64   // Tick fast path: no-op until this cycle
+	idleUntil    uint64 // Tick fast path: no-op until this cycle
 
-	// Per-scan bank memos for schedule (see bankScan). The epoch is
-	// uint64 so it cannot wrap within any run length a caller can
-	// configure (schedule runs a few times per cycle at most).
-	scanFlags     []uint8
-	scanBankEpoch []uint64
-	scanEpoch     uint64
+	// Per-tick bank memos for the scheduling passes (scanTag packs
+	// epoch<<16|flags, one load validates and reads a bank's memo) and
+	// per-call bank memos for NextEvent (neBank), all epoch-tagged so
+	// neither path pays an O(banks) reset. The scan epoch advances once
+	// per TickFull: within one tick no command separates the victim,
+	// write, and read passes, so CanPRE/CanACT answers carry across all
+	// of them (column and hit flags are kept per direction). The epochs
+	// are monotone across pooled reuse, so a stale tag can never
+	// collide.
+	scanTag     []uint64
+	scanEpoch   uint64
+	neBank      []neScratch
+	actEpoch    uint64
+	suppEpoch   uint64
+	confScratch []int32 // conflict-PRE queue indices/banks (schedule, NextEvent)
 
 	// mutated records command-free state changes within one Tick (a
 	// defense throttle stamping retryAt, a victim op adopting an
@@ -134,32 +167,153 @@ type Controller struct {
 	mutated bool
 }
 
+// neScratch is NextEvent's per-bank memo line: the ActEarliest bound
+// (valid when actEpoch matches) and the open-row suppression bound
+// (valid when suppEpoch matches). One struct keeps a bank's NextEvent
+// state on a single cache line instead of four parallel arrays.
+type neScratch struct {
+	actEpoch  uint64
+	act       uint64
+	suppEpoch uint64
+	supp      uint64
+	// seen dedupes identical queue candidates within one queue pass
+	// (tagged by seenEpoch): requests of the same class on the same
+	// bank with no retry gate produce the same earliest-actionable
+	// cycle, so only the first is considered. Bit 0 = hit-class seen,
+	// bit 1 = conflict-class seen.
+	seenEpoch uint64
+	seen      uint8
+}
+
 // New builds a controller over timing t, defense def (nil = none), and
 // tracker tr (nil = none).
 func New(cfg Config, t mem.Timing, def mitigation.Defense, tr Tracker) *Controller {
+	c := &Controller{}
+	c.Reset(cfg, t, def, tr)
+	return c
+}
+
+// Reset reinitializes the controller in place to the state
+// New(cfg, t, def, tr) produces, retaining queue, table, and scratch
+// allocations — the pooled-reuse path between sweep cells. Requests
+// still queued from a truncated run are recycled; the epoch counters
+// deliberately keep counting (their values never affect scheduling,
+// only whether a memo slot is current).
+func (c *Controller) Reset(cfg Config, t mem.Timing, def mitigation.Defense, tr Tracker) {
 	if def == nil {
 		def = mitigation.Nop{}
 	}
 	if tr == nil {
 		tr = nopTracker{}
 	}
-	sys := mem.NewSystem(t, cfg.Ranks, cfg.BankGroups, cfg.BanksPerGroup, cfg.RowsPerBank)
+	if c.Sys == nil {
+		c.Sys = mem.NewSystem(t, cfg.Ranks, cfg.BankGroups, cfg.BanksPerGroup, cfg.RowsPerBank)
+	} else {
+		c.Sys.Reset(t, cfg.Ranks, cfg.BankGroups, cfg.BanksPerGroup, cfg.RowsPerBank)
+	}
+	banks := c.Sys.TotalBanks()
+	keys := int64(banks) * int64(cfg.RowsPerBank)
 	refs := int(t.REFW / t.REFI)
 	if refs <= 0 {
 		refs = 1
 	}
-	rowsPerREF := (cfg.RowsPerBank + refs - 1) / refs
-	return &Controller{
-		Cfg:          cfg,
-		Sys:          sys,
-		Def:          def,
-		Track:        tr,
-		logToPhys:    make([]map[int]int, sys.TotalBanks()),
-		physToLog:    make([]map[int]int, sys.TotalBanks()),
-		blocksPerRow: cfg.RowBytes / 64,
-		refSlice:     make([]int, cfg.Ranks),
-		rowsPerREF:   rowsPerREF,
+	c.Cfg = cfg
+	c.Def = def
+	c.Track = tr
+	c.Stats = Stats{}
+	c.readQ = c.readQ[:0]
+	c.writeQ = c.writeQ[:0]
+	c.victims = c.victims[:0]
+	if c.victimSet == nil {
+		c.victimSet = rowtab.NewBits(keys)
+	} else {
+		c.victimSet.Resize(keys)
 	}
+	if c.logToPhys == nil {
+		c.logToPhys = rowtab.New[int32](keys)
+		c.physToLog = rowtab.New[int32](keys)
+	} else {
+		c.logToPhys.Resize(keys)
+		c.physToLog.Resize(keys)
+	}
+	c.remapped = false
+	c.blocksPerRow = cfg.RowBytes / 64
+	c.writeMode = false
+	if cap(c.refSlice) >= cfg.Ranks {
+		c.refSlice = c.refSlice[:cfg.Ranks]
+		clear(c.refSlice)
+	} else {
+		c.refSlice = make([]int, cfg.Ranks)
+	}
+	c.rowsPerREF = (cfg.RowsPerBank + refs - 1) / refs
+	c.idleUntil = 0
+	c.mutated = false
+	// Epoch-tagged scratch: zeroed only on growth (fresh zeros read as
+	// "never current" because the epoch counters start above 0 and only
+	// increment, across pooled reuse too).
+	if cap(c.scanTag) >= banks {
+		c.scanTag = c.scanTag[:banks]
+	} else {
+		c.scanTag = make([]uint64, banks)
+	}
+	if cap(c.neBank) >= banks {
+		c.neBank = c.neBank[:banks]
+	} else {
+		c.neBank = make([]neScratch, banks)
+	}
+	if cap(c.hitCntR) >= banks {
+		c.hitCntR = c.hitCntR[:banks]
+		c.hitCntW = c.hitCntW[:banks]
+		clear(c.hitCntR)
+		clear(c.hitCntW)
+	} else {
+		c.hitCntR = make([]int32, banks)
+		c.hitCntW = make([]int32, banks)
+	}
+	c.hitSumR, c.hitSumW = 0, 0
+}
+
+// recountHits recomputes bank's hit-class counts after its open row
+// changed (ACT) or its queued requests' physical rows were remapped
+// (swap repair). Runs once per such command; the scans it lets schedule
+// skip repay it many times over.
+func (c *Controller) recountHits(bank int) {
+	row := c.Sys.Banks[bank].OpenRow
+	n := int32(0)
+	for i := range c.readQ {
+		if int(c.readQ[i].bank) == bank && int(c.readQ[i].phys) == row {
+			n++
+		}
+	}
+	c.hitSumR += int(n - c.hitCntR[bank])
+	c.hitCntR[bank] = n
+	n = 0
+	for i := range c.writeQ {
+		if int(c.writeQ[i].bank) == bank && int(c.writeQ[i].phys) == row {
+			n++
+		}
+	}
+	c.hitSumW += int(n - c.hitCntW[bank])
+	c.hitCntW[bank] = n
+}
+
+// rowKey flattens (bank, row) for the controller's per-row tables.
+func (c *Controller) rowKey(bank, row int) int64 {
+	return int64(bank)*int64(c.Cfg.RowsPerBank) + int64(row)
+}
+
+// Read enqueues a read transaction; false when the queue is full.
+// Equivalent to EnqueueRead with a fresh Request, with no per-access
+// allocation (the value lands directly in the queue's retained backing
+// array).
+func (c *Controller) Read(addr uint64, core int, done func(cycle uint64), cycle uint64) bool {
+	return c.EnqueueRead(&Request{Addr: addr, Core: core, Done: done}, cycle)
+}
+
+// Write enqueues a posted write transaction; false when the queue is
+// full.
+func (c *Controller) Write(addr uint64, core int, cycle uint64) bool {
+	return c.EnqueueWrite(&Request{Addr: addr, Core: core}, cycle)
 }
 
 // Decode applies the MOP address mapping: consecutive cache blocks fill
@@ -184,70 +338,112 @@ func (c *Controller) Decode(addr uint64) (bank, row int) {
 
 // physOf resolves the MC-visible row through the migration indirection.
 func (c *Controller) physOf(bank, row int) int {
-	if m := c.logToPhys[bank]; m != nil {
-		if p, ok := m[row]; ok {
-			return p
-		}
+	if !c.remapped {
+		return row
+	}
+	if p := c.logToPhys.Get(c.rowKey(bank, row)); p != 0 {
+		return int(p) - 1
 	}
 	return row
 }
 
 func (c *Controller) logOf(bank, phys int) int {
-	if m := c.physToLog[bank]; m != nil {
-		if l, ok := m[phys]; ok {
-			return l
-		}
+	if !c.remapped {
+		return phys
+	}
+	if l := c.physToLog.Get(c.rowKey(bank, phys)); l != 0 {
+		return int(l) - 1
 	}
 	return phys
 }
 
 func (c *Controller) swapRows(bank, physA, physB int) {
-	if c.logToPhys[bank] == nil {
-		c.logToPhys[bank] = make(map[int]int)
-		c.physToLog[bank] = make(map[int]int)
-	}
 	la, lb := c.logOf(bank, physA), c.logOf(bank, physB)
-	c.logToPhys[bank][la] = physB
-	c.logToPhys[bank][lb] = physA
-	c.physToLog[bank][physB] = la
-	c.physToLog[bank][physA] = lb
+	c.remapped = true
+	c.logToPhys.Set(c.rowKey(bank, la), int32(physB)+1)
+	c.logToPhys.Set(c.rowKey(bank, lb), int32(physA)+1)
+	c.physToLog.Set(c.rowKey(bank, physB), int32(la)+1)
+	c.physToLog.Set(c.rowKey(bank, physA), int32(lb)+1)
 	// Repair the cached physical rows of queued requests (rare path).
-	for _, q := range [][]*Request{c.readQ, c.writeQ} {
-		for _, r := range q {
-			if r.bank == bank {
-				r.phys = c.physOf(bank, r.row)
+	for _, q := range [2][]Request{c.readQ, c.writeQ} {
+		for i := range q {
+			if int(q[i].bank) == bank {
+				q[i].phys = int32(c.physOf(bank, int(q[i].row)))
 			}
 		}
 	}
+	c.recountHits(bank)
 }
 
-// EnqueueRead adds a read; false when the queue is full.
+// EnqueueRead adds a copy of the read to the queue; false when the
+// queue is full.
 func (c *Controller) EnqueueRead(r *Request, cycle uint64) bool {
 	if len(c.readQ) >= c.Cfg.ReadQ {
 		return false
 	}
 	r.arrive = cycle
-	r.bank, r.row = c.Decode(r.Addr)
-	r.phys = c.physOf(r.bank, r.row)
+	bank, row := c.Decode(r.Addr)
+	r.bank, r.row = int32(bank), int32(row)
+	r.phys = int32(c.physOf(bank, row))
 	r.Write = false
-	c.readQ = append(c.readQ, r)
-	c.idleUntil = 0 // the new request may be actionable immediately
+	c.readQ = append(c.readQ, *r)
+	if c.Sys.Banks[bank].OpenRow == int(r.phys) {
+		c.hitCntR[r.bank]++
+		c.hitSumR++
+	}
+	c.noteEnqueued(r, cycle)
 	return true
 }
 
-// EnqueueWrite adds a write; false when the queue is full. Writes are
-// posted: the issuer never waits for them.
+// EnqueueWrite adds a copy of the write to the queue; false when the
+// queue is full. Writes are posted: the issuer never waits for them.
 func (c *Controller) EnqueueWrite(r *Request, cycle uint64) bool {
 	if len(c.writeQ) >= c.Cfg.WriteQ {
 		return false
 	}
 	r.arrive = cycle
-	r.bank, r.row = c.Decode(r.Addr)
-	r.phys = c.physOf(r.bank, r.row)
+	bank, row := c.Decode(r.Addr)
+	r.bank, r.row = int32(bank), int32(row)
+	r.phys = int32(c.physOf(bank, row))
 	r.Write = true
-	c.writeQ = append(c.writeQ, r)
-	c.idleUntil = 0 // the new request may be actionable immediately
+	c.writeQ = append(c.writeQ, *r)
+	if c.Sys.Banks[bank].OpenRow == int(r.phys) {
+		c.hitCntW[r.bank]++
+		c.hitSumW++
+	}
+	c.noteEnqueued(r, cycle)
 	return true
+}
+
+// noteEnqueued tightens the cached idle bound for a newly queued
+// request instead of discarding it: the controller stays dormant until
+// min(previous bound, the request's own earliest actionable cycle).
+// That bound is exact — a new request only adds candidate actions
+// (bounded below by its device timing with retryAt still zero), the
+// other requests' earliest times depend only on frozen bank state, the
+// write-drain mode flip is covered because the idle bound already
+// considers both queues regardless of mode, and a new row hit can only
+// *suppress* (delay) a conflict PRE, where waking early is a wasted
+// no-op tick, never a missed action. Bursty cores therefore no longer
+// force a full scheduling rescan per enqueued miss.
+func (c *Controller) noteEnqueued(r *Request, cycle uint64) {
+	if c.idleUntil <= cycle {
+		return // not dormant: the next Tick runs a full pass anyway
+	}
+	bank := int(r.bank)
+	b := &c.Sys.Banks[bank]
+	var at uint64
+	switch {
+	case b.OpenRow == int(r.phys) && b.HitStreak < c.Cfg.ColumnCap:
+		at = c.Sys.ColumnEarliest(bank, r.Write)
+	case b.OpenRow >= 0:
+		at = c.Sys.PreEarliest(bank)
+	default:
+		at = c.Sys.ActEarliest(bank)
+	}
+	if at < c.idleUntil {
+		c.idleUntil = at
+	}
 }
 
 // QueueLens returns the current read and write queue depths.
@@ -275,11 +471,16 @@ func (c *Controller) Tick(cycle uint64) bool {
 	if cycle < c.idleUntil {
 		return false
 	}
-	if c.TickFull(cycle) {
-		return true
-	}
+	active := c.TickFull(cycle)
+	// Cache the next actionable cycle after active ticks too, not just
+	// idle ones: once this tick's command (or mutation) has landed, the
+	// controller's state is frozen until the bound — by the same
+	// argument that makes the bound exact after an idle tick — and any
+	// enqueue in between re-tightens it through noteEnqueued. This
+	// spares the full scheduling rescan that otherwise trails every
+	// issued command on the next cycle, discovering nothing is ready.
 	c.idleUntil = c.NextEvent(cycle)
-	return false
+	return active
 }
 
 // TickFull is Tick without the idle fast path: it always evaluates the
@@ -289,6 +490,10 @@ func (c *Controller) Tick(cycle uint64) bool {
 // event machinery.
 func (c *Controller) TickFull(cycle uint64) bool {
 	c.mutated = false
+	// One memo epoch per tick: no command separates the victim, write,
+	// and read passes within a tick, so bank-level CanPRE/CanACT/
+	// CanColumn answers carry across all of them.
+	c.scanEpoch++
 	issued := c.tick(cycle)
 	return issued || c.mutated
 }
@@ -367,29 +572,50 @@ func (c *Controller) NextEvent(cycle uint64) uint64 {
 	if cycle < c.idleUntil {
 		return c.idleUntil // computed by the idle Tick that got us here
 	}
+	// floor is the lowest value NextEvent can return: the moment any
+	// candidate reaches it the minimum is decided, so every loop below
+	// bails out (the remaining candidates could only tie).
+	floor := cycle + 1
 	next := ^uint64(0)
-	consider := func(at uint64) {
+	consider := func(at uint64) bool {
 		if at < next {
 			next = at
 		}
+		return next <= floor
 	}
 	// Refresh: either the next deadline, or — when one is overdue — the
 	// earliest close of a bank blocking it (REF itself needs every bank
-	// precharged) or the end of the refresh already in flight.
+	// precharged), the REF itself once no bank blocks it, or the end of
+	// the refresh already in flight. The unblocked-overdue case only
+	// arises when NextEvent runs right after an *active* tick (an idle
+	// tick would have issued the REF), e.g. after the PRE that closed
+	// the rank's last open bank.
 	for rank := range c.Sys.Ranks {
 		r := &c.Sys.Ranks[rank]
-		if r.Refreshing && r.RefUntil > cycle {
-			consider(r.RefUntil)
+		if r.Refreshing && r.RefUntil > cycle && consider(r.RefUntil) {
+			return floor
 		}
 		if r.NextREF > cycle {
-			consider(r.NextREF)
+			if consider(r.NextREF) {
+				return floor
+			}
+			continue
+		}
+		if r.Refreshing {
 			continue
 		}
 		base := rank * c.Sys.BanksPerRank()
+		blocked := false
 		for b := base; b < base+c.Sys.BanksPerRank(); b++ {
 			if c.Sys.Banks[b].OpenRow >= 0 {
-				consider(c.Sys.PreEarliest(b))
+				blocked = true
+				if consider(c.Sys.PreEarliest(b)) {
+					return floor
+				}
 			}
+		}
+		if !blocked {
+			return floor // REF is actionable on the next tick
 		}
 	}
 	// Preventive refreshes: only the head of the backlog (up to the
@@ -403,13 +629,19 @@ func (c *Controller) NextEvent(cycle uint64) uint64 {
 		b := &c.Sys.Banks[v.bank]
 		switch {
 		case !v.opened && b.OpenRow == v.row:
-			consider(cycle + 1) // adopts the open row on the next tick
+			return floor // adopts the open row on the next tick
 		case !v.opened && b.OpenRow >= 0:
-			consider(c.Sys.PreEarliest(v.bank))
+			if consider(c.Sys.PreEarliest(v.bank)) {
+				return floor
+			}
 		case !v.opened:
-			consider(c.Sys.ActEarliest(v.bank))
+			if consider(c.Sys.ActEarliest(v.bank)) {
+				return floor
+			}
 		case b.OpenRow >= 0:
-			consider(maxU64(v.preAt, c.Sys.PreEarliest(v.bank)))
+			if consider(maxU64(v.preAt, c.Sys.PreEarliest(v.bank))) {
+				return floor
+			}
 		default:
 			// Opened, but the bank was since closed underneath (a
 			// refresh-blocking PRE): the completing PRE needs an open
@@ -421,22 +653,18 @@ func (c *Controller) NextEvent(cycle uint64) uint64 {
 	// under the frozen bank state (column to its open row, PRE of a
 	// conflicting or cap-rotated row, or ACT of a closed bank), gated by
 	// any defense-imposed retry time. ActEarliest walks rank state, so
-	// memoize it per bank across the scan.
-	if c.actScratch == nil {
-		c.actScratch = make([]uint64, c.Sys.TotalBanks())
-		c.suppScratch = make([]uint64, c.Sys.TotalBanks())
-	}
-	unset := ^uint64(0)
-	for i := range c.actScratch {
-		c.actScratch[i] = unset
-	}
+	// memoize it per bank across the scan; the memos are epoch-tagged so
+	// no O(banks) reset is paid per call.
+	c.actEpoch++
 	actEarliest := func(bank int) uint64 {
-		if c.actScratch[bank] == unset {
-			c.actScratch[bank] = c.Sys.ActEarliest(bank)
+		nb := &c.neBank[bank]
+		if nb.actEpoch != c.actEpoch {
+			nb.actEpoch = c.actEpoch
+			nb.act = c.Sys.ActEarliest(bank)
 		}
-		return c.actScratch[bank]
+		return nb.act
 	}
-	for _, q := range [2][]*Request{c.readQ, c.writeQ} {
+	for _, q := range [2][]Request{c.readQ, c.writeQ} {
 		// Open-row suppression: schedule never closes a bank while a
 		// same-queue request still hits its open row, so a conflicting
 		// request only gets its PRE once every hit has drained — an
@@ -444,44 +672,83 @@ func (c *Controller) NextEvent(cycle uint64) uint64 {
 		// the first cycle some hit request suppresses the bank (its
 		// defense retry time; usually 0 = suppressed throughout): a
 		// conflict wake-up is only real if it lands strictly before it.
-		supp := c.suppScratch
-		for i := range supp {
-			supp[i] = unset
-		}
-		for _, r := range q {
-			if c.Sys.Banks[r.bank].OpenRow == r.phys && r.retryAt < supp[r.bank] {
-				supp[r.bank] = r.retryAt
-			}
-		}
-		for _, r := range q {
-			b := &c.Sys.Banks[r.bank]
+		// Hits and closed-bank requests resolve in the same pass that
+		// records the suppression; conflict PREs are deferred to a
+		// second pass over just the conflicted requests, which runs once
+		// every hit in the queue has been seen.
+		c.suppEpoch++
+		conf := c.confScratch[:0]
+		for i := range q {
+			r := &q[i]
+			bank := int(r.bank)
+			b := &c.Sys.Banks[bank]
 			var at uint64
 			switch {
-			case b.OpenRow == r.phys && b.HitStreak < c.Cfg.ColumnCap:
-				at = c.Sys.ColumnEarliest(r.bank, r.Write)
-			case b.OpenRow == r.phys:
-				at = c.Sys.PreEarliest(r.bank) // column-cap rotation
+			case b.OpenRow == int(r.phys):
+				nb := &c.neBank[bank]
+				if nb.suppEpoch != c.suppEpoch || r.retryAt < nb.supp {
+					nb.suppEpoch = c.suppEpoch
+					nb.supp = r.retryAt
+				}
+				if r.retryAt == 0 {
+					if nb.seenEpoch == c.suppEpoch && nb.seen&1 != 0 {
+						continue // identical candidate already considered
+					}
+					if nb.seenEpoch != c.suppEpoch {
+						nb.seenEpoch = c.suppEpoch
+						nb.seen = 0
+					}
+					nb.seen |= 1
+				}
+				if b.HitStreak < c.Cfg.ColumnCap {
+					at = c.Sys.ColumnEarliest(bank, r.Write)
+				} else {
+					at = c.Sys.PreEarliest(bank) // column-cap rotation
+				}
 			case b.OpenRow >= 0:
-				at = c.Sys.PreEarliest(r.bank)
-				if r.retryAt > at {
-					at = r.retryAt
-				}
-				if at <= cycle {
-					at = cycle + 1
-				}
-				if at >= supp[r.bank] {
-					continue // suppressed until an active tick intervenes
-				}
-				consider(at)
+				conf = append(conf, int32(i))
 				continue
 			default:
-				at = actEarliest(r.bank)
+				at = actEarliest(bank)
 			}
 			if r.retryAt > at {
 				at = r.retryAt
 			}
-			consider(at)
+			if consider(at) {
+				c.confScratch = conf
+				return floor
+			}
 		}
+		for _, i := range conf {
+			r := &q[i]
+			bank := int(r.bank)
+			nb := &c.neBank[bank]
+			if r.retryAt == 0 {
+				if nb.seenEpoch == c.suppEpoch && nb.seen&2 != 0 {
+					continue // identical candidate already handled
+				}
+				if nb.seenEpoch != c.suppEpoch {
+					nb.seenEpoch = c.suppEpoch
+					nb.seen = 0
+				}
+				nb.seen |= 2
+			}
+			at := c.Sys.PreEarliest(bank)
+			if r.retryAt > at {
+				at = r.retryAt
+			}
+			if at <= cycle {
+				at = cycle + 1
+			}
+			if nb.suppEpoch == c.suppEpoch && at >= nb.supp {
+				continue // suppressed until an active tick intervenes
+			}
+			if consider(at) {
+				c.confScratch = conf
+				return floor
+			}
+		}
+		c.confScratch = conf
 	}
 	if next <= cycle {
 		next = cycle + 1
@@ -516,13 +783,17 @@ func (c *Controller) tickVictims(cycle uint64) bool {
 				continue
 			}
 			if b.OpenRow >= 0 {
-				if c.Sys.CanPRE(v.bank, cycle) {
+				f, ok := c.canPREMemo(v.bank, c.tickTag(v.bank), cycle)
+				c.scanTag[v.bank] = f
+				if ok {
 					c.issuePRE(v.bank, cycle)
 					return true
 				}
 				continue
 			}
-			if c.Sys.CanACT(v.bank, cycle) {
+			f, ok := c.canACTMemo(v.bank, c.tickTag(v.bank), cycle)
+			c.scanTag[v.bank] = f
+			if ok {
 				c.issueACTRaw(v.bank, v.row, cycle)
 				v.opened = true
 				v.preAt = cycle + c.Sys.T.RAS
@@ -530,39 +801,63 @@ func (c *Controller) tickVictims(cycle uint64) bool {
 			}
 			continue
 		}
-		if cycle >= v.preAt && c.Sys.CanPRE(v.bank, cycle) {
-			c.issuePRE(v.bank, cycle)
-			c.Stats.VictimRefreshes++
-			delete(c.victimSet, int64(v.bank)<<32|int64(v.row))
-			c.victims = append(c.victims[:i], c.victims[i+1:]...)
-			return true
+		if cycle >= v.preAt {
+			f, ok := c.canPREMemo(v.bank, c.tickTag(v.bank), cycle)
+			c.scanTag[v.bank] = f
+			if ok {
+				c.issuePRE(v.bank, cycle)
+				c.Stats.VictimRefreshes++
+				c.victimSet.Unset(c.rowKey(v.bank, v.row))
+				c.victims = append(c.victims[:i], c.victims[i+1:]...)
+				return true
+			}
 		}
 	}
 	return false
 }
 
-// Per-scan bank memo flags: within one schedule pass no command issues,
-// so CanColumn/CanPRE/CanACT answer identically for every request on
-// the same bank. The flags live in epoch-tagged scratch (scanFlags is
-// lazily reset by bumping scanEpoch, never cleared) and also replace
-// the per-scan hit mask.
+// Per-tick bank memo flags: within one tick no command separates the
+// scheduling passes, so CanColumn/CanPRE/CanACT answer identically for
+// every visitor of the same bank. Hit and column flags are kept per
+// queue direction (the hit set defines each queue's open-row policy;
+// CanColumn depends on read-vs-write latency). The flags live in the
+// low 16 bits of scanTag, whose high bits hold the tick epoch the flags
+// belong to — one load validates and reads a bank's memo, and bumping
+// scanEpoch lazily resets every bank.
 const (
-	scanHit uint8 = 1 << iota
-	scanColChecked
-	scanColOK
+	scanHitR uint64 = 1 << iota
+	scanHitW
+	scanColRChecked
+	scanColROK
+	scanColWChecked
+	scanColWOK
 	scanPreChecked
 	scanPreOK
 	scanActChecked
 	scanActOK
 )
 
-// bankScan returns the bank's memo flags for the current scan epoch.
-func (c *Controller) bankScan(bank int) *uint8 {
-	if c.scanBankEpoch[bank] != c.scanEpoch {
-		c.scanBankEpoch[bank] = c.scanEpoch
-		c.scanFlags[bank] = 0
+const scanFlagBits = 16
+
+// tickTag returns bank's memo word for the current tick epoch.
+func (c *Controller) tickTag(bank int) uint64 {
+	f := c.scanTag[bank]
+	if f>>scanFlagBits != c.scanEpoch {
+		f = c.scanEpoch << scanFlagBits
 	}
-	return &c.scanFlags[bank]
+	return f
+}
+
+// canACTMemo is CanACT with the per-tick bank memo; it returns the
+// updated flag word.
+func (c *Controller) canACTMemo(bank int, f uint64, cycle uint64) (uint64, bool) {
+	if f&scanActChecked == 0 {
+		f |= scanActChecked
+		if c.Sys.CanACT(bank, cycle) {
+			f |= scanActOK
+		}
+	}
+	return f, f&scanActOK != 0
 }
 
 // schedule applies FR-FCFS to one queue in a single pass: it finds the
@@ -570,110 +865,196 @@ func (c *Controller) bankScan(bank int) *uint8 {
 // request needing an ACT, a cap-rotation PRE, or a conflict PRE — where
 // a conflicting bank is only closed if no queued request still targets
 // its open row (open-row policy).
-func (c *Controller) schedule(q []*Request, cycle uint64, writes bool) bool {
+func (c *Controller) schedule(q []Request, cycle uint64, writes bool) bool {
 	if len(q) == 0 {
 		return false
 	}
-	if c.scanFlags == nil {
-		c.scanFlags = make([]uint8, c.Sys.TotalBanks())
-		c.scanBankEpoch = make([]uint64, c.Sys.TotalBanks())
+	epoch := c.scanEpoch << scanFlagBits
+	hitSum := c.hitSumR
+	if writes {
+		hitSum = c.hitSumW
 	}
-	c.scanEpoch++
-	var colCand, actCand, capCand *Request
-	var confCands []*Request
-	for _, r := range q {
+	colCand, actCand, capCand := -1, -1, -1
+	confBanks := c.confScratch[:0]
+	if hitSum == 0 {
+		// No hit-class entry anywhere in the queue: no column or
+		// cap-rotation candidate can exist, and no conflict PRE can be
+		// suppressed by the open-row policy, so the oldest eligible ACT
+		// wins the moment it is found — the scan stops there instead of
+		// walking the rest of the queue for a hit that cannot exist.
+		for i := range q {
+			r := &q[i]
+			if cycle < r.retryAt {
+				continue
+			}
+			bank := int(r.bank)
+			b := &c.Sys.Banks[bank]
+			f := c.scanTag[bank]
+			if f>>scanFlagBits != c.scanEpoch {
+				f = epoch
+			}
+			if b.OpenRow >= 0 {
+				if len(confBanks) == 0 {
+					if f, _ = c.canPREMemo(bank, f, cycle); f&scanPreOK != 0 {
+						confBanks = append(confBanks, r.bank)
+					}
+					c.scanTag[bank] = f
+				}
+				continue
+			}
+			if f&scanActChecked == 0 {
+				f |= scanActChecked
+				if c.Sys.CanACT(bank, cycle) {
+					f |= scanActOK
+				}
+			}
+			c.scanTag[bank] = f
+			if f&scanActOK != 0 {
+				actCand = i
+				break
+			}
+		}
+		c.confScratch = confBanks[:0]
+		if actCand >= 0 {
+			r := &q[actCand]
+			ok, retry := c.Def.CanActivate(int(r.bank), int(r.phys), cycle)
+			if ok {
+				c.issueACT(int(r.bank), int(r.phys), cycle)
+				return true
+			}
+			if retry <= cycle {
+				retry = cycle + 1
+			}
+			r.retryAt = retry
+			c.Stats.ThrottleStalls++
+			c.mutated = true
+			return false
+		}
+		if len(confBanks) > 0 {
+			c.issuePRE(int(confBanks[0]), cycle)
+			return true
+		}
+		return false
+	}
+	hitBit, colChecked, colOK := scanHitR, scanColRChecked, scanColROK
+	if writes {
+		hitBit, colChecked, colOK = scanHitW, scanColWChecked, scanColWOK
+	}
+	for i := range q {
+		r := &q[i]
 		if cycle < r.retryAt {
 			continue
 		}
-		b := &c.Sys.Banks[r.bank]
-		f := c.bankScan(r.bank)
+		bank := int(r.bank)
+		b := &c.Sys.Banks[bank]
+		f := c.scanTag[bank]
+		if f>>scanFlagBits != c.scanEpoch {
+			f = epoch
+		}
 		switch {
-		case b.OpenRow == r.phys:
-			*f |= scanHit
+		case b.OpenRow == int(r.phys):
+			f |= hitBit
 			if b.HitStreak < c.Cfg.ColumnCap {
-				if *f&scanColChecked == 0 {
-					*f |= scanColChecked
-					if c.Sys.CanColumn(r.bank, r.phys, writes, cycle) {
-						*f |= scanColOK
+				if f&colChecked == 0 {
+					f |= colChecked
+					if c.Sys.CanColumn(bank, int(r.phys), writes, cycle) {
+						f |= colOK
 					}
 				}
-				if *f&scanColOK != 0 {
-					colCand = r
+				if f&colOK != 0 {
+					colCand = i
 				}
-			} else if capCand == nil && actCand == nil && c.canPREMemo(r.bank, f, cycle) {
-				capCand = r
+			} else if capCand < 0 && actCand < 0 {
+				if f, _ = c.canPREMemo(bank, f, cycle); f&scanPreOK != 0 {
+					capCand = i
+				}
 			}
 		case b.OpenRow >= 0:
 			// Collected only while no ACT candidate exists: the ACT
 			// path below returns (issue or throttle) without reaching
 			// the conflict PREs, so later ones are dead the moment an
 			// ACT candidate appears. Same for the cap rotation above.
-			if actCand == nil && c.canPREMemo(r.bank, f, cycle) {
-				confCands = append(confCands, r)
+			if actCand < 0 {
+				if f, _ = c.canPREMemo(bank, f, cycle); f&scanPreOK != 0 {
+					confBanks = append(confBanks, r.bank)
+				}
 			}
 		default:
-			if actCand == nil {
-				if *f&scanActChecked == 0 {
-					*f |= scanActChecked
-					if c.Sys.CanACT(r.bank, cycle) {
-						*f |= scanActOK
+			if actCand < 0 {
+				// Inline ACT memo: canACTMemo sits just past the
+				// inlining budget and this is the simulator's hottest
+				// loop.
+				if f&scanActChecked == 0 {
+					f |= scanActChecked
+					if c.Sys.CanACT(bank, cycle) {
+						f |= scanActOK
 					}
 				}
-				if *f&scanActOK != 0 {
-					actCand = r
+				if f&scanActOK != 0 {
+					actCand = i
 				}
 			}
 		}
-		if colCand != nil {
+		c.scanTag[bank] = f
+		if colCand >= 0 {
 			// Oldest ready row hit wins outright; the rest of the scan
 			// only feeds the lower-priority paths.
 			break
 		}
 	}
-	if colCand != nil {
+	// Retain confBanks' growth for the next scan (the entries stay
+	// readable through the local slice below).
+	c.confScratch = confBanks[:0]
+	if colCand >= 0 {
 		c.issueColumn(colCand, cycle, writes)
 		return true
 	}
-	if actCand != nil {
-		ok, retry := c.Def.CanActivate(actCand.bank, actCand.phys, cycle)
+	if actCand >= 0 {
+		r := &q[actCand]
+		ok, retry := c.Def.CanActivate(int(r.bank), int(r.phys), cycle)
 		if ok {
-			c.issueACT(actCand.bank, actCand.phys, cycle)
+			c.issueACT(int(r.bank), int(r.phys), cycle)
 			return true
 		}
 		if retry <= cycle {
 			retry = cycle + 1
 		}
-		actCand.retryAt = retry
+		r.retryAt = retry
 		c.Stats.ThrottleStalls++
 		c.mutated = true
 		return false
 	}
-	for _, r := range confCands {
-		if c.scanFlags[r.bank]&scanHit == 0 {
-			c.issuePRE(r.bank, cycle)
+	for _, bank := range confBanks {
+		if c.scanTag[bank]&hitBit == 0 {
+			c.issuePRE(int(bank), cycle)
 			return true
 		}
 	}
-	if capCand != nil {
-		c.issuePRE(capCand.bank, cycle)
+	if capCand >= 0 {
+		c.issuePRE(int(q[capCand].bank), cycle)
 		return true
 	}
 	return false
 }
 
-// canPREMemo is CanPRE with the per-scan bank memo.
-func (c *Controller) canPREMemo(bank int, f *uint8, cycle uint64) bool {
-	if *f&scanPreChecked == 0 {
-		*f |= scanPreChecked
+// canPREMemo is CanPRE with the per-scan bank memo; it returns the
+// updated flag word.
+func (c *Controller) canPREMemo(bank int, f uint64, cycle uint64) (uint64, bool) {
+	if f&scanPreChecked == 0 {
+		f |= scanPreChecked
 		if c.Sys.CanPRE(bank, cycle) {
-			*f |= scanPreOK
+			f |= scanPreOK
 		}
 	}
-	return *f&scanPreOK != 0
+	return f, f&scanPreOK != 0
 }
 
 func (c *Controller) issuePRE(bank int, cycle uint64) {
 	row, on := c.Sys.PRE(bank, cycle)
+	c.hitSumR -= int(c.hitCntR[bank])
+	c.hitCntR[bank] = 0
+	c.hitSumW -= int(c.hitCntW[bank])
+	c.hitCntW[bank] = 0
 	c.Track.OnPre(bank, row, on)
 	c.Stats.Pres++
 }
@@ -683,6 +1064,7 @@ func (c *Controller) issuePRE(bank int, cycle uint64) {
 // controllers where maintenance traffic bypasses the tracker).
 func (c *Controller) issueACTRaw(bank, row int, cycle uint64) {
 	c.Sys.ACT(bank, row, cycle)
+	c.recountHits(bank)
 	c.Track.OnAct(bank, row, cycle)
 	c.Stats.Acts++
 }
@@ -699,14 +1081,11 @@ func (c *Controller) execute(dir mitigation.Directive, cycle uint64) {
 	case mitigation.RefreshVictim:
 		// Deduplicate: a pending refresh of the same row already covers
 		// this directive.
-		key := int64(dir.Bank)<<32 | int64(dir.Row)
-		if c.victimSet[key] {
+		key := c.rowKey(dir.Bank, dir.Row)
+		if c.victimSet.Get(key) {
 			return
 		}
-		if c.victimSet == nil {
-			c.victimSet = make(map[int64]bool)
-		}
-		c.victimSet[key] = true
+		c.victimSet.Set(key)
 		c.victims = append(c.victims, victimOp{bank: dir.Bank, row: dir.Row})
 	case mitigation.SwapRows:
 		c.swapRows(dir.Bank, dir.Row, dir.DstRow)
@@ -715,14 +1094,12 @@ func (c *Controller) execute(dir mitigation.Directive, cycle uint64) {
 		c.Stats.Migrations++
 	case mitigation.ExtraMem:
 		for i := 0; i < dir.MemReads; i++ {
-			req := &Request{Addr: c.metaAddr(dir.Bank, dir.Row, i)}
-			if c.EnqueueRead(req, cycle) {
+			if c.Read(c.metaAddr(dir.Bank, dir.Row, i), 0, nil, cycle) {
 				c.Stats.MetaReads++
 			}
 		}
 		for i := 0; i < dir.MemWrites; i++ {
-			req := &Request{Addr: c.metaAddr(dir.Bank, dir.Row, dir.MemReads+i)}
-			if c.EnqueueWrite(req, cycle) {
+			if c.Write(c.metaAddr(dir.Bank, dir.Row, dir.MemReads+i), 0, cycle) {
 				c.Stats.MetaWr++
 			}
 		}
@@ -751,31 +1128,34 @@ func (c *Controller) metaAddr(bank, row, salt int) uint64 {
 	return block << 6
 }
 
-func (c *Controller) issueColumn(r *Request, cycle uint64, writes bool) {
-	dataEnd := c.Sys.Column(r.bank, writes, cycle)
+// issueColumn issues the column command of queue entry idx (of the
+// write queue when writes, else the read queue) and removes it.
+func (c *Controller) issueColumn(idx int, cycle uint64, writes bool) {
 	if writes {
+		r := &c.writeQ[idx]
+		c.Sys.Column(int(r.bank), true, cycle)
 		c.Stats.Writes++
-		c.removeReq(&c.writeQ, r)
+		c.hitCntW[r.bank]-- // a column target is hit-class by definition
+		c.hitSumW--
+		c.writeQ = append(c.writeQ[:idx], c.writeQ[idx+1:]...)
 		return
 	}
+	r := &c.readQ[idx]
+	dataEnd := c.Sys.Column(int(r.bank), false, cycle)
 	c.Stats.Reads++
+	c.hitCntR[r.bank]--
+	c.hitSumR--
 	if c.Sys.Banks[r.bank].HitStreak > 1 {
 		c.Stats.RowHits++
 	} else {
 		c.Stats.RowMisses++
 	}
-	c.removeReq(&c.readQ, r)
-	if r.Done != nil {
-		r.Done(dataEnd)
-	}
-}
-
-func (c *Controller) removeReq(q *[]*Request, r *Request) {
-	for i, x := range *q {
-		if x == r {
-			*q = append((*q)[:i], (*q)[i+1:]...)
-			return
-		}
+	// Remove before invoking the completion: the callback may enqueue (a
+	// dirty-eviction writeback), which must see the freed slot.
+	done := r.Done
+	c.readQ = append(c.readQ[:idx], c.readQ[idx+1:]...)
+	if done != nil {
+		done(dataEnd)
 	}
 }
 

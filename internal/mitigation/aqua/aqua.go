@@ -25,26 +25,43 @@ type Defense struct {
 	tracker *mitigation.WindowCounter
 	cpuGHz  float64
 
-	qStart int   // first quarantine row
-	qNext  []int // per-bank circular allocation cursor
-	moves  uint64
+	qStart  int   // first quarantine row
+	qNext   []int // per-bank circular allocation cursor
+	moves   uint64
+	scratch []mitigation.Directive
 }
 
 // New builds AQUA with thresholds th.
 func New(si mitigation.SystemInfo, th core.Thresholds, cpuGHz float64) *Defense {
+	d := &Defense{}
+	d.Reset(si, th, cpuGHz)
+	return d
+}
+
+// Reset reinitializes the defense in place to the state
+// New(si, th, cpuGHz) produces, retaining tracker allocations.
+func (d *Defense) Reset(si mitigation.SystemInfo, th core.Thresholds, cpuGHz float64) {
 	qRows := int(float64(si.RowsPerBank) * QuarantineFrac)
 	if qRows < 4 {
 		qRows = 4
 	}
-	d := &Defense{
-		si:      si,
-		th:      th,
-		tracker: mitigation.NewWindowCounter(si.REFWCycles),
-		cpuGHz:  cpuGHz,
-		qStart:  si.RowsPerBank - qRows,
-		qNext:   make([]int, si.Banks),
+	keys := int64(si.Banks) * int64(si.RowsPerBank)
+	d.si = si
+	d.th = th
+	if d.tracker == nil {
+		d.tracker = mitigation.NewWindowCounter(si.REFWCycles, keys)
+	} else {
+		d.tracker.Reuse(si.REFWCycles, keys)
 	}
-	return d
+	d.cpuGHz = cpuGHz
+	d.qStart = si.RowsPerBank - qRows
+	if cap(d.qNext) >= si.Banks {
+		d.qNext = d.qNext[:si.Banks]
+		clear(d.qNext)
+	} else {
+		d.qNext = make([]int, si.Banks)
+	}
+	d.moves = 0
 }
 
 // Name implements mitigation.Defense.
@@ -79,17 +96,18 @@ func (d *Defense) OnActivate(bank, row int, cycle uint64) []mitigation.Directive
 	}
 	d.tracker.Reset(mitigation.Key(d.si, bank, dst))
 	d.moves++
-	out := []mitigation.Directive{{
+	out := append(d.scratch[:0], mitigation.Directive{
 		Kind:       mitigation.SwapRows, // quarantine = one-way migrate; the slot's occupant returns home
 		Bank:       bank,
 		Row:        row,
 		DstRow:     dst,
 		BusyCycles: uint64(MigrateBusyNs * d.cpuGHz),
-	}}
+	})
 	// The quarantine region is dense: a hammered occupant disturbs the
 	// adjacent slots. Each migration refreshes the destination's
 	// neighbours, bounding the accrual of every slot between two
 	// consecutive occupancies of its neighbours.
-	out = append(out, mitigation.VictimRefreshes(d.si, bank, dst)...)
+	out = mitigation.AppendVictimRefreshes(out, d.si, bank, dst)
+	d.scratch = out
 	return out
 }

@@ -10,6 +10,7 @@ package blockhammer
 import (
 	"svard/internal/core"
 	"svard/internal/mitigation"
+	"svard/internal/rowtab"
 )
 
 // Defense is a configured BlockHammer instance.
@@ -17,22 +18,43 @@ type Defense struct {
 	si mitigation.SystemInfo
 	th core.Thresholds
 
-	filters   [2]*mitigation.CBF
-	epoch     uint64
-	halfWin   uint64
-	lastPaced map[int64]uint64 // last throttled-ACT grant per row
+	filters [2]*mitigation.CBF
+	epoch   uint64
+	halfWin uint64
+	// lastPaced records the last throttled-ACT grant per row in a paged
+	// flat table over the Key space (only blacklisted rows are written,
+	// so pages materialize for hammered regions only). The zero value
+	// means "never paced", exactly like the map read it replaces.
+	lastPaced *rowtab.Table[uint64]
 }
 
 // New builds BlockHammer with thresholds th. The filters are sized for
 // the tracking capacity a real configuration would provision (the paper
 // uses 1K counters per filter with k=4).
 func New(si mitigation.SystemInfo, th core.Thresholds) *Defense {
-	return &Defense{
-		si:        si,
-		th:        th,
-		filters:   [2]*mitigation.CBF{mitigation.NewCBF(1024, 4, si.Seed), mitigation.NewCBF(1024, 4, si.Seed+1)},
-		halfWin:   si.REFWCycles / 2,
-		lastPaced: make(map[int64]uint64),
+	d := &Defense{}
+	d.Reset(si, th)
+	return d
+}
+
+// Reset reinitializes the defense in place to the state New(si, th)
+// produces, retaining filter and table allocations for pooled reuse.
+func (d *Defense) Reset(si mitigation.SystemInfo, th core.Thresholds) {
+	d.si = si
+	d.th = th
+	if d.filters[0] == nil {
+		d.filters = [2]*mitigation.CBF{mitigation.NewCBF(1024, 4, si.Seed), mitigation.NewCBF(1024, 4, si.Seed+1)}
+	} else {
+		d.filters[0].Reseed(si.Seed)
+		d.filters[1].Reseed(si.Seed + 1)
+	}
+	d.epoch = 0
+	d.halfWin = si.REFWCycles / 2
+	keys := int64(si.Banks) * int64(si.RowsPerBank)
+	if d.lastPaced == nil {
+		d.lastPaced = rowtab.New[uint64](keys)
+	} else {
+		d.lastPaced.Resize(keys)
 	}
 }
 
@@ -45,7 +67,7 @@ func (d *Defense) rotate(cycle uint64) {
 		// Clear the filter that has covered a full window.
 		d.filters[e%2].Clear()
 		d.epoch = e
-		clear(d.lastPaced)
+		d.lastPaced.Clear()
 	}
 }
 
@@ -77,7 +99,7 @@ func (d *Defense) CanActivate(bank, row int, cycle uint64) (bool, uint64) {
 	if interval == 0 {
 		interval = 1
 	}
-	next := d.lastPaced[key] + interval
+	next := d.lastPaced.Get(key) + interval
 	if cycle >= next {
 		return true, 0
 	}
@@ -93,7 +115,7 @@ func (d *Defense) OnActivate(bank, row int, cycle uint64) []mitigation.Directive
 	d.filters[1].Insert(key)
 	budget := d.th.ActivationBudget(bank, row)
 	if d.estimate(key) >= uint32(budget*mitigation.TriggerFraction) {
-		d.lastPaced[key] = cycle
+		d.lastPaced.Set(key, cycle)
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ package hydra
 import (
 	"svard/internal/core"
 	"svard/internal/mitigation"
+	"svard/internal/rowtab"
 )
 
 // GroupSize is the number of rows sharing one GCT counter.
@@ -28,30 +29,54 @@ type Defense struct {
 	gctThresh uint32
 	gct       []uint32 // [bank*groups+group]
 	groups    int
-	rct       map[int64]uint32 // per-row counters (backing store in DRAM)
-	rcc       *rowCountCache
+	// rct holds the per-row counters (backing store in DRAM) in a paged
+	// flat table over the Key space; a row's entry stores count+1 so
+	// "tracked at count 0" is distinguishable from "untracked".
+	rct *rowtab.Table[uint32]
+	rcc *rowCountCache
 
 	nextReset uint64
+	scratch   []mitigation.Directive
 }
 
 // New builds Hydra with thresholds th. The GCT threshold is sized from
 // the worst-case budget, as the hardware structure must be.
 func New(si mitigation.SystemInfo, th core.Thresholds) *Defense {
+	d := &Defense{}
+	d.Reset(si, th)
+	return d
+}
+
+// Reset reinitializes the defense in place to the state New(si, th)
+// produces, retaining table and cache allocations for pooled reuse.
+func (d *Defense) Reset(si mitigation.SystemInfo, th core.Thresholds) {
 	groups := (si.RowsPerBank + GroupSize - 1) / GroupSize
 	gt := uint32(th.MinBudget() / 4)
 	if gt == 0 {
 		gt = 1
 	}
-	return &Defense{
-		si:        si,
-		th:        th,
-		gctThresh: gt,
-		gct:       make([]uint32, si.Banks*groups),
-		groups:    groups,
-		rct:       make(map[int64]uint32),
-		rcc:       newRowCountCache(RCCEntries),
-		nextReset: si.REFWCycles,
+	d.si = si
+	d.th = th
+	d.gctThresh = gt
+	d.groups = groups
+	if n := si.Banks * groups; cap(d.gct) >= n {
+		d.gct = d.gct[:n]
+		clear(d.gct)
+	} else {
+		d.gct = make([]uint32, n)
 	}
+	keys := int64(si.Banks) * int64(si.RowsPerBank)
+	if d.rct == nil {
+		d.rct = rowtab.New[uint32](keys)
+	} else {
+		d.rct.Resize(keys)
+	}
+	if d.rcc == nil {
+		d.rcc = newRowCountCache(RCCEntries, keys)
+	} else {
+		d.rcc.reset(keys)
+	}
+	d.nextReset = si.REFWCycles
 }
 
 // Name implements mitigation.Defense.
@@ -60,14 +85,12 @@ func (d *Defense) Name() string { return "Hydra" }
 // CanActivate implements mitigation.Defense; Hydra never throttles.
 func (d *Defense) CanActivate(int, int, uint64) (bool, uint64) { return true, 0 }
 
-func (d *Defense) reset(cycle uint64) {
+func (d *Defense) windowReset(cycle uint64) {
 	if cycle < d.nextReset {
 		return
 	}
-	for i := range d.gct {
-		d.gct[i] = 0
-	}
-	clear(d.rct)
+	clear(d.gct)
+	d.rct.Clear()
 	d.rcc.clear()
 	for cycle >= d.nextReset {
 		d.nextReset += d.si.REFWCycles
@@ -76,7 +99,7 @@ func (d *Defense) reset(cycle uint64) {
 
 // OnActivate implements mitigation.Defense.
 func (d *Defense) OnActivate(bank, row int, cycle uint64) []mitigation.Directive {
-	d.reset(cycle)
+	d.windowReset(cycle)
 	g := bank*d.groups + row/GroupSize
 	if d.gct[g] < d.gctThresh {
 		d.gct[g]++
@@ -84,7 +107,7 @@ func (d *Defense) OnActivate(bank, row int, cycle uint64) []mitigation.Directive
 	}
 	// Per-row tracking. An RCC miss fetches the counter line from DRAM
 	// (one read; a dirty eviction adds a writeback).
-	var out []mitigation.Directive
+	out := d.scratch[:0]
 	key := mitigation.Key(d.si, bank, row)
 	hit, evictedDirty := d.rcc.touch(key)
 	if !hit {
@@ -94,8 +117,10 @@ func (d *Defense) OnActivate(bank, row int, cycle uint64) []mitigation.Directive
 		}
 		out = append(out, dir)
 	}
-	cnt, tracked := d.rct[key]
-	if !tracked {
+	var cnt uint32
+	if v := d.rct.Get(key); v != 0 {
+		cnt = v - 1
+	} else {
 		// Rows in a saturated group start at half their own trigger
 		// count: the group total spread over its rows is far below the
 		// threshold, but a defense cannot assume uniformity.
@@ -104,50 +129,62 @@ func (d *Defense) OnActivate(bank, row int, cycle uint64) []mitigation.Directive
 	cnt++
 	budget := d.th.ActivationBudget(bank, row)
 	if float64(cnt) >= budget*mitigation.TriggerFraction {
-		out = append(out, mitigation.VictimRefreshes(d.si, bank, row)...)
+		out = mitigation.AppendVictimRefreshes(out, d.si, bank, row)
 		cnt = 0
 	}
-	d.rct[key] = cnt
+	d.rct.Set(key, cnt+1)
+	d.scratch = out
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 
 // rowCountCache is a direct-mapped-with-victim-slack stand-in for the
-// RCC: a bounded map evicting in FIFO order. Hit behaviour, not
+// RCC: a bounded FIFO over a flat presence bitset. Hit behaviour, not
 // replacement detail, drives Hydra's traffic shape.
 type rowCountCache struct {
 	cap   int
 	order []int64
 	head  int
-	set   map[int64]bool
+	set   *rowtab.Bits
 }
 
-func newRowCountCache(capacity int) *rowCountCache {
-	return &rowCountCache{cap: capacity, order: make([]int64, 0, capacity), set: make(map[int64]bool, capacity)}
+func newRowCountCache(capacity int, keys int64) *rowCountCache {
+	return &rowCountCache{cap: capacity, order: make([]int64, 0, capacity), set: rowtab.NewBits(keys)}
+}
+
+// reset reinitializes the cache in place for a (possibly different) key
+// space, retaining its allocations.
+func (c *rowCountCache) reset(keys int64) {
+	c.order = c.order[:0]
+	c.head = 0
+	c.set.Resize(keys)
 }
 
 // touch returns (hit, evictedDirty); misses insert the key, evicting the
 // oldest entry when full (counter caches write back on eviction, so
 // evictions are dirty).
 func (c *rowCountCache) touch(key int64) (bool, bool) {
-	if c.set[key] {
+	if c.set.Get(key) {
 		return true, false
 	}
 	evictedDirty := false
 	if len(c.order) >= c.cap {
 		old := c.order[c.head]
-		delete(c.set, old)
+		c.set.Unset(old)
 		c.order[c.head] = key
 		c.head = (c.head + 1) % c.cap
 		evictedDirty = true
 	} else {
 		c.order = append(c.order, key)
 	}
-	c.set[key] = true
+	c.set.Set(key)
 	return false, evictedDirty
 }
 
 func (c *rowCountCache) clear() {
 	c.order = c.order[:0]
 	c.head = 0
-	clear(c.set)
+	c.set.Clear()
 }

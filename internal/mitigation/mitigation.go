@@ -11,7 +11,10 @@
 // ActivationBudget supplies the per-activation threshold on every ACT.
 package mitigation
 
-import "svard/internal/rng"
+import (
+	"svard/internal/rng"
+	"svard/internal/rowtab"
+)
 
 // Kind classifies a Directive.
 type Kind int
@@ -50,6 +53,10 @@ type Defense interface {
 	// cycle; when false, retryAt is the earliest cycle to try again.
 	CanActivate(bank, row int, cycle uint64) (ok bool, retryAt uint64)
 	// OnActivate records the ACT and returns any directives to execute.
+	// The returned slice is only valid until the next OnActivate call:
+	// implementations reuse a scratch buffer so the per-activation hot
+	// path stays allocation-free, and the controller consumes the
+	// directives synchronously before issuing another ACT.
 	OnActivate(bank, row int, cycle uint64) []Directive
 }
 
@@ -89,15 +96,21 @@ const TriggerFraction = 0.25
 // receive only a few percent of the disturbance and are covered by the
 // periodic refresh sweep within each window.
 func VictimRefreshes(si SystemInfo, bank, row int) []Directive {
-	out := make([]Directive, 0, 2)
+	return AppendVictimRefreshes(nil, si, bank, row)
+}
+
+// AppendVictimRefreshes appends the standard preventive-refresh
+// directives for an aggressor to dst and returns the extended slice —
+// the allocation-free form every defense's OnActivate scratch path uses.
+func AppendVictimRefreshes(dst []Directive, si SystemInfo, bank, row int) []Directive {
 	for _, d := range [...]int{-1, 1} {
 		v := row + d
 		if v < 0 || v >= si.RowsPerBank {
 			continue
 		}
-		out = append(out, Directive{Kind: RefreshVictim, Bank: bank, Row: v})
+		dst = append(dst, Directive{Kind: RefreshVictim, Bank: bank, Row: v})
 	}
-	return out
+	return dst
 }
 
 // CBF is a counting Bloom filter: the aggressor-tracking structure of
@@ -116,20 +129,13 @@ func NewCBF(m, k int, seed uint64) *CBF {
 	return &CBF{counters: make([]uint32, m), k: k, seed: seed}
 }
 
-func (f *CBF) positions(key int64) []int {
-	pos := make([]int, f.k)
-	h := rng.Hash64(f.seed, uint64(key))
-	for i := range pos {
-		pos[i] = int(h % uint64(len(f.counters)))
-		h = rng.Mix64(h)
-	}
-	return pos
-}
-
-// Insert increments the key's counters.
+// Insert increments the key's counters. The hash chain is walked
+// inline — the per-activation path must not allocate a position slice.
 func (f *CBF) Insert(key int64) {
-	for _, p := range f.positions(key) {
-		f.counters[p]++
+	h := rng.Hash64(f.seed, uint64(key))
+	for i := 0; i < f.k; i++ {
+		f.counters[h%uint64(len(f.counters))]++
+		h = rng.Mix64(h)
 	}
 }
 
@@ -137,10 +143,12 @@ func (f *CBF) Insert(key int64) {
 // counters); it never under-counts.
 func (f *CBF) Estimate(key int64) uint32 {
 	est := ^uint32(0)
-	for _, p := range f.positions(key) {
-		if f.counters[p] < est {
-			est = f.counters[p]
+	h := rng.Hash64(f.seed, uint64(key))
+	for i := 0; i < f.k; i++ {
+		if c := f.counters[h%uint64(len(f.counters))]; c < est {
+			est = c
 		}
+		h = rng.Mix64(h)
 	}
 	return est
 }
@@ -152,25 +160,44 @@ func (f *CBF) Clear() {
 	}
 }
 
+// Reseed clears the filter and replaces its hash seed — the in-place
+// equivalent of building a fresh filter, for pooled reuse.
+func (f *CBF) Reseed(seed uint64) {
+	f.seed = seed
+	f.Clear()
+}
+
 // WindowCounter tracks exact per-row activation counts within refresh
 // windows, resetting at each boundary. It stands in for the defenses'
 // aggressor trackers (Misra-Gries/CAT); exact counting is conservative
 // for security and optimistic (no estimation slack) for performance.
+// Counts live in a paged flat table over the Key-flattened (bank, row)
+// space — the per-activation Inc is an array access, not a map hash.
 type WindowCounter struct {
-	counts    map[int64]uint32
+	counts    *rowtab.Table[uint32]
 	windowLen uint64
 	nextReset uint64
 }
 
-// NewWindowCounter builds a tracker that resets every windowLen cycles.
-func NewWindowCounter(windowLen uint64) *WindowCounter {
-	return &WindowCounter{counts: make(map[int64]uint32), windowLen: windowLen, nextReset: windowLen}
+// NewWindowCounter builds a tracker over keys [0, keys) that resets
+// every windowLen cycles; keys is Banks*RowsPerBank for Key-flattened
+// row coordinates.
+func NewWindowCounter(windowLen uint64, keys int64) *WindowCounter {
+	return &WindowCounter{counts: rowtab.New[uint32](keys), windowLen: windowLen, nextReset: windowLen}
+}
+
+// Reuse reinitializes the tracker in place to the state
+// NewWindowCounter would produce, retaining its table pages.
+func (w *WindowCounter) Reuse(windowLen uint64, keys int64) {
+	w.counts.Resize(keys)
+	w.windowLen = windowLen
+	w.nextReset = windowLen
 }
 
 // Tick resets the window if cycle crossed the boundary.
 func (w *WindowCounter) Tick(cycle uint64) {
 	if cycle >= w.nextReset {
-		clear(w.counts)
+		w.counts.Clear()
 		for cycle >= w.nextReset {
 			w.nextReset += w.windowLen
 		}
@@ -179,12 +206,11 @@ func (w *WindowCounter) Tick(cycle uint64) {
 
 // Inc increments and returns the key's count.
 func (w *WindowCounter) Inc(key int64) uint32 {
-	w.counts[key]++
-	return w.counts[key]
+	return w.counts.Add(key, 1)
 }
 
 // Reset zeroes one key.
-func (w *WindowCounter) Reset(key int64) { delete(w.counts, key) }
+func (w *WindowCounter) Reset(key int64) { w.counts.Set(key, 0) }
 
 // Count returns the key's current count.
-func (w *WindowCounter) Count(key int64) uint32 { return w.counts[key] }
+func (w *WindowCounter) Count(key int64) uint32 { return w.counts.Get(key) }

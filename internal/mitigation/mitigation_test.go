@@ -49,7 +49,7 @@ func TestQuickCBFOverapproximates(t *testing.T) {
 }
 
 func TestWindowCounterResets(t *testing.T) {
-	w := NewWindowCounter(1000)
+	w := NewWindowCounter(1000, 1024)
 	if w.Inc(5) != 1 || w.Inc(5) != 2 {
 		t.Fatal("increment broken")
 	}

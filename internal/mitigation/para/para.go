@@ -23,14 +23,29 @@ const failureExponent = 55.0
 
 // Defense is a configured PARA instance.
 type Defense struct {
-	si mitigation.SystemInfo
-	th core.Thresholds
-	r  *rng.Rand
+	si      mitigation.SystemInfo
+	th      core.Thresholds
+	r       *rng.Rand
+	scratch [2]mitigation.Directive
 }
 
 // New builds PARA with thresholds th.
 func New(si mitigation.SystemInfo, th core.Thresholds) *Defense {
-	return &Defense{si: si, th: th, r: rng.At(si.Seed, 0x9A7A)}
+	d := &Defense{}
+	d.Reset(si, th)
+	return d
+}
+
+// Reset reinitializes the defense in place to the state New(si, th)
+// produces.
+func (d *Defense) Reset(si mitigation.SystemInfo, th core.Thresholds) {
+	d.si = si
+	d.th = th
+	if d.r == nil {
+		d.r = rng.At(si.Seed, 0x9A7A)
+	} else {
+		d.r.Reseed(rng.Hash64(si.Seed, 0x9A7A))
+	}
 }
 
 // Name implements mitigation.Defense.
@@ -66,7 +81,7 @@ func (d *Defense) OnActivate(bank, row int, cycle uint64) []mitigation.Directive
 	if d.r.Bool(0.5) {
 		side = -1
 	}
-	var out []mitigation.Directive
+	out := d.scratch[:0]
 	if v := row + side; v >= 0 && v < d.si.RowsPerBank {
 		out = append(out, mitigation.Directive{Kind: mitigation.RefreshVictim, Bank: bank, Row: v})
 	}
@@ -76,6 +91,9 @@ func (d *Defense) OnActivate(bank, row int, cycle uint64) []mitigation.Directive
 		if v := row + 2*side; v >= 0 && v < d.si.RowsPerBank {
 			out = append(out, mitigation.Directive{Kind: mitigation.RefreshVictim, Bank: bank, Row: v})
 		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

@@ -25,18 +25,35 @@ type Defense struct {
 	r       *rng.Rand
 	cpuGHz  float64
 	swaps   uint64
+	scratch [1]mitigation.Directive
 }
 
 // New builds RRS with thresholds th; cpuGHz converts the swap latency
 // to cycles.
 func New(si mitigation.SystemInfo, th core.Thresholds, cpuGHz float64) *Defense {
-	return &Defense{
-		si:      si,
-		th:      th,
-		tracker: mitigation.NewWindowCounter(si.REFWCycles),
-		r:       rng.At(si.Seed, 0x4457),
-		cpuGHz:  cpuGHz,
+	d := &Defense{}
+	d.Reset(si, th, cpuGHz)
+	return d
+}
+
+// Reset reinitializes the defense in place to the state
+// New(si, th, cpuGHz) produces, retaining tracker allocations.
+func (d *Defense) Reset(si mitigation.SystemInfo, th core.Thresholds, cpuGHz float64) {
+	keys := int64(si.Banks) * int64(si.RowsPerBank)
+	d.si = si
+	d.th = th
+	if d.tracker == nil {
+		d.tracker = mitigation.NewWindowCounter(si.REFWCycles, keys)
+	} else {
+		d.tracker.Reuse(si.REFWCycles, keys)
 	}
+	if d.r == nil {
+		d.r = rng.At(si.Seed, 0x4457)
+	} else {
+		d.r.Reseed(rng.Hash64(si.Seed, 0x4457))
+	}
+	d.cpuGHz = cpuGHz
+	d.swaps = 0
 }
 
 // Name implements mitigation.Defense.
@@ -65,11 +82,12 @@ func (d *Defense) OnActivate(bank, row int, cycle uint64) []mitigation.Directive
 	}
 	d.tracker.Reset(mitigation.Key(d.si, bank, dst))
 	d.swaps++
-	return []mitigation.Directive{{
+	d.scratch[0] = mitigation.Directive{
 		Kind:       mitigation.SwapRows,
 		Bank:       bank,
 		Row:        row,
 		DstRow:     dst,
 		BusyCycles: uint64(SwapBusyNs * d.cpuGHz),
-	}}
+	}
+	return d.scratch[:]
 }

@@ -165,15 +165,20 @@ func (p *VulnProfile) BinCounts() []int {
 
 // NumBins returns the number of distinct vulnerability bins the profile
 // uses; Svärd's metadata sizing (§6.4) requires <= 16 so a 4-bit id
-// suffices.
+// suffices. The bin id domain is a uint8, so a fixed array replaces the
+// map a per-row loop over every bank would otherwise hash into.
 func (p *VulnProfile) NumBins() int {
-	seen := map[uint8]bool{}
+	var seen [256]bool
+	n := 0
 	for i := range p.Bins {
 		for _, idx := range p.Bins[i] {
-			seen[idx] = true
+			if !seen[idx] {
+				seen[idx] = true
+				n++
+			}
 		}
 	}
-	return len(seen)
+	return n
 }
 
 // ScaledProfile views a VulnProfile with every threshold multiplied by

@@ -57,11 +57,17 @@ type Rand struct {
 // reference implementation.
 func New(seed uint64) *Rand {
 	var r Rand
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed reinitializes the stream in place to the exact state New(seed)
+// produces — the allocation-free form pooled simulation state uses.
+func (r *Rand) Reseed(seed uint64) {
 	st := seed
 	for i := range r.s {
 		st, r.s[i] = splitMix64(st)
 	}
-	return &r
 }
 
 // At returns a stream whose seed is the stable hash of the coordinate
@@ -206,6 +212,11 @@ func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 // sampling over the same support.
 type Zipf struct {
 	cdf []float64
+	// coarse[k] is the first index i with cdf[i] >= k/len(coarse): a
+	// first-level index that narrows Sample's binary search to a few
+	// entries instead of log2(n) cache-missing probes over the full CDF.
+	// The narrowed search returns the identical index (first cdf >= u).
+	coarse []int32
 }
 
 // NewZipf prepares a Zipf sampler over n items with exponent s.
@@ -226,7 +237,16 @@ func NewZipf(n int, s float64) *Zipf {
 	for i := range cdf {
 		cdf[i] /= sum
 	}
-	return &Zipf{cdf: cdf}
+	coarse := make([]int32, 1024)
+	i := 0
+	for k := range coarse {
+		u := float64(k) / float64(len(coarse))
+		for i < n-1 && cdf[i] < u {
+			i++
+		}
+		coarse[k] = int32(i)
+	}
+	return &Zipf{cdf: cdf, coarse: coarse}
 }
 
 // N returns the support size.
@@ -235,8 +255,15 @@ func (z *Zipf) N() int { return len(z.cdf) }
 // Sample draws one item index from the distribution using stream r.
 func (z *Zipf) Sample(r *Rand) int {
 	u := r.Float64()
-	// Binary search for first cdf[i] >= u.
-	lo, hi := 0, len(z.cdf)-1
+	// Binary search for the first cdf[i] >= u, narrowed by the coarse
+	// index: cdf[coarse[k]-1] < k/K <= u (when coarse[k] > 0), and the
+	// answer for u < (k+1)/K is at most coarse[k+1].
+	k := int(u * float64(len(z.coarse)))
+	lo := int(z.coarse[k])
+	hi := len(z.cdf) - 1
+	if k+1 < len(z.coarse) {
+		hi = int(z.coarse[k+1])
+	}
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if z.cdf[mid] < u {

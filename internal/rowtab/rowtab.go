@@ -1,0 +1,217 @@
+// Package rowtab provides flat, geometry-sized tables for per-row
+// simulation state. The simulated structures that track DRAM rows
+// (defense counters, remap indirections, victim-refresh dedup sets) are
+// logically maps keyed by (bank, row), but their key space is dense and
+// bounded by the device geometry, and the hot path touches them on
+// every activation — per-access map hashing and the GC pressure of
+// millions of map cells dominate paper-scale sweeps.
+//
+// A Table is the replacement: a paged array over the flattened key
+// space [0, n) (callers key by bank*rowsPerBank+row, the same flattening
+// as mitigation.Key). Pages allocate lazily on first write, so a table
+// over a 128K-row bank costs memory only for the regions a workload
+// touches, and Clear zeroes only the pages that were written — the
+// per-window resets every defense performs stay proportional to the
+// touched footprint, not the geometry.
+//
+// The zero value of E is the "absent" value: Get of a never-written key
+// returns 0, exactly like a Go map read. State whose zero value is
+// meaningful (Hydra's tracked-at-zero counters, identity row remaps)
+// stores v+1.
+//
+// Tables are built to be pooled: Clear and Resize retain page
+// allocations, so a table reused across the cells of a sweep performs
+// no steady-state allocation. Tables are not safe for concurrent use.
+package rowtab
+
+// PageBits sets the page granularity: 4096 entries per page balances
+// the sparse cases (Hydra's RCT touches isolated hot groups) against
+// per-page bookkeeping.
+const PageBits = 12
+
+const (
+	pageSize = 1 << PageBits
+	pageMask = pageSize - 1
+)
+
+// Elem constrains table elements to the integer widths the simulator
+// stores per row.
+type Elem interface {
+	~int32 | ~uint32 | ~int64 | ~uint64
+}
+
+// Table is a paged array over keys [0, n).
+type Table[E Elem] struct {
+	pages   [][]E
+	written []int32 // page indices that may hold nonzero entries
+	marked  []bool  // page index -> already in written
+	n       int64
+}
+
+// New builds a table over keys [0, n). No pages are allocated until the
+// first write.
+func New[E Elem](n int64) *Table[E] {
+	t := &Table[E]{}
+	t.Resize(n)
+	return t
+}
+
+// Len returns the table's key-space size.
+func (t *Table[E]) Len() int64 { return t.n }
+
+func pagesFor(n int64) int { return int((n + pageSize - 1) >> PageBits) }
+
+// Resize clears the table and adjusts its key space to [0, n). Pages
+// already allocated within the new bound are retained (zeroed), so a
+// pooled table resized between sweep cells of different geometries
+// reallocates only when it grows past its high-water mark.
+func (t *Table[E]) Resize(n int64) {
+	t.Clear()
+	np := pagesFor(n)
+	if np <= cap(t.pages) {
+		t.pages = t.pages[:np]
+		t.marked = t.marked[:np]
+	} else {
+		pages := make([][]E, np)
+		copy(pages, t.pages)
+		t.pages = pages
+		marked := make([]bool, np)
+		t.marked = marked
+	}
+	t.n = n
+}
+
+// Get returns the value at key k (0 when never written).
+func (t *Table[E]) Get(k int64) E {
+	p := t.pages[k>>PageBits]
+	if p == nil {
+		var zero E
+		return zero
+	}
+	return p[k&pageMask]
+}
+
+// page returns key k's page, allocating and marking it written.
+func (t *Table[E]) page(k int64) []E {
+	pi := k >> PageBits
+	p := t.pages[pi]
+	if p == nil {
+		p = make([]E, pageSize)
+		t.pages[pi] = p
+	}
+	if !t.marked[pi] {
+		t.marked[pi] = true
+		t.written = append(t.written, int32(pi))
+	}
+	return p
+}
+
+// Set stores v at key k.
+func (t *Table[E]) Set(k int64, v E) {
+	t.page(k)[k&pageMask] = v
+}
+
+// Add adds delta to the value at key k and returns the new value.
+func (t *Table[E]) Add(k int64, delta E) E {
+	p := t.page(k)
+	p[k&pageMask] += delta
+	return p[k&pageMask]
+}
+
+// Clear zeroes every written entry, retaining page allocations. Cost is
+// proportional to the pages written since the previous Clear.
+func (t *Table[E]) Clear() {
+	for _, pi := range t.written {
+		clear(t.pages[pi])
+		t.marked[pi] = false
+	}
+	t.written = t.written[:0]
+}
+
+// Bits is a paged bitset over keys [0, n): the dense replacement for
+// map[int64]bool presence sets. Same paging, zero-value, and pooling
+// contract as Table.
+type Bits struct {
+	pages   [][]uint64
+	written []int32
+	marked  []bool
+	n       int64
+}
+
+const (
+	bitsPerPage  = pageSize * 64
+	bitPageShift = PageBits + 6
+	bitPageMask  = bitsPerPage - 1
+)
+
+// NewBits builds a bitset over keys [0, n).
+func NewBits(n int64) *Bits {
+	b := &Bits{}
+	b.Resize(n)
+	return b
+}
+
+// Len returns the bitset's key-space size.
+func (b *Bits) Len() int64 { return b.n }
+
+// Resize clears the bitset and adjusts its key space to [0, n),
+// retaining page allocations within the new bound.
+func (b *Bits) Resize(n int64) {
+	b.Clear()
+	np := int((n + bitsPerPage - 1) >> bitPageShift)
+	if np <= cap(b.pages) {
+		b.pages = b.pages[:np]
+		b.marked = b.marked[:np]
+	} else {
+		pages := make([][]uint64, np)
+		copy(pages, b.pages)
+		b.pages = pages
+		b.marked = make([]bool, np)
+	}
+	b.n = n
+}
+
+// Get reports whether bit k is set.
+func (b *Bits) Get(k int64) bool {
+	p := b.pages[k>>bitPageShift]
+	if p == nil {
+		return false
+	}
+	i := k & bitPageMask
+	return p[i>>6]&(1<<(i&63)) != 0
+}
+
+// Set sets bit k.
+func (b *Bits) Set(k int64) {
+	pi := k >> bitPageShift
+	p := b.pages[pi]
+	if p == nil {
+		p = make([]uint64, pageSize)
+		b.pages[pi] = p
+	}
+	if !b.marked[pi] {
+		b.marked[pi] = true
+		b.written = append(b.written, int32(pi))
+	}
+	i := k & bitPageMask
+	p[i>>6] |= 1 << (i & 63)
+}
+
+// Unset clears bit k.
+func (b *Bits) Unset(k int64) {
+	p := b.pages[k>>bitPageShift]
+	if p == nil {
+		return
+	}
+	i := k & bitPageMask
+	p[i>>6] &^= 1 << (i & 63)
+}
+
+// Clear zeroes every written page, retaining allocations.
+func (b *Bits) Clear() {
+	for _, pi := range b.written {
+		clear(b.pages[pi])
+		b.marked[pi] = false
+	}
+	b.written = b.written[:0]
+}

@@ -1,0 +1,138 @@
+package rowtab
+
+import (
+	"testing"
+
+	"svard/internal/rng"
+)
+
+// TestTableVsMap drives a Table and a map through an identical random
+// op sequence (set/add/get/clear) and requires identical reads —
+// the contract every converted defense structure relies on.
+func TestTableVsMap(t *testing.T) {
+	const n = 3 * pageSize
+	tab := New[uint32](n)
+	ref := map[int64]uint32{}
+	r := rng.New(42)
+	for op := 0; op < 200_000; op++ {
+		k := int64(r.Intn(n))
+		switch r.Intn(10) {
+		case 0:
+			tab.Clear()
+			clear(ref)
+		case 1, 2, 3:
+			v := uint32(r.Intn(1 << 20))
+			tab.Set(k, v)
+			ref[k] = v
+		case 4, 5:
+			got := tab.Add(k, 1)
+			ref[k]++
+			if got != ref[k] {
+				t.Fatalf("op %d: Add(%d) = %d, want %d", op, k, got, ref[k])
+			}
+		default:
+			if got, want := tab.Get(k), ref[k]; got != want {
+				t.Fatalf("op %d: Get(%d) = %d, want %d", op, k, got, want)
+			}
+		}
+	}
+}
+
+// TestTableZeroAbsent pins the map-like zero contract: unwritten keys
+// read 0, and Clear restores it for every written key.
+func TestTableZeroAbsent(t *testing.T) {
+	tab := New[int32](2 * pageSize)
+	if got := tab.Get(pageSize + 7); got != 0 {
+		t.Fatalf("unwritten Get = %d", got)
+	}
+	tab.Set(3, -5)
+	tab.Set(pageSize+1, 9)
+	tab.Clear()
+	for _, k := range []int64{3, pageSize + 1, 0} {
+		if got := tab.Get(k); got != 0 {
+			t.Fatalf("after Clear, Get(%d) = %d", k, got)
+		}
+	}
+}
+
+// TestTableResizeReuse: shrinking then regrowing within the high-water
+// mark reuses pages, and resized tables never leak stale values.
+func TestTableResizeReuse(t *testing.T) {
+	tab := New[uint64](4 * pageSize)
+	for k := int64(0); k < 4*pageSize; k += 17 {
+		tab.Set(k, uint64(k)+1)
+	}
+	tab.Resize(pageSize) // shrink: drops pages past the bound
+	if got := tab.Get(5); got != 0 {
+		t.Fatalf("stale value %d after shrink", got)
+	}
+	tab.Set(5, 11)
+	tab.Resize(4 * pageSize) // regrow
+	for _, k := range []int64{5, 17, 3 * pageSize} {
+		if got := tab.Get(k); got != 0 {
+			t.Fatalf("stale value %d at key %d after regrow", got, k)
+		}
+	}
+	if tab.Len() != 4*pageSize {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+}
+
+// TestTableClearCost: Clear touches only written pages — a table with
+// one written page must not rescan its full geometry. (Asserted
+// structurally: the written list holds exactly the touched pages.)
+func TestTableClearCost(t *testing.T) {
+	tab := New[uint32](1 << 22) // 4M keys = 1024 pages
+	tab.Set(0, 1)
+	tab.Set(5*pageSize+3, 2)
+	tab.Set(7, 3) // same page as key 0
+	if len(tab.written) != 2 {
+		t.Fatalf("written pages = %d, want 2", len(tab.written))
+	}
+	tab.Clear()
+	if len(tab.written) != 0 {
+		t.Fatalf("written pages after Clear = %d", len(tab.written))
+	}
+}
+
+// TestBitsVsMap drives Bits and a map[int64]bool through an identical
+// random op sequence.
+func TestBitsVsMap(t *testing.T) {
+	const n = 3 * bitsPerPage / 2
+	bits := NewBits(n)
+	ref := map[int64]bool{}
+	r := rng.New(7)
+	for op := 0; op < 200_000; op++ {
+		k := int64(r.Intn(n))
+		switch r.Intn(10) {
+		case 0:
+			bits.Clear()
+			clear(ref)
+		case 1, 2, 3:
+			bits.Set(k)
+			ref[k] = true
+		case 4:
+			bits.Unset(k)
+			delete(ref, k)
+		default:
+			if got, want := bits.Get(k), ref[k]; got != want {
+				t.Fatalf("op %d: Get(%d) = %v, want %v", op, k, got, want)
+			}
+		}
+	}
+}
+
+// TestBitsResize mirrors the table resize contract for bitsets.
+func TestBitsResize(t *testing.T) {
+	bits := NewBits(2 * bitsPerPage)
+	bits.Set(1)
+	bits.Set(bitsPerPage + 2)
+	bits.Resize(bitsPerPage)
+	if bits.Get(1) {
+		t.Fatal("stale bit after resize")
+	}
+	bits.Resize(2 * bitsPerPage)
+	if bits.Get(bitsPerPage + 2) {
+		t.Fatal("stale bit after regrow")
+	}
+}

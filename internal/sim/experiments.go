@@ -15,8 +15,9 @@ import (
 // every job through their options' Runner, so a caller can interpose on
 // the unit of work — the campaign engine (internal/campaign) injects a
 // runner that consults the content-addressed result cache before falling
-// back to Run. A nil Runner means Run itself. A Runner must be
-// deterministic in its Config (Run is) and safe for concurrent use.
+// back to the simulator. A nil Runner means PooledRun (bit-identical to
+// Run, on the process-wide state pool). A Runner must be deterministic
+// in its Config (Run and PooledRun are) and safe for concurrent use.
 type Runner func(Config) (Result, error)
 
 // Job is one simulation of a sweep's flat job list: the full Config it
@@ -33,7 +34,7 @@ type Job struct {
 // returns within one simulation's latency.
 func runJobs(ctx context.Context, workers int, run Runner, progress func(string), jobs []Job) ([]Result, error) {
 	if run == nil {
-		run = Run
+		run = PooledRun
 	}
 	report := exec.Progress(progress)
 	return exec.MapCtx(ctx, workers, len(jobs), func(i int) (Result, error) {

@@ -108,12 +108,13 @@ type moduleEntry struct {
 	// Per-row tables the security tracker reads at high rate, derived
 	// once from the disturbance model (they cost an exp/log chain per
 	// row and depend only on the module): the unscaled true HCfirst and
-	// the RowPress susceptibility psi. Deliberate trade: eager and
-	// process-lifetime (16 B/row — 4 MB per module at the default 8K
-	// rows, ~67 MB at the paper's 128K) in exchange for hundreds of
-	// sweep runs skipping the per-run, per-touched-row rederivation.
-	hcBase [][]float64
-	psi    [][]float64
+	// the RowPress susceptibility psi, flattened to [bank*rows+row].
+	// Deliberate trade: eager and process-lifetime (16 B/row — 4 MB per
+	// module at the default 8K rows, ~67 MB at the paper's 128K) in
+	// exchange for hundreds of sweep runs skipping the per-run,
+	// per-touched-row rederivation.
+	hcBase []float64
+	psi    []float64
 	err    error
 }
 
@@ -141,14 +142,12 @@ func buildModule(label string, rows, cells, banks int, seed uint64) (*moduleEntr
 		e.mod = m
 		e.prof = profile.Capture(m.NewModel(), label, all)
 		model := disturb.NewModel(m.Params, m.Geom)
-		e.hcBase = make([][]float64, banks)
-		e.psi = make([][]float64, banks)
+		e.hcBase = make([]float64, banks*rows)
+		e.psi = make([]float64, banks*rows)
 		for b := 0; b < banks; b++ {
-			e.hcBase[b] = make([]float64, rows)
-			e.psi[b] = make([]float64, rows)
 			for r := 0; r < rows; r++ {
-				e.hcBase[b][r] = model.HCFirst(b, r)
-				e.psi[b][r] = model.PressPsi(b, r)
+				e.hcBase[b*rows+r] = model.HCFirst(b, r)
+				e.psi[b*rows+r] = model.PressPsi(b, r)
 			}
 		}
 	})
@@ -156,37 +155,63 @@ func buildModule(label string, rows, cells, banks int, seed uint64) (*moduleEntr
 }
 
 // buildDefense constructs the configured defense over thresholds th.
-func buildDefense(name string, si mitigation.SystemInfo, th core.Thresholds, cpuGHz float64) (mitigation.Defense, error) {
+// When prev holds a previous instance of the same defense type (pooled
+// reuse between sweep cells), it is reinitialized in place instead of
+// reallocated — every defense's Reset restores the exact state its
+// constructor produces, so results are bit-identical either way.
+func buildDefense(name string, si mitigation.SystemInfo, th core.Thresholds, cpuGHz float64, prev mitigation.Defense) (mitigation.Defense, error) {
 	switch strings.ToLower(name) {
 	case "", "none":
 		return mitigation.Nop{}, nil
 	case "para":
+		if d, ok := prev.(*para.Defense); ok {
+			d.Reset(si, th)
+			return d, nil
+		}
 		return para.New(si, th), nil
 	case "blockhammer":
+		if d, ok := prev.(*blockhammer.Defense); ok {
+			d.Reset(si, th)
+			return d, nil
+		}
 		return blockhammer.New(si, th), nil
 	case "hydra":
+		if d, ok := prev.(*hydra.Defense); ok {
+			d.Reset(si, th)
+			return d, nil
+		}
 		return hydra.New(si, th), nil
 	case "rrs":
+		if d, ok := prev.(*rrs.Defense); ok {
+			d.Reset(si, th, cpuGHz)
+			return d, nil
+		}
 		return rrs.New(si, th, cpuGHz), nil
 	case "aqua":
+		if d, ok := prev.(*aqua.Defense); ok {
+			d.Reset(si, th, cpuGHz)
+			return d, nil
+		}
 		return aqua.New(si, th, cpuGHz), nil
 	default:
 		return nil, fmt.Errorf("sim: unknown defense %q", name)
 	}
 }
 
-// port adapts the controller to the core's MemPort.
+// port adapts the controller to the core's MemPort. Requests flow
+// through the controller's internal request pool, so the per-access
+// path allocates nothing.
 type port struct {
 	mc   *memctrl.Controller
 	core int
 }
 
 func (p port) Read(addr uint64, done func(uint64), cycle uint64) bool {
-	return p.mc.EnqueueRead(&memctrl.Request{Addr: addr, Core: p.core, Done: done}, cycle)
+	return p.mc.Read(addr, p.core, done, cycle)
 }
 
 func (p port) Write(addr uint64, cycle uint64) bool {
-	return p.mc.EnqueueWrite(&memctrl.Request{Addr: addr, Core: p.core}, cycle)
+	return p.mc.Write(addr, p.core, cycle)
 }
 
 // generatorFor builds the trace generator for one core slot; uncached
@@ -227,8 +252,28 @@ type machine struct {
 	ticks   uint64 // simulated cycles actually ticked by the driver loop
 }
 
-// newMachine builds the simulated system of cfg.
-func newMachine(cfg Config) (*machine, error) {
+// newMachine builds the simulated system of cfg from fresh allocations.
+func newMachine(cfg Config) (*machine, error) { return buildMachine(cfg, nil) }
+
+// poolState is one worker's reusable simulation arena: the controller
+// (with the DRAM system, queues, and per-row tables inside), the cores
+// (windows, LLCs, MSHR records), the security tracker's accrual table,
+// and one instance of each defense type seen so far. buildMachine
+// Reset()s each piece to its exactly-fresh state instead of
+// reallocating, so a sweep executes cells allocation-flat after its
+// first few cells warm the arena.
+type poolState struct {
+	mc       *memctrl.Controller
+	cores    []*cpu.Core
+	tracker  *secTracker
+	defenses map[string]mitigation.Defense
+}
+
+// buildMachine builds the simulated system of cfg, reusing st's
+// allocations when non-nil. The pooled and fresh paths are bit-identical
+// by construction — every component's Reset restores the state its
+// constructor produces — and the pooled differential tests enforce it.
+func buildMachine(cfg Config, st *poolState) (*machine, error) {
 	if cfg.Cores <= 0 || len(cfg.Mix) != cfg.Cores {
 		return nil, fmt.Errorf("sim: mix has %d entries for %d cores", len(cfg.Mix), cfg.Cores)
 	}
@@ -270,16 +315,48 @@ func newMachine(cfg Config) (*machine, error) {
 		REFWCycles:  timing.REFW,
 		Seed:        cfg.Seed,
 	}
-	def, err := buildDefense(cfg.Defense, si, th, cfg.CPUGHz)
+	defName := strings.ToLower(cfg.Defense)
+	var prev mitigation.Defense
+	if st != nil {
+		prev = st.defenses[defName]
+	}
+	def, err := buildDefense(cfg.Defense, si, th, cfg.CPUGHz, prev)
 	if err != nil {
 		return nil, err
 	}
+	if st != nil {
+		st.defenses[defName] = def
+	}
 
 	model := disturb.NewModel(mod.Params, mod.Geom)
-	tracker := newSecTracker(model, entry.hcBase, entry.psi, scaled.Factor, cfg.CPUGHz, banks, mcCfg.BankGroups*mcCfg.BanksPerGroup)
-	mc := memctrl.New(mcCfg, timing, def, tracker)
+	var tracker *secTracker
+	var mc *memctrl.Controller
+	if st != nil && st.tracker != nil {
+		tracker = st.tracker
+		tracker.reset(model, entry.hcBase, entry.psi, scaled.Factor, cfg.CPUGHz, banks, mcCfg.BankGroups*mcCfg.BanksPerGroup)
+	} else {
+		tracker = newSecTracker(model, entry.hcBase, entry.psi, scaled.Factor, cfg.CPUGHz, banks, mcCfg.BankGroups*mcCfg.BanksPerGroup)
+	}
+	if st != nil && st.mc != nil {
+		mc = st.mc
+		mc.Reset(mcCfg, timing, def, tracker)
+	} else {
+		mc = memctrl.New(mcCfg, timing, def, tracker)
+	}
+	if st != nil {
+		st.tracker = tracker
+		st.mc = mc
+	}
 
-	cores := make([]*cpu.Core, cfg.Cores)
+	var cores []*cpu.Core
+	if st != nil && cap(st.cores) >= cfg.Cores {
+		cores = st.cores[:cfg.Cores]
+	} else {
+		cores = make([]*cpu.Core, cfg.Cores)
+		if st != nil {
+			copy(cores, st.cores)
+		}
+	}
 	for i := range cores {
 		gen, uncached, err := cfg.generatorFor(mcCfg, i, cfg.Mix[i])
 		if err != nil {
@@ -287,9 +364,16 @@ func newMachine(cfg Config) (*machine, error) {
 		}
 		coreCfg := cfg.Core
 		coreCfg.Uncached = uncached
-		cores[i] = cpu.New(i, coreCfg, gen, port{mc: mc, core: i})
+		if cores[i] == nil {
+			cores[i] = cpu.New(i, coreCfg, gen, port{mc: mc, core: i})
+		} else {
+			cores[i].Reset(i, coreCfg, gen, port{mc: mc, core: i})
+		}
 		cores[i].WarmupTarget = cfg.WarmupPerCore
 		cores[i].MeasureTarget = cfg.InstrPerCore
+	}
+	if st != nil {
+		st.cores = cores
 	}
 	return &machine{mc: mc, cores: cores, tracker: tracker}, nil
 }
@@ -392,12 +476,8 @@ func (m *machine) result(cfg Config, endCycle uint64, finished bool) Result {
 	return res
 }
 
-// Run executes one simulation.
-func Run(cfg Config) (Result, error) {
-	m, err := newMachine(cfg)
-	if err != nil {
-		return Result{}, err
-	}
+// run drives a built machine to completion and folds the Result.
+func (m *machine) run(cfg Config) Result {
 	var cycle uint64
 	var finished bool
 	if cfg.NoSkip {
@@ -405,5 +485,63 @@ func Run(cfg Config) (Result, error) {
 	} else {
 		cycle, finished = m.runSkip(cfg.MaxCycles)
 	}
-	return m.result(cfg, cycle, finished), nil
+	return m.result(cfg, cycle, finished)
 }
+
+// Run executes one simulation from fresh allocations.
+func Run(cfg Config) (Result, error) {
+	m, err := newMachine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.run(cfg), nil
+}
+
+// Pool executes simulations on reusable state arenas. A paper-scale
+// sweep rebuilds its multi-megabyte simulator (LLC arrays, tracker
+// accrual tables, defense counters, controller queues) hundreds of
+// times; a Pool Reset()s one arena per worker instead, so cells execute
+// allocation-flat once the arenas are warm. Results are bit-identical
+// to Run for every configuration — each component's Reset restores the
+// exact state its constructor produces, and the pooled differential
+// tests (pool_test.go) enforce it, including reuse across different
+// geometries and after truncated runs.
+//
+// A Pool is safe for concurrent use: arenas are handed out through a
+// sync.Pool, so concurrent Runs never share one (idle arenas remain
+// collectable under memory pressure).
+type Pool struct {
+	p sync.Pool
+}
+
+// NewPool returns an empty pool; arenas are created on demand.
+func NewPool() *Pool { return &Pool{} }
+
+// Run executes one simulation on a pooled arena, bit-identical to
+// sim.Run(cfg).
+func (p *Pool) Run(cfg Config) (Result, error) {
+	st, _ := p.p.Get().(*poolState)
+	if st == nil {
+		st = &poolState{defenses: make(map[string]mitigation.Defense)}
+	}
+	m, err := buildMachine(cfg, st)
+	if err != nil {
+		// The arena stays reusable: every Reset fully reinitializes,
+		// regardless of how far a failed build got.
+		p.p.Put(st)
+		return Result{}, err
+	}
+	res := m.run(cfg)
+	p.p.Put(st)
+	return res, nil
+}
+
+// defaultPool backs PooledRun: one process-wide arena pool shared by
+// every sweep, so consecutive sweeps (and benchmark iterations) stay
+// warm.
+var defaultPool = NewPool()
+
+// PooledRun is Run on the process-wide state pool — the executor the
+// sweep paths (RunFig12/RunFig13, the campaign engine, svard-perf's
+// cache fallback) use. Bit-identical to Run.
+func PooledRun(cfg Config) (Result, error) { return defaultPool.Run(cfg) }

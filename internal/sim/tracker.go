@@ -11,41 +11,64 @@ import (
 // security violations (a row crossing its scaled true HCfirst without a
 // restore). A correctly configured defense must keep this at zero; the
 // defense-free baseline at low thresholds must not (tests assert both).
+//
+// All per-row tables are flat [bank*rows+row] arrays — the tracker is
+// on the controller's command path, and the accrual table is the
+// largest piece of pooled state (4 B/row: 16 MB at the paper's 128K
+// rows x 32 banks).
 type secTracker struct {
 	model  *disturb.Model
-	hcBase [][]float64 // unscaled true HCfirst per (bank, row), from buildModule
-	psi    [][]float64 // RowPress susceptibility per (bank, row), from buildModule
-	factor float64     // profile scaling factor (§7.1 future-chip scaling)
+	hcBase []float64 // unscaled true HCfirst per [bank*rows+row], from buildModule
+	psi    []float64 // RowPress susceptibility per [bank*rows+row], from buildModule
+	factor float64   // profile scaling factor (§7.1 future-chip scaling)
 	cpuGHz float64
 
 	rows         int
 	banksPerRank int
-	cur          [][]float32 // accrued effective hammers per (bank, row)
+	cur          []float32 // accrued effective hammers per [bank*rows+row]
+
+	// Single-entry memo for the on-time term of the RowPress factor:
+	// row on-times are quantized by the DRAM timing parameters (most
+	// closings happen at exactly tRAS or a column-burst multiple), so
+	// consecutive PREs overwhelmingly repeat the previous on-time and
+	// skip the pow.
+	lastOnNs float64
+	lastBase float64
 
 	Violations uint64
 	acts       uint64
 }
 
-func newSecTracker(model *disturb.Model, hcBase, psi [][]float64, factor, cpuGHz float64, banks, banksPerRank int) *secTracker {
-	rows := model.Geom.RowsPerBank
-	t := &secTracker{
-		model:        model,
-		hcBase:       hcBase,
-		psi:          psi,
-		factor:       factor,
-		cpuGHz:       cpuGHz,
-		rows:         rows,
-		banksPerRank: banksPerRank,
-		cur:          make([][]float32, banks),
-	}
-	for b := range t.cur {
-		t.cur[b] = make([]float32, rows)
-	}
+func newSecTracker(model *disturb.Model, hcBase, psi []float64, factor, cpuGHz float64, banks, banksPerRank int) *secTracker {
+	t := &secTracker{}
+	t.reset(model, hcBase, psi, factor, cpuGHz, banks, banksPerRank)
 	return t
 }
 
-func (t *secTracker) hcFirst(bank, row int) float32 {
-	v := float32(t.hcBase[bank][row] * t.factor)
+// reset reinitializes the tracker in place to the state newSecTracker
+// produces, retaining the accrual table when the geometry still fits.
+func (t *secTracker) reset(model *disturb.Model, hcBase, psi []float64, factor, cpuGHz float64, banks, banksPerRank int) {
+	rows := model.Geom.RowsPerBank
+	t.model = model
+	t.hcBase = hcBase
+	t.psi = psi
+	t.factor = factor
+	t.cpuGHz = cpuGHz
+	t.rows = rows
+	t.banksPerRank = banksPerRank
+	if n := banks * rows; cap(t.cur) >= n {
+		t.cur = t.cur[:n]
+		clear(t.cur)
+	} else {
+		t.cur = make([]float32, n)
+	}
+	t.lastOnNs, t.lastBase = 0, 1
+	t.Violations = 0
+	t.acts = 0
+}
+
+func (t *secTracker) hcFirst(idx int) float32 {
+	v := float32(t.hcBase[idx] * t.factor)
 	if v == 0 {
 		v = math.SmallestNonzeroFloat32
 	}
@@ -54,7 +77,7 @@ func (t *secTracker) hcFirst(bank, row int) float32 {
 
 // OnAct: opening a row restores its own cells.
 func (t *secTracker) OnAct(bank, row int, cycle uint64) {
-	t.cur[bank][row] = 0
+	t.cur[bank*t.rows+row] = 0
 	t.acts++
 }
 
@@ -62,7 +85,15 @@ func (t *secTracker) OnAct(bank, row int, cycle uint64) {
 // (RowHammer per activation + RowPress per on-time).
 func (t *secTracker) OnPre(bank, row int, onCycles uint64) {
 	onNs := float64(onCycles) / t.cpuGHz
+	// One pow per closing (memoized on the repeating on-time), shared by
+	// all of its victims.
+	pressBase := t.lastBase
+	if onNs != t.lastOnNs {
+		pressBase = t.model.PressBase(onNs)
+		t.lastOnNs, t.lastBase = onNs, pressBase
+	}
 	g := t.model.Geom
+	base := bank * t.rows
 	for _, d := range [...]int{-2, -1, 1, 2} {
 		v := row + d
 		if v < 0 || v >= t.rows || !g.SameSubarray(row, v) {
@@ -72,27 +103,29 @@ func (t *secTracker) OnPre(bank, row int, onCycles uint64) {
 		if d == -2 || d == 2 {
 			w *= t.model.P.BlastDecay
 		}
-		acc := t.cur[bank][v] + float32(w*t.model.PressFactorFromPsi(t.psi[bank][v], onNs))
-		if acc >= t.hcFirst(bank, v) {
+		idx := base + v
+		acc := t.cur[idx] + float32(w*disturb.PressFactorFromBase(pressBase, t.psi[idx]))
+		if acc >= t.hcFirst(idx) {
 			t.Violations++
 			acc = 0 // count each crossing once; the row has flipped
 		}
-		t.cur[bank][v] = acc
+		t.cur[idx] = acc
 	}
 }
 
 // OnRefresh: REF restored a slice of rows in every bank of the rank.
 func (t *secTracker) OnRefresh(rank, firstRow, count int) {
 	base := rank * t.banksPerRank
-	for b := base; b < base+t.banksPerRank && b < len(t.cur); b++ {
+	banks := len(t.cur) / t.rows
+	for b := base; b < base+t.banksPerRank && b < banks; b++ {
 		for i := 0; i < count; i++ {
-			t.cur[b][(firstRow+i)%t.rows] = 0
+			t.cur[b*t.rows+(firstRow+i)%t.rows] = 0
 		}
 	}
 }
 
 // OnRowsSwapped: a migration rewrites both rows.
 func (t *secTracker) OnRowsSwapped(bank, a, b int) {
-	t.cur[bank][a] = 0
-	t.cur[bank][b] = 0
+	t.cur[bank*t.rows+a] = 0
+	t.cur[bank*t.rows+b] = 0
 }
