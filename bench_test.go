@@ -218,7 +218,7 @@ func BenchmarkFig12RRS(b *testing.B)         { benchFig12(b, "rrs") }
 // loop; Serial vs NoSkip documents the event engine's cycle-skipping
 // speedup (>= 2x on the default spec, bit-identical cells — see
 // EXPERIMENTS.md, "event-driven engine").
-func benchFig12Sweep(b *testing.B, workers int, noSkip bool) {
+func benchFig12Sweep(b *testing.B, workers int, noSkip bool, backend string) {
 	b.Helper()
 	base := sim.DefaultConfig()
 	base.Cores = 2
@@ -227,6 +227,7 @@ func benchFig12Sweep(b *testing.B, workers int, noSkip bool) {
 	base.InstrPerCore = 15_000
 	base.WarmupPerCore = 3_000
 	base.NoSkip = noSkip
+	base.Backend = backend
 	opt := sim.Fig12Options{
 		Base:     base,
 		Mixes:    [][]string{{"mcf06", "ycsb-a"}},
@@ -255,14 +256,20 @@ func benchFig12Sweep(b *testing.B, workers int, noSkip bool) {
 }
 
 // BenchmarkFig12SweepSerial is the Workers=1 reference for the sweep.
-func BenchmarkFig12SweepSerial(b *testing.B) { benchFig12Sweep(b, 1, false) }
+func BenchmarkFig12SweepSerial(b *testing.B) { benchFig12Sweep(b, 1, false, "") }
 
 // BenchmarkFig12SweepParallel fans the same sweep across all cores.
-func BenchmarkFig12SweepParallel(b *testing.B) { benchFig12Sweep(b, runtime.GOMAXPROCS(0), false) }
+func BenchmarkFig12SweepParallel(b *testing.B) { benchFig12Sweep(b, runtime.GOMAXPROCS(0), false, "") }
 
 // BenchmarkFig12SweepSerialNoSkip is the per-cycle reference loop on
 // the Serial sweep: the denominator of the event engine's speedup.
-func BenchmarkFig12SweepSerialNoSkip(b *testing.B) { benchFig12Sweep(b, 1, true) }
+func BenchmarkFig12SweepSerialNoSkip(b *testing.B) { benchFig12Sweep(b, 1, true, "") }
+
+// BenchmarkFig12SweepSerialHBM2 is the Serial sweep on the hbm2 preset:
+// four pseudo-channel controllers per machine instead of one, so it
+// tracks the multi-channel backend's cost (routing, per-channel defense
+// instances, the widened NextEvent bound) release over release.
+func BenchmarkFig12SweepSerialHBM2(b *testing.B) { benchFig12Sweep(b, 1, false, "hbm2") }
 
 // BenchmarkFig13Adversarial regenerates Fig. 13 at bench scale.
 func BenchmarkFig13Adversarial(b *testing.B) {

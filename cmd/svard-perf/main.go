@@ -6,7 +6,7 @@
 // Usage:
 //
 //	svard-perf [-mixes N] [-instr N] [-defenses para,rrs] [-nrhs 1024,64] [-fig13] [-parallel N]
-//	           [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	           [-backend hbm2] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // Defaults are scaled for minutes-scale runs; raise -mixes/-instr toward
 // the paper's 120 mixes x 200M instructions as budget allows (see
@@ -26,6 +26,7 @@ import (
 	"syscall"
 
 	"svard/internal/cache"
+	"svard/internal/dram"
 	"svard/internal/report"
 	"svard/internal/sim"
 	"svard/internal/trace"
@@ -40,6 +41,7 @@ func main() {
 		rows     = flag.Int("rows", 8192, "rows per bank")
 		seed     = flag.Uint64("seed", 1, "seed")
 		defenses = flag.String("defenses", "", "comma-separated defense subset (default all)")
+		backend  = flag.String("backend", "", "memory backend preset (default ddr4-3200; have "+strings.Join(dram.BackendNames(), ", ")+")")
 		nrhs     = flag.String("nrhs", "", "comma-separated HCfirst sweep (default 4096..64)")
 		fig12    = flag.Bool("fig12", false, "run Fig. 12")
 		fig13    = flag.Bool("fig13", false, "run Fig. 13 (adversarial patterns)")
@@ -116,6 +118,11 @@ func main() {
 	base.WarmupPerCore = *warmup
 	base.Seed = *seed
 	base.NoSkip = *noSkip
+	base.Backend = *backend
+	be, err := dram.BackendByName(*backend)
+	if err != nil {
+		fail(err)
+	}
 
 	progress := func(msg string) {
 		if !*quiet {
@@ -137,9 +144,18 @@ func main() {
 		runner = func(cfg sim.Config) (sim.Result, error) { return store.GetOrCompute(cfg, sim.PooledRun) }
 	}
 
-	fmt.Println("Table 4 simulated system: 8 cores 3.2GHz 4-wide 128-entry window,")
-	fmt.Println("2MiB LLC/core; DDR4 1 channel, 2 ranks, 4 bank groups x 4 banks,")
-	fmt.Printf("%d rows/bank (scaled; Table 4 uses 128K); FR-FCFS cap 16, MOP.\n\n", *rows)
+	if be.HBM {
+		g := be.Geom
+		fmt.Printf("Simulated system (%s): 8 cores 3.2GHz 4-wide 128-entry window,\n", be.Name)
+		fmt.Printf("2MiB LLC/core; HBM2 %d channels x %d pseudo channels, %d rank(s),\n",
+			g.Channels, g.PseudoChannels, g.Ranks)
+		fmt.Printf("%d bank groups x %d banks, %d rows/bank (scaled); FR-FCFS cap 16, MOP.\n\n",
+			g.BankGroups, g.BanksPerGroup, *rows)
+	} else {
+		fmt.Println("Table 4 simulated system: 8 cores 3.2GHz 4-wide 128-entry window,")
+		fmt.Println("2MiB LLC/core; DDR4 1 channel, 2 ranks, 4 bank groups x 4 banks,")
+		fmt.Printf("%d rows/bank (scaled; Table 4 uses 128K); FR-FCFS cap 16, MOP.\n\n", *rows)
+	}
 
 	if *fig12 || *obsv15 {
 		opt := sim.Fig12Options{

@@ -37,10 +37,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"svard/internal/cache"
+	"svard/internal/dram"
 	"svard/internal/server"
 )
 
@@ -95,6 +97,8 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "svard-served: listening on %s, cache %s, stats: %s\n",
 		*addr, where, store.Stats())
+	fmt.Fprintf(os.Stderr, "svard-served: memory backends: %s\n",
+		strings.Join(dram.BackendNames(), ", "))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

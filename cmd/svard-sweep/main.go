@@ -12,7 +12,7 @@
 //	            [-mixes N | -mix a,b,... (repeatable)] [-instr N] [-warmup N]
 //	            [-cores N] [-rows N] [-seed N]
 //	            [-defenses para,rrs] [-nrhs 1024,64] [-profiles S0,M0]
-//	            [-benign mcf06,...] [-nrh13 64]
+//	            [-backends ddr4-3200,hbm2] [-benign mcf06,...] [-nrh13 64]
 //	            [-spec campaign.json] [-print-spec] [-q]
 //
 // A campaign can also be declared as a JSON file (-spec); explicit
@@ -42,6 +42,7 @@ import (
 
 	"svard/internal/cache"
 	"svard/internal/campaign"
+	"svard/internal/dram"
 	"svard/internal/report"
 	"svard/internal/sim"
 	"svard/internal/trace"
@@ -66,6 +67,7 @@ func main() {
 		rows     = flag.Int("rows", 8192, "rows per bank")
 		seed     = flag.Uint64("seed", 1, "seed")
 		defenses = flag.String("defenses", "", "comma-separated defense subset (default all five)")
+		backends = flag.String("backends", "", "comma-separated memory backends to sweep (default ddr4-3200; have "+strings.Join(dram.BackendNames(), ", ")+")")
 		nrhs     = flag.String("nrhs", "", "comma-separated HCfirst sweep (default 4096..64)")
 		profiles = flag.String("profiles", "", "comma-separated module profiles (default S0,M0,H1)")
 		benign   = flag.String("benign", "", "comma-separated Fig. 13 benign workloads")
@@ -131,6 +133,9 @@ func main() {
 	}
 	if set["defenses"] {
 		spec.Defenses = splitList(*defenses)
+	}
+	if set["backends"] {
+		spec.Backends = splitList(*backends)
 	}
 	if set["profiles"] {
 		spec.Profiles = splitList(*profiles)

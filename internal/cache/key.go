@@ -23,6 +23,13 @@ import (
 // loop polled every 1024 cycles, overstating Result.Cycles and the MC
 // stats' tail), and truncated runs report measurement-region IPC.
 //
+// v3: the memory system is geometry-parameterized (Config.Backend
+// selects DDR4-3200 or HBM2). The DDR4 default is bit-identical to v2,
+// but the stack's structural assumptions changed (per-channel
+// controllers, backend-resolved timing), so v2 entries are invalidated
+// wholesale rather than trusting the refactor across every stored cell;
+// they recompute on next access, never error.
+//
 // Config.NoSkip participates in the key like every other field, even
 // though the two engines are bit-identical by (test-enforced) contract:
 // a -noskip run therefore recomputes rather than reading entries a
@@ -30,7 +37,7 @@ import (
 // exists to check the engine, and a shared entry would hand it the
 // engine's cached answer, masking exactly the divergence it is there to
 // catch.
-const SchemaVersion = "svard-sim-v2"
+const SchemaVersion = "svard-sim-v3"
 
 // Key returns the canonical content address of one simulation: a hex
 // SHA-256 over SchemaVersion and a stable field-order encoding of cfg.

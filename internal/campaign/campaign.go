@@ -46,6 +46,7 @@ type Spec struct {
 	NRHs     []float64  `json:"nrhs,omitempty"`
 	Defenses []string   `json:"defenses,omitempty"`
 	Profiles []string   `json:"profiles,omitempty"`
+	Backends []string   `json:"backends,omitempty"` // memory backends to sweep (empty = just Base.Backend)
 
 	Benign []string `json:"benign,omitempty"` // Fig. 13 benign workloads
 	NRH13  float64  `json:"nrh13,omitempty"`  // Fig. 13 threshold (default 64)
@@ -125,6 +126,16 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("campaign: benign workloads: %w", err)
 		}
 	}
+	if err := s.Base.Validate(); err != nil {
+		return fmt.Errorf("campaign: base config: %w", err)
+	}
+	for _, be := range s.Backends {
+		cfg := s.Base
+		cfg.Backend = be
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("campaign: backends: %w", err)
+		}
+	}
 	if s.has(Fig13) {
 		if _, err := sim.Fig13Jobs(s.fig13Options()); err != nil {
 			return err
@@ -150,6 +161,7 @@ func (s Spec) fig12Options() sim.Fig12Options {
 		NRHs:     s.NRHs,
 		Defenses: s.Defenses,
 		Profiles: s.Profiles,
+		Backends: s.Backends,
 	}
 }
 
@@ -160,6 +172,7 @@ func (s Spec) fig13Options() sim.Fig13Options {
 		NRH:      s.NRH13,
 		Benign:   s.Benign,
 		Profiles: s.Profiles,
+		Backends: s.Backends,
 	}
 }
 

@@ -232,6 +232,8 @@ func TestSpecValidate(t *testing.T) {
 		"short-mix":        func(s *Spec) { s.Mixes = [][]string{{"mcf06"}} },
 		"bad-benign":       func(s *Spec) { s.Benign = []string{"no-such"} },
 		"fig13-one-core":   func(s *Spec) { s.Base.Cores = 1; s.Mixes = [][]string{{"mcf06"}} },
+		"unknown-backend":  func(s *Spec) { s.Backends = []string{"lpddr5"} },
+		"bad-base-backend": func(s *Spec) { s.Base.Backend = "gddr6" },
 	} {
 		t.Run(name, func(t *testing.T) {
 			s := tinySpec()
@@ -262,6 +264,56 @@ func TestSpecFingerprint(t *testing.T) {
 	d.Figures = []string{Fig12, Fig13}
 	if c.Fingerprint() != d.Fingerprint() {
 		t.Error("default figures fingerprint differently from explicit ones")
+	}
+	// The backend axis scopes its own journal, but a spec that never
+	// names backends fingerprints identically to one from before the
+	// axis existed (omitempty: pre-axis journals keep resuming).
+	e := tinySpec()
+	e.Backends = []string{"hbm2"}
+	if e.Fingerprint() == a.Fingerprint() {
+		t.Error("backend sweep shares a fingerprint with the default-backend sweep")
+	}
+	f := tinySpec()
+	f.Backends = []string{}
+	if f.Fingerprint() != a.Fingerprint() {
+		t.Error("empty Backends changed the fingerprint; old journals orphaned")
+	}
+}
+
+// TestSpecBackendsAxis: naming backends multiplies the job list once
+// per backend, stamps every job's config with its backend, suffixes
+// labels so cells from different geometries stay distinguishable, and
+// keeps every cache key distinct across the expansion.
+func TestSpecBackendsAxis(t *testing.T) {
+	spec, _ := goldenSpec(t)
+	baseJobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec.Backends = []string{"ddr4-3200", "hbm2"}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2*len(baseJobs) {
+		t.Fatalf("jobs = %d, want %d (two backends x %d)", len(jobs), 2*len(baseJobs), len(baseJobs))
+	}
+	counts := map[string]int{}
+	seen := map[string]bool{}
+	for _, job := range jobs {
+		counts[job.Config.Backend]++
+		if !strings.Contains(job.Label, "["+job.Config.Backend+"]") {
+			t.Errorf("job %q does not name its backend %q", job.Label, job.Config.Backend)
+		}
+		key := cache.Key(job.Config)
+		if seen[key] {
+			t.Errorf("duplicate cache key for job %q", job.Label)
+		}
+		seen[key] = true
+	}
+	if counts["ddr4-3200"] != len(baseJobs) || counts["hbm2"] != len(baseJobs) {
+		t.Errorf("backend job split = %v, want %d each", counts, len(baseJobs))
 	}
 }
 

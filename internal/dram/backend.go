@@ -1,0 +1,144 @@
+package dram
+
+import "fmt"
+
+// SystemGeometry describes the full memory system shape above a single
+// module: how many independent channels (and, for HBM, pseudo channels
+// per channel) the controller fans out over, and the per-channel bank
+// organization. A channel here is the unit that owns its own command
+// bus, FR-FCFS queues, and refresh engine; HBM2 pseudo channels are
+// modeled the same way because they operate independently above the
+// shared row-activation power budget.
+type SystemGeometry struct {
+	Channels       int // independent memory channels
+	PseudoChannels int // pseudo channels per channel (HBM2: 2; DDR4: 1)
+	Ranks          int // ranks per (pseudo) channel
+	BankGroups     int // bank groups per rank
+	BanksPerGroup  int // banks per bank group
+	RowsPerBank    int // rows per bank
+	RowBytes       int // row buffer size in bytes per (pseudo) channel
+}
+
+// TotalChannels returns the number of independently scheduled channels
+// (channels x pseudo channels).
+func (g SystemGeometry) TotalChannels() int { return g.Channels * g.PseudoChannels }
+
+// BanksPerChannel returns the banks one (pseudo) channel controls.
+func (g SystemGeometry) BanksPerChannel() int { return g.Ranks * g.BankGroups * g.BanksPerGroup }
+
+// TotalBanks returns the banks across the whole system.
+func (g SystemGeometry) TotalBanks() int { return g.TotalChannels() * g.BanksPerChannel() }
+
+// Validate reports whether every dimension is positive and sane.
+func (g SystemGeometry) Validate() error {
+	switch {
+	case g.Channels <= 0:
+		return fmt.Errorf("dram: geometry needs a positive channel count, got %d", g.Channels)
+	case g.PseudoChannels <= 0:
+		return fmt.Errorf("dram: geometry needs a positive pseudo-channel count, got %d", g.PseudoChannels)
+	case g.Ranks <= 0:
+		return fmt.Errorf("dram: geometry needs a positive rank count, got %d", g.Ranks)
+	case g.BankGroups <= 0 || g.BanksPerGroup <= 0:
+		return fmt.Errorf("dram: non-positive bank organization %d x %d", g.BankGroups, g.BanksPerGroup)
+	case g.RowsPerBank <= 0:
+		return fmt.Errorf("dram: geometry needs positive rows per bank, got %d", g.RowsPerBank)
+	case g.RowBytes <= 0 || g.RowBytes%64 != 0:
+		return fmt.Errorf("dram: row bytes %d must be a positive multiple of 64", g.RowBytes)
+	}
+	return nil
+}
+
+// Backend names a complete memory-system preset: a system geometry plus
+// the timing family it runs under. The simulator selects one by name
+// through sim.Config; the empty name aliases the DDR4 Table 4 system so
+// existing configs keep their exact meaning.
+type Backend struct {
+	Name string
+	HBM  bool // HBM-family part: pseudo channels allowed, HBM2 timing
+	Geom SystemGeometry
+}
+
+// Backend names.
+const (
+	BackendDDR4 = "ddr4-3200"
+	BackendHBM2 = "hbm2"
+)
+
+// backends lists the presets in display order.
+var backends = []Backend{
+	{
+		// The paper's Table 4 evaluation system: one channel, two ranks,
+		// 4x4 banks of 128K rows with an 8 KiB row buffer.
+		Name: BackendDDR4,
+		Geom: SystemGeometry{
+			Channels:       1,
+			PseudoChannels: 1,
+			Ranks:          2,
+			BankGroups:     4,
+			BanksPerGroup:  4,
+			RowsPerBank:    128 * 1024,
+			RowBytes:       8192,
+		},
+	},
+	{
+		// HBM2 per arXiv:2310.14665 / JESD235: each channel splits into
+		// two independent pseudo channels of 16 banks (one rank, 4x4)
+		// with 2 KiB rows. Two channels keep the modeled system within
+		// the same order of capacity as the DDR4 preset.
+		Name: BackendHBM2,
+		HBM:  true,
+		Geom: SystemGeometry{
+			Channels:       2,
+			PseudoChannels: 2,
+			Ranks:          1,
+			BankGroups:     4,
+			BanksPerGroup:  4,
+			RowsPerBank:    16 * 1024,
+			RowBytes:       2048,
+		},
+	},
+}
+
+// BackendNames returns the preset names in display order.
+func BackendNames() []string {
+	names := make([]string, len(backends))
+	for i, b := range backends {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// BackendByName resolves a backend preset. The empty string aliases the
+// DDR4 Table 4 preset (the pre-backend default).
+func BackendByName(name string) (Backend, error) {
+	if name == "" {
+		name = BackendDDR4
+	}
+	for _, b := range backends {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Backend{}, fmt.Errorf("dram: unknown backend %q (have %v)", name, BackendNames())
+}
+
+// Validate checks the backend's geometry and the HBM-only constraints.
+func (b Backend) Validate() error {
+	if err := b.Geom.Validate(); err != nil {
+		return fmt.Errorf("backend %q: %w", b.Name, err)
+	}
+	if !b.HBM && b.Geom.PseudoChannels != 1 {
+		return fmt.Errorf("backend %q: %d pseudo channels on a non-HBM backend", b.Name, b.Geom.PseudoChannels)
+	}
+	return nil
+}
+
+// Timing returns the backend's timing set. DDR4 modules carry their own
+// speed bin (Table 5's per-module frequencies), so the module's MT/s
+// selects the DDR4 preset; HBM2 timing is fixed by the part.
+func (b Backend) Timing(moduleMTs int) Timing {
+	if b.HBM {
+		return HBM2Timing()
+	}
+	return DDR4Timing(moduleMTs)
+}

@@ -1,0 +1,153 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBackendPresetsValid: every named preset must pass its own
+// validation — a preset that cannot validate would reject every config
+// that selects it.
+func TestBackendPresetsValid(t *testing.T) {
+	for _, name := range BackendNames() {
+		b, err := BackendByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if err := b.Timing(3200).Validate(); err != nil {
+			t.Errorf("%s timing: %v", name, err)
+		}
+	}
+}
+
+// TestBackendEmptyAliasesDDR4 pins the compatibility contract: the empty
+// backend name is the paper's Table 4 DDR4 system, so pre-backend
+// configs keep their exact meaning.
+func TestBackendEmptyAliasesDDR4(t *testing.T) {
+	def, err := BackendByName("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddr4, err := BackendByName(BackendDDR4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def != ddr4 {
+		t.Errorf("empty backend = %+v, want the %s preset %+v", def, BackendDDR4, ddr4)
+	}
+	g := ddr4.Geom
+	if g.TotalChannels() != 1 || g.Ranks != 2 || g.BankGroups != 4 || g.BanksPerGroup != 4 || g.RowBytes != 8192 {
+		t.Errorf("ddr4-3200 geometry drifted from Table 4: %+v", g)
+	}
+	if g.TotalBanks() != 32 {
+		t.Errorf("ddr4-3200 has %d banks, Table 4 has 32", g.TotalBanks())
+	}
+}
+
+// TestBackendHBM2Geometry pins the HBM2 preset's pseudo-channel shape.
+func TestBackendHBM2Geometry(t *testing.T) {
+	b, err := BackendByName(BackendHBM2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.HBM {
+		t.Error("hbm2 preset not marked HBM")
+	}
+	g := b.Geom
+	if g.PseudoChannels != 2 {
+		t.Errorf("hbm2 pseudo channels = %d, want 2", g.PseudoChannels)
+	}
+	if g.TotalChannels() != g.Channels*2 {
+		t.Errorf("TotalChannels = %d, want %d", g.TotalChannels(), g.Channels*2)
+	}
+	if g.Ranks != 1 {
+		t.Errorf("hbm2 ranks = %d; HBM pseudo channels are single-rank", g.Ranks)
+	}
+	// HBM2 timing is fixed by the part, regardless of the module's MT/s.
+	if b.Timing(3200) != b.Timing(2400) {
+		t.Error("hbm2 timing varied with module MT/s")
+	}
+	if ddr4 := DDR4Timing(3200); b.Timing(3200) == ddr4 {
+		t.Error("hbm2 timing identical to DDR4-3200")
+	}
+}
+
+// TestBackendUnknown: unknown names fail with the available presets
+// listed (the server surfaces this string as its 400 body).
+func TestBackendUnknown(t *testing.T) {
+	_, err := BackendByName("ddr5-6400")
+	if err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	for _, name := range BackendNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list preset %q", err, name)
+		}
+	}
+}
+
+// TestSystemGeometryValidate covers the descriptive-error contract for
+// every dimension, plus the pseudo-channel/HBM coupling on Backend.
+func TestSystemGeometryValidate(t *testing.T) {
+	valid := SystemGeometry{
+		Channels: 1, PseudoChannels: 1, Ranks: 2,
+		BankGroups: 4, BanksPerGroup: 4, RowsPerBank: 1024, RowBytes: 8192,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*SystemGeometry)
+		want   string
+	}{
+		{"zero channels", func(g *SystemGeometry) { g.Channels = 0 }, "channel count"},
+		{"negative channels", func(g *SystemGeometry) { g.Channels = -1 }, "channel count"},
+		{"zero pseudo channels", func(g *SystemGeometry) { g.PseudoChannels = 0 }, "pseudo-channel count"},
+		{"zero ranks", func(g *SystemGeometry) { g.Ranks = 0 }, "rank count"},
+		{"zero bank groups", func(g *SystemGeometry) { g.BankGroups = 0 }, "bank organization"},
+		{"negative banks per group", func(g *SystemGeometry) { g.BanksPerGroup = -4 }, "bank organization"},
+		{"zero rows", func(g *SystemGeometry) { g.RowsPerBank = 0 }, "rows per bank"},
+		{"unaligned row bytes", func(g *SystemGeometry) { g.RowBytes = 100 }, "row bytes"},
+	}
+	for _, tc := range cases {
+		g := valid
+		tc.mutate(&g)
+		err := g.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Pseudo channels > 1 are an HBM-only construct.
+	nonHBM := Backend{Name: "bogus", HBM: false, Geom: valid}
+	nonHBM.Geom.PseudoChannels = 2
+	err := nonHBM.Validate()
+	if err == nil {
+		t.Error("2 pseudo channels on a non-HBM backend accepted")
+	} else if !strings.Contains(err.Error(), "pseudo channels") {
+		t.Errorf("non-HBM pseudo-channel error %q lacks context", err)
+	}
+}
+
+// TestDDR4TimingWTR: the write-to-read turnarounds live in the timing
+// preset (they were hard-coded at the mem layer before) and match the
+// JEDEC DDR4 values.
+func TestDDR4TimingWTR(t *testing.T) {
+	for _, mts := range []int{2400, 2666, 2933, 3200} {
+		tm := DDR4Timing(mts)
+		if tm.TWTRS != 2.5 || tm.TWTRL != 7.5 {
+			t.Errorf("DDR4-%d WTR = (%v, %v), want (2.5, 7.5)", mts, tm.TWTRS, tm.TWTRL)
+		}
+	}
+	if tm := HBM2Timing(); tm.TWTRS <= 0 || tm.TWTRL <= 0 {
+		t.Errorf("HBM2 WTR = (%v, %v), want positive", tm.TWTRS, tm.TWTRL)
+	}
+}

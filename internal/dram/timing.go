@@ -2,11 +2,12 @@ package dram
 
 import "fmt"
 
-// Timing holds the DDR4 timing parameters the device model enforces, in
-// nanoseconds. The presets approximate JEDEC DDR4 speed bins for the
-// module frequencies of Table 5; exact vendor values are proprietary,
-// but every relationship the experiments depend on (activation rate,
-// minimum on-time, refresh cadence, retention window) is respected.
+// Timing holds the DRAM timing parameters the device model enforces, in
+// nanoseconds. The presets approximate JEDEC speed bins (DDR4 for the
+// module frequencies of Table 5, HBM2 per JESD235); exact vendor values
+// are proprietary, but every relationship the experiments depend on
+// (activation rate, minimum on-time, refresh cadence, retention window)
+// is respected.
 type Timing struct {
 	TCK   float64 // clock period
 	TRCD  float64 // ACT to column command
@@ -21,6 +22,8 @@ type Timing struct {
 	TRRDL float64 // ACT-to-ACT, same bank group
 	TFAW  float64 // rolling four-activate window
 	TWR   float64 // write recovery
+	TWTRS float64 // write-to-read turnaround, different bank group
+	TWTRL float64 // write-to-read turnaround, same bank group
 	TRTP  float64 // read to precharge
 	TRFC  float64 // refresh command latency
 	TREFI float64 // refresh command interval
@@ -65,6 +68,8 @@ func DDR4Timing(mts int) Timing {
 		TRRDL: 6 * tck,
 		TFAW:  25.0,
 		TWR:   15.0,
+		TWTRS: 2.5,
+		TWTRL: 7.5,
 		TRTP:  7.5,
 		TRFC:  350.0, // 8-16 Gb parts
 		TREFI: 7800.0,
@@ -79,4 +84,35 @@ func DDR4Timing(mts int) Timing {
 		t.TRCD, t.TRP, t.TCL = 13.64, 13.64, 13.64
 	}
 	return t
+}
+
+// HBM2Timing returns the timing preset for an HBM2 pseudo channel at
+// 2400 MT/s, following JESD235-style parameters as used by the HBM read
+// disturbance characterization study (arXiv:2310.14665). HBM2 trades
+// per-pin rate for width: the interface clock is slower than DDR4-3200,
+// the four-activate window and same-bank-group turnarounds are tighter,
+// and refresh is issued twice as often against a 32 ms retention window.
+func HBM2Timing() Timing {
+	tck := 2000.0 / 2400.0 // 0.833 ns, 1200 MHz interface clock
+	return Timing{
+		TCK:   tck,
+		TRCD:  14.0,
+		TRAS:  33.0,
+		TRP:   14.0,
+		TCL:   14.0,
+		TCWL:  8.0,
+		TBL:   2 * tck, // BL4 over the 128-bit pseudo-channel bus
+		TCCDS: 2 * tck,
+		TCCDL: 4 * tck,
+		TRRDS: 4 * tck,
+		TRRDL: 6 * tck,
+		TFAW:  16.0,
+		TWR:   15.0,
+		TWTRS: 2.5,
+		TWTRL: 6.5,
+		TRTP:  7.5,
+		TRFC:  260.0,
+		TREFI: 3900.0,
+		TREFW: 32e6, // 32 ms retention budget
+	}
 }

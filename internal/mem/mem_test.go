@@ -25,6 +25,27 @@ func TestCyclesFromRounding(t *testing.T) {
 	}
 }
 
+// TestCyclesFromWTRFromPreset: the write-to-read turnarounds come from
+// the dram.Timing preset (the regression was hard-coded DDR4 values at
+// this layer, which every non-DDR4 backend would silently inherit).
+func TestCyclesFromWTRFromPreset(t *testing.T) {
+	ddr4 := CyclesFrom(dram.DDR4Timing(3200), 3.2)
+	// 2.5 ns * 3.2 GHz = 8; 7.5 ns * 3.2 GHz = 24.
+	if ddr4.WTRS != 8 || ddr4.WTRL != 24 {
+		t.Errorf("DDR4 WTR = (%d, %d) cycles, want (8, 24)", ddr4.WTRS, ddr4.WTRL)
+	}
+	custom := dram.DDR4Timing(3200)
+	custom.TWTRS, custom.TWTRL = 5.0, 10.0
+	got := CyclesFrom(custom, 3.2)
+	if got.WTRS != 16 || got.WTRL != 32 {
+		t.Errorf("custom WTR = (%d, %d) cycles, want (16, 32) — WTR not read from the preset", got.WTRS, got.WTRL)
+	}
+	hbm2 := CyclesFrom(dram.HBM2Timing(), 3.2)
+	if hbm2.WTRL == ddr4.WTRL {
+		t.Error("HBM2 WTRL identical to DDR4; preset not honored")
+	}
+}
+
 func TestActPreCycleTiming(t *testing.T) {
 	s := testSystem()
 	if !s.CanACT(0, 0) {

@@ -51,8 +51,8 @@ func CyclesFrom(t dram.Timing, cpuGHz float64) Timing {
 		RRDL: c(t.TRRDL),
 		FAW:  c(t.TFAW),
 		WR:   c(t.TWR),
-		WTRS: c(2.5),
-		WTRL: c(7.5),
+		WTRS: c(t.TWTRS),
+		WTRL: c(t.TWTRL),
 		RTP:  c(t.TRTP),
 		RFC:  c(t.TRFC),
 		REFI: c(t.TREFI),

@@ -7,6 +7,7 @@
 package memctrl
 
 import (
+	"svard/internal/dram"
 	"svard/internal/mem"
 	"svard/internal/mitigation"
 	"svard/internal/rowtab"
@@ -27,16 +28,27 @@ type Config struct {
 
 // DefaultConfig returns Table 4's memory controller configuration.
 func DefaultConfig(rowsPerBank int) Config {
+	g, _ := dram.BackendByName(dram.BackendDDR4)
+	return ConfigFor(g.Geom, rowsPerBank, 3.2)
+}
+
+// ConfigFor returns the controller configuration for one (pseudo)
+// channel of geometry g, overriding the preset's rows per bank with
+// rowsPerBank (the simulator scales bank depth; see EXPERIMENTS.md).
+// Queue depths, the FR-FCFS column cap, and the MOP width stay at the
+// Table 4 values for every backend so cross-backend sweeps vary only
+// the memory geometry and timing.
+func ConfigFor(g dram.SystemGeometry, rowsPerBank int, cpuGHz float64) Config {
 	return Config{
-		CPUGHz:        3.2,
+		CPUGHz:        cpuGHz,
 		ReadQ:         64,
 		WriteQ:        64,
 		ColumnCap:     16,
 		MOPWidth:      4,
-		RowBytes:      8 * 1024,
-		Ranks:         2,
-		BankGroups:    4,
-		BanksPerGroup: 4,
+		RowBytes:      g.RowBytes,
+		Ranks:         g.Ranks,
+		BankGroups:    g.BankGroups,
+		BanksPerGroup: g.BanksPerGroup,
 		RowsPerBank:   rowsPerBank,
 	}
 }
@@ -98,6 +110,23 @@ type Stats struct {
 	MetaReads, MetaWr  uint64
 	ThrottleStalls     uint64
 	Refreshes          uint64
+}
+
+// Add accumulates o into s — the fold across per-channel controllers of
+// a multi-channel system.
+func (s *Stats) Add(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.Acts += o.Acts
+	s.Pres += o.Pres
+	s.RowHits += o.RowHits
+	s.RowMisses += o.RowMisses
+	s.VictimRefreshes += o.VictimRefreshes
+	s.Migrations += o.Migrations
+	s.MetaReads += o.MetaReads
+	s.MetaWr += o.MetaWr
+	s.ThrottleStalls += o.ThrottleStalls
+	s.Refreshes += o.Refreshes
 }
 
 // Controller is the memory controller.

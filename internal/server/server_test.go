@@ -745,6 +745,15 @@ func TestAPIErrors(t *testing.T) {
 		t.Errorf("invalid spec error = %v, want defense named", err)
 	}
 
+	// An unknown memory backend is a 400 at submit, not a panic (or a
+	// failed job) when the sweep later builds its machines.
+	badBackend := tinySpec()
+	badBackend.Backends = []string{"lpddr5"}
+	if _, err := c.Submit(ctx, badBackend, "bad-backend", 0); err == nil ||
+		!strings.Contains(err.Error(), "400") || !strings.Contains(err.Error(), "lpddr5") {
+		t.Errorf("invalid backend error = %v, want 400 naming lpddr5", err)
+	}
+
 	// A running (non-done) job has no result yet: 409, not 200/404.
 	gate := make(chan struct{})
 	_, c2 := newService(t, t.TempDir(), server.Config{Workers: 1, Sim: func(cfg sim.Config) (sim.Result, error) {

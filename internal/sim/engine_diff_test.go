@@ -83,6 +83,38 @@ func TestEngineDifferential(t *testing.T) {
 	}
 }
 
+// TestEngineDifferentialHBM2 extends the tentpole guarantee to the
+// multi-channel backend: on the HBM2 preset (four independent pseudo
+// channels, each with its own controller, defense instance, and
+// NextEvent bound), the event-driven engine must stay bit-identical to
+// the per-cycle reference loop. A skip bound computed over one channel
+// while another still has work pending would diverge here.
+func TestEngineDifferentialHBM2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is seconds-scale")
+	}
+	defenses := append([]string{"none"}, DefenseNames...)
+	for _, defense := range defenses {
+		for mixName, mix := range diffMixes() {
+			name := fmt.Sprintf("%s/%s", defense, mixName)
+			t.Run(name, func(t *testing.T) {
+				cfg := diffBase()
+				cfg.Backend = "hbm2"
+				cfg.Defense = defense
+				cfg.Mix = mix
+				cfg.Svard = defense != "none" // per-row thresholds across the channel split
+				skip, naive := runBoth(t, cfg)
+				if !reflect.DeepEqual(skip, naive) {
+					t.Errorf("engines diverged on hbm2:\nskip:  %+v\nnaive: %+v", skip, naive)
+				}
+				if !skip.Finished {
+					t.Errorf("hbm2 differential case did not finish in %d cycles", cfg.MaxCycles)
+				}
+			})
+		}
+	}
+}
+
 // TestEngineDifferentialTruncated pins bit-identity on runs cut off by
 // MaxCycles, including the truncated-IPC accounting.
 func TestEngineDifferentialTruncated(t *testing.T) {

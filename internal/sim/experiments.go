@@ -52,6 +52,7 @@ type Fig12Options struct {
 	NRHs     []float64  // default 4K..64
 	Defenses []string   // default all five
 	Profiles []string   // default S0, M0, H1
+	Backends []string   // memory backends to sweep (default: just Base.Backend)
 	Workers  int        // max concurrent simulations (<= 0: GOMAXPROCS)
 	Runner   Runner     // per-job executor (nil: Run); see Runner
 	Progress func(string)
@@ -72,6 +73,9 @@ func (opt Fig12Options) fill() Fig12Options {
 	if len(opt.Profiles) == 0 {
 		opt.Profiles = profile.RepresentativeLabels()
 	}
+	if len(opt.Backends) == 0 {
+		opt.Backends = []string{opt.Base.Backend}
+	}
 	return opt
 }
 
@@ -82,11 +86,14 @@ func DefaultNRHs() []float64 {
 
 // Fig12Cell is one point of Fig. 12: a (defense, nRH, configuration)
 // with its three metrics averaged over mixes, plus the min-max span the
-// paper shades.
+// paper shades. Backend names the memory backend the cell ran on (empty
+// = the DDR4 default, so single-backend sweeps and their fixtures are
+// unchanged).
 type Fig12Cell struct {
 	Defense    string
 	NRH        float64
 	Config     string // "NoSvard", "Svard-S0", "Svard-M0", "Svard-H1"
+	Backend    string `json:",omitempty"`
 	WS, HS, MS float64
 	WSMin      float64
 	WSMax      float64
@@ -94,51 +101,71 @@ type Fig12Cell struct {
 }
 
 // Fig12Jobs expands the sweep into its flat job list, the enumeration
-// every execution path shares: the defense-free baselines first (one per
-// (module, mix), module-major), then one job per
+// every execution path shares: per backend, the defense-free baselines
+// first (one per (module, mix), module-major), then one job per
 // (defense, nRH, svard, module, mix) cell in the exact order the serial
 // sweep visits them. The campaign engine uses the same expansion to size
 // and checkpoint a campaign before running it.
 func Fig12Jobs(opt Fig12Options) []Job {
 	opt = opt.fill()
 	var jobs []Job
-	for _, mod := range opt.Profiles {
-		for mi := range opt.Mixes {
-			cfg := opt.Base
-			cfg.ModuleLabel = mod
-			cfg.Mix = opt.Mixes[mi]
-			cfg.Defense = "none"
-			jobs = append(jobs, Job{
-				Label:  fmt.Sprintf("baseline %s mix %d", mod, mi),
-				Config: cfg,
-			})
+	for _, be := range opt.Backends {
+		// Backend labels only appear in multi-backend sweeps, so
+		// single-backend job lists (and the campaign journals keyed on
+		// them) read exactly as before.
+		suffix := ""
+		if len(opt.Backends) > 1 {
+			suffix = " [" + backendLabel(be) + "]"
 		}
-	}
-	for _, defense := range opt.Defenses {
-		for _, nrh := range opt.NRHs {
-			for _, svard := range []bool{false, true} {
-				for _, mod := range opt.Profiles {
-					for mi := range opt.Mixes {
-						cfg := opt.Base
-						cfg.ModuleLabel = mod
-						cfg.Mix = opt.Mixes[mi]
-						cfg.Defense = defense
-						cfg.NRH = nrh
-						cfg.Svard = svard
-						name := "NoSvard (" + mod + ")"
-						if svard {
-							name = "Svard-" + mod
+		for _, mod := range opt.Profiles {
+			for mi := range opt.Mixes {
+				cfg := opt.Base
+				cfg.Backend = be
+				cfg.ModuleLabel = mod
+				cfg.Mix = opt.Mixes[mi]
+				cfg.Defense = "none"
+				jobs = append(jobs, Job{
+					Label:  fmt.Sprintf("baseline %s mix %d%s", mod, mi, suffix),
+					Config: cfg,
+				})
+			}
+		}
+		for _, defense := range opt.Defenses {
+			for _, nrh := range opt.NRHs {
+				for _, svard := range []bool{false, true} {
+					for _, mod := range opt.Profiles {
+						for mi := range opt.Mixes {
+							cfg := opt.Base
+							cfg.Backend = be
+							cfg.ModuleLabel = mod
+							cfg.Mix = opt.Mixes[mi]
+							cfg.Defense = defense
+							cfg.NRH = nrh
+							cfg.Svard = svard
+							name := "NoSvard (" + mod + ")"
+							if svard {
+								name = "Svard-" + mod
+							}
+							jobs = append(jobs, Job{
+								Label:  fmt.Sprintf("%s nRH=%v %s mix %d%s", defense, nrh, name, mi, suffix),
+								Config: cfg,
+							})
 						}
-						jobs = append(jobs, Job{
-							Label:  fmt.Sprintf("%s nRH=%v %s mix %d", defense, nrh, name, mi),
-							Config: cfg,
-						})
 					}
 				}
 			}
 		}
 	}
 	return jobs
+}
+
+// backendLabel names a backend in progress labels; the empty string is
+// the DDR4 default.
+func backendLabel(be string) string {
+	if be == "" {
+		return "ddr4-3200"
+	}
+	return be
 }
 
 // RunFig12 executes the sweep and returns cells in (defense, nRH,
@@ -170,53 +197,62 @@ func RunFig12Ctx(ctx context.Context, opt Fig12Options) ([]Fig12Cell, error) {
 		return nil, err
 	}
 
-	// The first len(Profiles)*len(Mixes) results are the baselines, in
-	// module-major order.
+	// Per backend segment: the first len(Profiles)*len(Mixes) results are
+	// the baselines, in module-major order, then the cells in enumeration
+	// order. A single-backend sweep has exactly one segment, so its cells
+	// (and fixtures) are unchanged from the pre-backend sweep.
 	nMix := len(opt.Mixes)
-	baseline := func(modIdx, mixIdx int) []float64 {
-		return results[modIdx*nMix+mixIdx].IPC
-	}
-	next := len(opt.Profiles) * nMix
-
-	// Fold the per-run results back into cells, walking the job list in
-	// its (deterministic) enumeration order.
-	foldCell := func(defense string, nrh float64, modIdx int) Fig12Cell {
-		cell := Fig12Cell{Defense: defense, NRH: nrh}
-		var wss, hss, mss []float64
-		for mi := 0; mi < nMix; mi++ {
-			res := results[next]
-			next++
-			base := baseline(modIdx, mi)
-			cores := make([]metrics.PerCore, len(res.IPC))
-			for c := range cores {
-				cores[c] = metrics.PerCore{BaselineIPC: base[c], IPC: res.IPC[c]}
-			}
-			cell.Violations += res.Violations
-			wss = append(wss, metrics.WeightedSpeedup(cores))
-			hss = append(hss, metrics.HarmonicSpeedup(cores))
-			mss = append(mss, metrics.MaxSlowdown(cores))
-		}
-		cell.WS = mean(wss)
-		cell.HS = mean(hss)
-		cell.MS = mean(mss)
-		cell.WSMin, cell.WSMax = minMax(wss)
-		return cell
-	}
+	perBackend := len(opt.Profiles) * nMix * (1 + len(opt.Defenses)*len(opt.NRHs)*2)
 
 	var cells []Fig12Cell
-	for _, defense := range opt.Defenses {
-		for _, nrh := range opt.NRHs {
-			// No-Svärd: averaged over the three modules' chips (the
-			// defense sees only the single worst-case threshold).
-			var agg []Fig12Cell
-			for modIdx := range opt.Profiles {
-				agg = append(agg, foldCell(defense, nrh, modIdx))
+	for bi, be := range opt.Backends {
+		off := bi * perBackend
+		baseline := func(modIdx, mixIdx int) []float64 {
+			return results[off+modIdx*nMix+mixIdx].IPC
+		}
+		next := off + len(opt.Profiles)*nMix
+
+		// Fold the per-run results back into cells, walking the job list
+		// in its (deterministic) enumeration order.
+		foldCell := func(defense string, nrh float64, modIdx int) Fig12Cell {
+			cell := Fig12Cell{Defense: defense, NRH: nrh, Backend: be}
+			var wss, hss, mss []float64
+			for mi := 0; mi < nMix; mi++ {
+				res := results[next]
+				next++
+				base := baseline(modIdx, mi)
+				cores := make([]metrics.PerCore, len(res.IPC))
+				for c := range cores {
+					cores[c] = metrics.PerCore{BaselineIPC: base[c], IPC: res.IPC[c]}
+				}
+				cell.Violations += res.Violations
+				wss = append(wss, metrics.WeightedSpeedup(cores))
+				hss = append(hss, metrics.HarmonicSpeedup(cores))
+				mss = append(mss, metrics.MaxSlowdown(cores))
 			}
-			cells = append(cells, mergeCells(defense, nrh, "NoSvard", agg))
-			for modIdx, mod := range opt.Profiles {
-				c := foldCell(defense, nrh, modIdx)
-				c.Config = "Svard-" + mod
-				cells = append(cells, c)
+			cell.WS = mean(wss)
+			cell.HS = mean(hss)
+			cell.MS = mean(mss)
+			cell.WSMin, cell.WSMax = minMax(wss)
+			return cell
+		}
+
+		for _, defense := range opt.Defenses {
+			for _, nrh := range opt.NRHs {
+				// No-Svärd: averaged over the three modules' chips (the
+				// defense sees only the single worst-case threshold).
+				var agg []Fig12Cell
+				for modIdx := range opt.Profiles {
+					agg = append(agg, foldCell(defense, nrh, modIdx))
+				}
+				merged := mergeCells(defense, nrh, "NoSvard", agg)
+				merged.Backend = be
+				cells = append(cells, merged)
+				for modIdx, mod := range opt.Profiles {
+					c := foldCell(defense, nrh, modIdx)
+					c.Config = "Svard-" + mod
+					cells = append(cells, c)
+				}
 			}
 		}
 	}
@@ -255,6 +291,7 @@ func mergeCells(defense string, nrh float64, config string, cs []Fig12Cell) Fig1
 type Fig13Cell struct {
 	Defense      string
 	Config       string
+	Backend      string  `json:",omitempty"` // empty = the DDR4 default
 	Slowdown     float64 // mean benign-core slowdown vs the no-defense baseline
 	RelToNoSvard float64
 }
@@ -265,8 +302,9 @@ type Fig13Options struct {
 	NRH      float64  // paper: 64
 	Benign   []string // 7 benign workloads joining the attacker
 	Profiles []string
-	Workers  int    // max concurrent simulations (<= 0: GOMAXPROCS)
-	Runner   Runner // per-job executor (nil: Run); see Runner
+	Backends []string // memory backends to sweep (default: just Base.Backend)
+	Workers  int      // max concurrent simulations (<= 0: GOMAXPROCS)
+	Runner   Runner   // per-job executor (nil: Run); see Runner
 	Progress func(string)
 }
 
@@ -280,6 +318,9 @@ func (opt Fig13Options) fill() Fig13Options {
 	}
 	if len(opt.Benign) == 0 {
 		opt.Benign = []string{"mcf06", "lbm06", "ycsb-a", "tpcc", "h264dec", "milc06", "xz17"}
+	}
+	if len(opt.Backends) == 0 {
+		opt.Backends = []string{opt.Base.Backend}
 	}
 	return opt
 }
@@ -307,36 +348,43 @@ func (opt Fig13Options) validate() error {
 var fig13Defenses = trace.AttackTargets
 
 // Fig13Jobs expands the adversarial evaluation into its flat job list:
-// per defense, the no-defense baseline, the defense without Svärd, then
-// one Svärd run per profile — all independent.
+// per backend and defense, the no-defense baseline, the defense without
+// Svärd, then one Svärd run per profile — all independent.
 func Fig13Jobs(opt Fig13Options) ([]Job, error) {
 	opt = opt.fill()
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	job := func(defense, module string, withDefense, svard bool, label string) Job {
-		mix := append([]string{"attack:" + defense}, opt.Benign...)
-		mix = mix[:opt.Base.Cores]
-		cfg := opt.Base
-		cfg.ModuleLabel = module
-		cfg.Mix = mix
-		cfg.NRH = opt.NRH
-		if withDefense {
-			cfg.Defense = defense
-			cfg.Svard = svard
-		} else {
-			cfg.Defense = "none"
-		}
-		return Job{Label: label, Config: cfg}
-	}
 	var jobs []Job
 	mod0 := opt.Profiles[0]
-	for _, defense := range fig13Defenses {
-		jobs = append(jobs,
-			job(defense, mod0, false, false, defense+" baseline"),
-			job(defense, mod0, true, false, defense+" NoSvard"))
-		for _, mod := range opt.Profiles {
-			jobs = append(jobs, job(defense, mod, true, true, defense+" Svard-"+mod))
+	for _, be := range opt.Backends {
+		suffix := ""
+		if len(opt.Backends) > 1 {
+			suffix = " [" + backendLabel(be) + "]"
+		}
+		job := func(defense, module string, withDefense, svard bool, label string) Job {
+			mix := append([]string{"attack:" + defense}, opt.Benign...)
+			mix = mix[:opt.Base.Cores]
+			cfg := opt.Base
+			cfg.Backend = be
+			cfg.ModuleLabel = module
+			cfg.Mix = mix
+			cfg.NRH = opt.NRH
+			if withDefense {
+				cfg.Defense = defense
+				cfg.Svard = svard
+			} else {
+				cfg.Defense = "none"
+			}
+			return Job{Label: label + suffix, Config: cfg}
+		}
+		for _, defense := range fig13Defenses {
+			jobs = append(jobs,
+				job(defense, mod0, false, false, defense+" baseline"),
+				job(defense, mod0, true, false, defense+" NoSvard"))
+			for _, mod := range opt.Profiles {
+				jobs = append(jobs, job(defense, mod, true, true, defense+" Svard-"+mod))
+			}
 		}
 	}
 	return jobs, nil
@@ -375,21 +423,24 @@ func RunFig13Ctx(ctx context.Context, opt Fig13Options) ([]Fig13Cell, error) {
 
 	var cells []Fig13Cell
 	next := 0
-	for _, defense := range fig13Defenses {
-		baseIPC := benignIPC[next]
-		noSvIPC := benignIPC[next+1]
-		next += 2
-		noSv := baseIPC / noSvIPC
-		cells = append(cells, Fig13Cell{Defense: defense, Config: "NoSvard", Slowdown: noSv, RelToNoSvard: 1})
-		for _, mod := range opt.Profiles {
-			sd := baseIPC / benignIPC[next]
-			next++
-			cells = append(cells, Fig13Cell{
-				Defense:      defense,
-				Config:       "Svard-" + mod,
-				Slowdown:     sd,
-				RelToNoSvard: sd / noSv,
-			})
+	for _, be := range opt.Backends {
+		for _, defense := range fig13Defenses {
+			baseIPC := benignIPC[next]
+			noSvIPC := benignIPC[next+1]
+			next += 2
+			noSv := baseIPC / noSvIPC
+			cells = append(cells, Fig13Cell{Defense: defense, Config: "NoSvard", Backend: be, Slowdown: noSv, RelToNoSvard: 1})
+			for _, mod := range opt.Profiles {
+				sd := baseIPC / benignIPC[next]
+				next++
+				cells = append(cells, Fig13Cell{
+					Defense:      defense,
+					Config:       "Svard-" + mod,
+					Backend:      be,
+					Slowdown:     sd,
+					RelToNoSvard: sd / noSv,
+				})
+			}
 		}
 	}
 	return cells, nil

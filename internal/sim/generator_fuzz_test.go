@@ -16,7 +16,7 @@ func TestAttackTargetsHaveGenerators(t *testing.T) {
 	cfg.Cores = 2
 	mcCfg := memctrl.DefaultConfig(cfg.RowsPerBank)
 	for _, target := range trace.AttackTargets {
-		if _, _, err := cfg.generatorFor(mcCfg, 0, "attack:"+target); err != nil {
+		if _, _, err := cfg.generatorFor(mcCfg, 1, 0, "attack:"+target); err != nil {
 			t.Errorf("attack target %q has no generator: %v", target, err)
 		}
 	}
@@ -41,7 +41,7 @@ func FuzzGeneratorFor(f *testing.F) {
 		cfg.Cores = 2
 		mcCfg := memctrl.DefaultConfig(cfg.RowsPerBank)
 
-		gen, uncached, err := cfg.generatorFor(mcCfg, 1, name)
+		gen, uncached, err := cfg.generatorFor(mcCfg, 1, 1, name)
 		simOK := err == nil
 		traceOK := trace.CheckWorkload(name) == nil
 		if simOK != traceOK {

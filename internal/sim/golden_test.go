@@ -56,6 +56,22 @@ func goldenFig12Options() Fig12Options {
 	}
 }
 
+// goldenFig12HBM2Options is the HBM2-backend fixture sweep: the same
+// shape as the DDR4 fixture but narrower (one defense), since its job
+// is pinning the multi-channel backend's numerical behavior, not
+// re-covering the sweep machinery.
+func goldenFig12HBM2Options() Fig12Options {
+	base := tinyBase()
+	base.Backend = "hbm2"
+	return Fig12Options{
+		Base:     base,
+		Mixes:    [][]string{{"mcf06", "ycsb-a"}, {"lbm06", "tpcc"}},
+		NRHs:     []float64{1024, 64},
+		Defenses: []string{"para"},
+		Profiles: []string{"S0"},
+	}
+}
+
 func goldenFig13Options() Fig13Options {
 	return Fig13Options{
 		Base:     tinyBase(),
@@ -117,6 +133,37 @@ func TestGoldenFig12(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join("testdata", "fig12_golden.json")
+	if *update {
+		writeGolden(t, path, Fig12GoldenFile{
+			Base: opt.Base, Mixes: opt.Mixes, NRHs: opt.NRHs,
+			Defenses: opt.Defenses, Profiles: opt.Profiles, Cells: cells,
+		})
+		return
+	}
+	var golden Fig12GoldenFile
+	readGolden(t, path, &golden)
+	want := Fig12GoldenFile{
+		Base: opt.Base, Mixes: opt.Mixes, NRHs: opt.NRHs,
+		Defenses: opt.Defenses, Profiles: opt.Profiles,
+	}
+	got := golden
+	got.Cells = nil
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("golden fixture swept different options than the test; regenerate with -update\nfixture: %+v\ntest:    %+v", got, want)
+	}
+	compareCells(t, cells, golden.Cells)
+}
+
+// TestGoldenFig12HBM2 pins the HBM2 backend's cell values, so backend
+// or routing changes that alter HBM2 results are caught the same way
+// DDR4 regressions are — by fixture, not by eye.
+func TestGoldenFig12HBM2(t *testing.T) {
+	opt := goldenFig12HBM2Options()
+	cells, err := RunFig12(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "fig12_hbm2_golden.json")
 	if *update {
 		writeGolden(t, path, Fig12GoldenFile{
 			Base: opt.Base, Mixes: opt.Mixes, NRHs: opt.NRHs,

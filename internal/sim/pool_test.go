@@ -99,12 +99,59 @@ func TestPoolDirtyReuse(t *testing.T) {
 	}
 }
 
+// TestPoolBackendAlternationHBM2 is the deterministic cross-backend
+// reuse differential: DDR4 and HBM2 cells alternate through one pool —
+// the arena's controller slice grows from one controller to four and
+// shrinks back, with a truncated HBM2 run left mid-flight in between —
+// and every cell must match fresh construction bit for bit.
+func TestPoolBackendAlternationHBM2(t *testing.T) {
+	pool := NewPool()
+	base := diffBase()
+	base.Mix = []string{"mcf06", "ycsb-a"}
+	base.Defense = "para"
+
+	steps := []struct {
+		name      string
+		backend   string
+		defense   string
+		maxCycles uint64
+	}{
+		{"ddr4", "", "para", 0},
+		{"hbm2", "hbm2", "para", 0},
+		{"hbm2-truncated", "hbm2", "hydra", 25_000},
+		{"ddr4-after-hbm2", "", "hydra", 0},
+		{"hbm2-after-shrink", "hbm2", "rrs", 0},
+	}
+	for _, st := range steps {
+		cfg := base
+		cfg.Backend = st.backend
+		cfg.Defense = st.defense
+		if st.maxCycles > 0 {
+			cfg.MaxCycles = st.maxCycles
+		}
+		fresh, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", st.name, err)
+		}
+		pooled, err := pool.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", st.name, err)
+		}
+		if !reflect.DeepEqual(fresh, pooled) {
+			t.Fatalf("%s: pooled run diverged:\nfresh:  %+v\npooled: %+v", st.name, fresh, pooled)
+		}
+	}
+}
+
 // TestPoolGeometryInterleave funnels randomized configurations of
-// different geometries (rows per bank, cores, workloads, defenses,
-// truncation) through ONE pool arena in sequence and checks each
-// against fresh construction. This is the randomized reset-coverage
-// test: growing and shrinking geometry must never leak state between
-// cells.
+// different geometries (memory backend, rows per bank, cores,
+// workloads, defenses, truncation) through ONE pool arena in sequence
+// and checks each against fresh construction. This is the randomized
+// reset-coverage test: growing and shrinking geometry — including
+// alternating the single-channel DDR4 preset with the four-pseudo-
+// channel HBM2 preset, which resizes the controller slice, every
+// per-channel defense, and the tracker's accrual table — must never
+// leak state between cells.
 func TestPoolGeometryInterleave(t *testing.T) {
 	if testing.Short() {
 		t.Skip("randomized geometry interleave is seconds-scale")
@@ -113,10 +160,12 @@ func TestPoolGeometryInterleave(t *testing.T) {
 	r := rng.New(0xD00DF00D)
 	rows := []int{1024, 2048, 4096}
 	cores := []int{1, 2, 3}
+	backends := []string{"", "hbm2", "ddr4-3200"}
 	workloads := []string{"mcf06", "ycsb-a", "lbm06", "tpcc", "attack:hydra", "attack:rrs"}
 	defenses := append([]string{"none"}, DefenseNames...)
 	for i := 0; i < 24; i++ {
 		cfg := DefaultConfig()
+		cfg.Backend = backends[r.Intn(len(backends))]
 		cfg.RowsPerBank = rows[r.Intn(len(rows))]
 		cfg.CellsPerRow = 2048
 		cfg.Cores = cores[r.Intn(len(cores))]
@@ -132,7 +181,7 @@ func TestPoolGeometryInterleave(t *testing.T) {
 		if r.Bool(0.25) {
 			cfg.MaxCycles = 20_000 // leave the arena mid-flight
 		}
-		name := fmt.Sprintf("%02d-%s-rows%d-cores%d", i, cfg.Defense, cfg.RowsPerBank, cfg.Cores)
+		name := fmt.Sprintf("%02d-%s-%s-rows%d-cores%d", i, cfg.Defense, backendLabel(cfg.Backend), cfg.RowsPerBank, cfg.Cores)
 		fresh, err := Run(cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

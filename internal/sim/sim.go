@@ -1,12 +1,15 @@
 // Package sim assembles the full performance-evaluation system of §7.1
-// (Table 4): eight trace-driven cores with private LLCs, the FR-FCFS
-// memory controller, cycle-level DDR4 ranks, one of the five defenses
-// (with or without Svärd), and a security tracker that accounts read
-// disturbance under the scaled vulnerability profile.
+// (Table 4): eight trace-driven cores with private LLCs, one FR-FCFS
+// memory controller per (pseudo) channel of the selected backend
+// (DDR4-3200 by default, HBM2 optionally), cycle-level DRAM ranks, one
+// of the five defenses (with or without Svärd), and a security tracker
+// that accounts read disturbance under the scaled vulnerability
+// profile.
 package sim
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -34,6 +37,12 @@ type Config struct {
 	CPUGHz float64
 	Cores  int
 	Core   cpu.Config
+
+	// Backend selects the memory-system preset (dram.BackendByName):
+	// "ddr4-3200" — the paper's Table 4 system — or "hbm2". The empty
+	// string aliases ddr4-3200, so pre-backend configs, fixtures, and
+	// fingerprints keep their exact meaning.
+	Backend string
 
 	ModuleLabel string  // vulnerability profile source (Table 5 label)
 	RowsPerBank int     // scaled bank size (Table 4 uses 128K; see EXPERIMENTS.md)
@@ -81,6 +90,18 @@ func DefaultConfig() Config {
 		Seed:          1,
 		WindowScale:   64,
 	}
+}
+
+// Validate checks the configuration's named presets — today the memory
+// backend — without building anything. The campaign spec validator and
+// the server's submit path call it so an invalid backend is a
+// descriptive error (HTTP 400), never a panic inside a worker.
+func (c *Config) Validate() error {
+	b, err := dram.BackendByName(c.Backend)
+	if err != nil {
+		return err
+	}
+	return b.Validate()
 }
 
 // Result summarizes one simulation.
@@ -198,9 +219,11 @@ func buildDefense(name string, si mitigation.SystemInfo, th core.Thresholds, cpu
 	}
 }
 
-// port adapts the controller to the core's MemPort. Requests flow
-// through the controller's internal request pool, so the per-access
-// path allocates nothing.
+// port adapts a single controller to the core's MemPort — the
+// single-channel fast path (the DDR4 preset), with no routing between
+// the core and the controller's request pool. Requests flow through the
+// controller's internal request pool, so the per-access path allocates
+// nothing.
 type port struct {
 	mc   *memctrl.Controller
 	core int
@@ -214,13 +237,34 @@ func (p port) Write(addr uint64, cycle uint64) bool {
 	return p.mc.Write(addr, p.core, cycle)
 }
 
+// chanPort is port for a multi-channel machine: it routes each access
+// to its (pseudo) channel's controller with the channel bits folded out
+// of the address.
+type chanPort struct {
+	m    *machine
+	core int
+}
+
+func (p chanPort) Read(addr uint64, done func(uint64), cycle uint64) bool {
+	ch, a := p.m.route(addr)
+	return p.m.mcs[ch].Read(a, p.core, done, cycle)
+}
+
+func (p chanPort) Write(addr uint64, cycle uint64) bool {
+	ch, a := p.m.route(addr)
+	return p.m.mcs[ch].Write(a, p.core, cycle)
+}
+
 // generatorFor builds the trace generator for one core slot; uncached
 // marks clflush-style attacker cores whose accesses bypass the LLC.
-func (c *Config) generatorFor(mcCfg memctrl.Config, slot int, name string) (gen cpu.Generator, uncached bool, err error) {
+// nchan is the system's (pseudo) channel count — it widens the stride
+// between consecutive rows of one bank in the interleaved address
+// space.
+func (c *Config) generatorFor(mcCfg memctrl.Config, nchan, slot int, name string) (gen cpu.Generator, uncached bool, err error) {
 	base := uint64(slot) << 34
 	// One MC row spans this many bytes of the MOP-interleaved address
 	// space before the row index increments within a bank.
-	rowSpan := uint64(mcCfg.MOPWidth) * 64 * uint64(mcCfg.BankGroups*mcCfg.BanksPerGroup*mcCfg.Ranks) *
+	rowSpan := uint64(mcCfg.MOPWidth) * 64 * uint64(mcCfg.BankGroups*mcCfg.BanksPerGroup*mcCfg.Ranks) * uint64(nchan) *
 		uint64(mcCfg.RowBytes/64/mcCfg.MOPWidth)
 	switch name {
 	case "attack:hydra":
@@ -240,30 +284,87 @@ func (c *Config) generatorFor(mcCfg memctrl.Config, slot int, name string) (gen 
 	}
 }
 
-// machine is one assembled simulation — the controller, the cores, and
-// the security tracker — ready to be driven to completion by either
-// engine loop. Tests reach into it to assert per-core invariants the
-// folded Result cannot express (exact finish cycles, measurement-region
-// accounting).
+// machine is one assembled simulation — the per-channel controllers,
+// the cores, and the security tracker — ready to be driven to
+// completion by either engine loop. Tests reach into it to assert
+// per-core invariants the folded Result cannot express (exact finish
+// cycles, measurement-region accounting).
 type machine struct {
-	mc      *memctrl.Controller
+	mcs     []*memctrl.Controller // one per (pseudo) channel
 	cores   []*cpu.Core
 	tracker *secTracker
 	ticks   uint64 // simulated cycles actually ticked by the driver loop
+
+	// Channel routing fields (unused when nchan == 1 — the DDR4 preset
+	// binds cores straight to mcs[0] through port).
+	nchan      uint64
+	mopWidth   uint64
+	chanStride uint64 // banks per channel: BankGroups*BanksPerGroup*Ranks
 }
+
+// route maps a flat physical address to its (pseudo) channel and the
+// channel-local address that channel's controller decodes. The channel
+// bits sit between the rank and column-high fields of the MOP mapping,
+// so consecutive MOP groups interleave across bank groups, banks, and
+// ranks within a channel before spilling to the next channel.
+func (m *machine) route(addr uint64) (int, uint64) {
+	low := addr & 63
+	blk := addr >> 6
+	mop := blk % m.mopWidth
+	q := blk / m.mopWidth
+	pre := q % m.chanStride
+	q /= m.chanStride
+	ch := int(q % m.nchan)
+	q /= m.nchan
+	blk = (q*m.chanStride+pre)*m.mopWidth + mop
+	return ch, blk<<6 | low
+}
+
+// chanTracker adapts a channel-local controller to the system-wide
+// security tracker by offsetting bank and rank indices. Channel 0 skips
+// the adapter and reports straight into the tracker.
+type chanTracker struct {
+	t       *secTracker
+	bankOff int
+	rankOff int
+}
+
+func (ct chanTracker) OnAct(bank, row int, cycle uint64) { ct.t.OnAct(ct.bankOff+bank, row, cycle) }
+func (ct chanTracker) OnPre(bank, row int, on uint64)    { ct.t.OnPre(ct.bankOff+bank, row, on) }
+func (ct chanTracker) OnRefresh(rank, firstRow, count int) {
+	ct.t.OnRefresh(ct.rankOff+rank, firstRow, count)
+}
+func (ct chanTracker) OnRowsSwapped(bank, a, b int) { ct.t.OnRowsSwapped(ct.bankOff+bank, a, b) }
+
+// chanThresholds shifts a channel-local bank index into the system-wide
+// per-bank threshold tables (Svärd profiles every bank of the system).
+// Channel 0 queries the thresholds directly.
+type chanThresholds struct {
+	th  core.Thresholds
+	off int
+}
+
+func (ct chanThresholds) ActivationBudget(bank, row int) float64 {
+	return ct.th.ActivationBudget(ct.off+bank, row)
+}
+
+func (ct chanThresholds) MinBudget() float64 { return ct.th.MinBudget() }
 
 // newMachine builds the simulated system of cfg from fresh allocations.
 func newMachine(cfg Config) (*machine, error) { return buildMachine(cfg, nil) }
 
-// poolState is one worker's reusable simulation arena: the controller
-// (with the DRAM system, queues, and per-row tables inside), the cores
-// (windows, LLCs, MSHR records), the security tracker's accrual table,
-// and one instance of each defense type seen so far. buildMachine
-// Reset()s each piece to its exactly-fresh state instead of
-// reallocating, so a sweep executes cells allocation-flat after its
-// first few cells warm the arena.
+// poolState is one worker's reusable simulation arena: the per-channel
+// controllers (with the DRAM systems, queues, and per-row tables
+// inside), the cores (windows, LLCs, MSHR records), the security
+// tracker's accrual table, and one instance of each defense type seen
+// so far (keyed per channel — defenses hold per-bank state sized to
+// their channel). buildMachine Reset()s each piece to its exactly-fresh
+// state instead of reallocating, so a sweep executes cells
+// allocation-flat after its first few cells warm the arena — including
+// sweeps that alternate backends, since every Reset resizes to the
+// requested geometry.
 type poolState struct {
-	mc       *memctrl.Controller
+	mcs      []*memctrl.Controller
 	cores    []*cpu.Core
 	tracker  *secTracker
 	defenses map[string]mitigation.Defense
@@ -277,9 +378,17 @@ func buildMachine(cfg Config, st *poolState) (*machine, error) {
 	if cfg.Cores <= 0 || len(cfg.Mix) != cfg.Cores {
 		return nil, fmt.Errorf("sim: mix has %d entries for %d cores", len(cfg.Mix), cfg.Cores)
 	}
-	mcCfg := memctrl.DefaultConfig(cfg.RowsPerBank)
-	mcCfg.CPUGHz = cfg.CPUGHz
-	banks := mcCfg.Ranks * mcCfg.BankGroups * mcCfg.BanksPerGroup
+	backend, err := dram.BackendByName(cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+	if err := backend.Validate(); err != nil {
+		return nil, err
+	}
+	nchan := backend.Geom.TotalChannels()
+	mcCfg := memctrl.ConfigFor(backend.Geom, cfg.RowsPerBank, cfg.CPUGHz)
+	banksPerChan := mcCfg.Ranks * mcCfg.BankGroups * mcCfg.BanksPerGroup
+	banks := nchan * banksPerChan
 
 	entry, err := buildModule(cfg.ModuleLabel, cfg.RowsPerBank, cfg.CellsPerRow, banks, cfg.Seed)
 	if err != nil {
@@ -299,7 +408,7 @@ func buildMachine(cfg Config, st *poolState) (*machine, error) {
 		th = core.Fixed(cfg.NRH)
 	}
 
-	timing := mem.CyclesFrom(dram.DDR4Timing(mod.Spec.FreqMTs), cfg.CPUGHz)
+	timing := mem.CyclesFrom(backend.Timing(mod.Spec.FreqMTs), cfg.CPUGHz)
 	if cfg.WindowScale > 1 {
 		// Shrink the refresh window (and with it every defense's
 		// counting window and the per-REF restore slice) so short runs
@@ -309,43 +418,77 @@ func buildMachine(cfg Config, st *poolState) (*machine, error) {
 			timing.REFW = 4 * timing.REFI
 		}
 	}
-	si := mitigation.SystemInfo{
-		Banks:       banks,
-		RowsPerBank: cfg.RowsPerBank,
-		REFWCycles:  timing.REFW,
-		Seed:        cfg.Seed,
-	}
 	defName := strings.ToLower(cfg.Defense)
-	var prev mitigation.Defense
-	if st != nil {
-		prev = st.defenses[defName]
-	}
-	def, err := buildDefense(cfg.Defense, si, th, cfg.CPUGHz, prev)
-	if err != nil {
-		return nil, err
-	}
-	if st != nil {
-		st.defenses[defName] = def
-	}
 
 	model := disturb.NewModel(mod.Params, mod.Geom)
 	var tracker *secTracker
-	var mc *memctrl.Controller
 	if st != nil && st.tracker != nil {
 		tracker = st.tracker
 		tracker.reset(model, entry.hcBase, entry.psi, scaled.Factor, cfg.CPUGHz, banks, mcCfg.BankGroups*mcCfg.BanksPerGroup)
 	} else {
 		tracker = newSecTracker(model, entry.hcBase, entry.psi, scaled.Factor, cfg.CPUGHz, banks, mcCfg.BankGroups*mcCfg.BanksPerGroup)
 	}
-	if st != nil && st.mc != nil {
-		mc = st.mc
-		mc.Reset(mcCfg, timing, def, tracker)
-	} else {
-		mc = memctrl.New(mcCfg, timing, def, tracker)
-	}
 	if st != nil {
 		st.tracker = tracker
-		st.mc = mc
+	}
+
+	var mcs []*memctrl.Controller
+	if st != nil && cap(st.mcs) >= nchan {
+		mcs = st.mcs[:nchan]
+	} else {
+		mcs = make([]*memctrl.Controller, nchan)
+		if st != nil {
+			copy(mcs, st.mcs)
+		}
+	}
+	if st != nil {
+		st.mcs = mcs
+	}
+	m := &machine{mcs: mcs, tracker: tracker}
+	if nchan > 1 {
+		m.nchan = uint64(nchan)
+		m.mopWidth = uint64(mcCfg.MOPWidth)
+		m.chanStride = uint64(banksPerChan)
+	}
+	for ch := 0; ch < nchan; ch++ {
+		// Each (pseudo) channel runs its own controller and defense
+		// instance over its slice of the global bank space. Channel 0
+		// uses the unwrapped tracker, thresholds, key, and seed, so the
+		// single-channel DDR4 preset is bit- and allocation-identical to
+		// the pre-backend system.
+		si := mitigation.SystemInfo{
+			Banks:       banksPerChan,
+			RowsPerBank: cfg.RowsPerBank,
+			REFWCycles:  timing.REFW,
+			Seed:        cfg.Seed,
+		}
+		chTh := th
+		var chTr memctrl.Tracker = tracker
+		key := defName
+		if ch > 0 {
+			// Decorrelate per-channel probabilistic defenses (PARA) the
+			// same way a real system's independent controllers would be.
+			si.Seed = cfg.Seed + uint64(ch)*0x9E3779B97F4A7C15
+			chTh = chanThresholds{th: th, off: ch * banksPerChan}
+			chTr = chanTracker{t: tracker, bankOff: ch * banksPerChan, rankOff: ch * mcCfg.Ranks}
+			key = defName + "#" + strconv.Itoa(ch)
+		}
+		var prev mitigation.Defense
+		if st != nil {
+			prev = st.defenses[key]
+		}
+		def, err := buildDefense(cfg.Defense, si, chTh, cfg.CPUGHz, prev)
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			st.defenses[key] = def
+		}
+		if mcs[ch] != nil {
+			mcs[ch].Reset(mcCfg, timing, def, chTr)
+		} else {
+			mcs[ch] = memctrl.New(mcCfg, timing, def, chTr)
+		}
 	}
 
 	var cores []*cpu.Core
@@ -358,16 +501,22 @@ func buildMachine(cfg Config, st *poolState) (*machine, error) {
 		}
 	}
 	for i := range cores {
-		gen, uncached, err := cfg.generatorFor(mcCfg, i, cfg.Mix[i])
+		gen, uncached, err := cfg.generatorFor(mcCfg, nchan, i, cfg.Mix[i])
 		if err != nil {
 			return nil, err
 		}
 		coreCfg := cfg.Core
 		coreCfg.Uncached = uncached
-		if cores[i] == nil {
-			cores[i] = cpu.New(i, coreCfg, gen, port{mc: mc, core: i})
+		var mp cpu.MemPort
+		if nchan > 1 {
+			mp = chanPort{m: m, core: i}
 		} else {
-			cores[i].Reset(i, coreCfg, gen, port{mc: mc, core: i})
+			mp = port{mc: mcs[0], core: i}
+		}
+		if cores[i] == nil {
+			cores[i] = cpu.New(i, coreCfg, gen, mp)
+		} else {
+			cores[i].Reset(i, coreCfg, gen, mp)
 		}
 		cores[i].WarmupTarget = cfg.WarmupPerCore
 		cores[i].MeasureTarget = cfg.InstrPerCore
@@ -375,7 +524,8 @@ func buildMachine(cfg Config, st *poolState) (*machine, error) {
 	if st != nil {
 		st.cores = cores
 	}
-	return &machine{mc: mc, cores: cores, tracker: tracker}, nil
+	m.cores = cores
+	return m, nil
 }
 
 // runNaive is the per-cycle reference loop: tick the controller and
@@ -386,7 +536,9 @@ func (m *machine) runNaive(maxCycles uint64) (uint64, bool) {
 	remaining := len(m.cores)
 	for cycle := uint64(0); cycle < maxCycles; cycle++ {
 		m.ticks++
-		m.mc.TickFull(cycle)
+		for _, mc := range m.mcs {
+			mc.TickFull(cycle)
+		}
 		for _, c := range m.cores {
 			was := c.Finished()
 			c.Tick(cycle)
@@ -417,7 +569,12 @@ func (m *machine) runSkip(maxCycles uint64) (uint64, bool) {
 	cycle := uint64(0)
 	for cycle < maxCycles {
 		m.ticks++
-		active := m.mc.Tick(cycle)
+		active := false
+		for _, mc := range m.mcs {
+			if mc.Tick(cycle) {
+				active = true
+			}
+		}
 		for _, c := range m.cores {
 			was := c.Finished()
 			if c.Tick(cycle) {
@@ -434,7 +591,12 @@ func (m *machine) runSkip(maxCycles uint64) (uint64, bool) {
 			cycle++
 			continue
 		}
-		next := m.mc.NextEvent(cycle)
+		next := ^uint64(0)
+		for _, mc := range m.mcs {
+			if n := mc.NextEvent(cycle); n < next {
+				next = n
+			}
+		}
 		for _, c := range m.cores {
 			if n := c.NextEvent(cycle); n < next {
 				next = n
@@ -458,9 +620,12 @@ func (m *machine) result(cfg Config, endCycle uint64, finished bool) Result {
 	res := Result{
 		IPC:        make([]float64, len(m.cores)),
 		Cycles:     endCycle,
-		MC:         m.mc.Stats,
+		MC:         m.mcs[0].Stats,
 		Violations: m.tracker.Violations,
 		Finished:   finished,
+	}
+	for _, mc := range m.mcs[1:] {
+		res.MC.Add(mc.Stats)
 	}
 	for i, c := range m.cores {
 		switch {
