@@ -12,6 +12,7 @@ import (
 
 	"svard/internal/charz"
 	"svard/internal/core"
+	"svard/internal/population"
 	"svard/internal/profile"
 	"svard/internal/sim"
 )
@@ -270,6 +271,42 @@ func BenchmarkFig12SweepSerialNoSkip(b *testing.B) { benchFig12Sweep(b, 1, true,
 // tracks the multi-channel backend's cost (routing, per-channel defense
 // instances, the widened NextEvent bound) release over release.
 func BenchmarkFig12SweepSerialHBM2(b *testing.B) { benchFig12Sweep(b, 1, false, "hbm2") }
+
+// BenchmarkPopulationSweep runs the Monte Carlo confidence-band sweep
+// over a small synthetic population at bench scale. Unlike the Fig. 12
+// sweep benches, each iteration pays the per-module calibration again:
+// the population path evicts every chunk's module tables after folding
+// (the property that keeps a 10K-chip sweep in constant memory), so
+// recalibration IS the representative cost profile of a population
+// sweep.
+func BenchmarkPopulationSweep(b *testing.B) {
+	base := sim.DefaultConfig()
+	base.Cores = 2
+	base.RowsPerBank = 2048
+	base.CellsPerRow = 2048
+	base.InstrPerCore = 15_000
+	base.WarmupPerCore = 3_000
+	opt := sim.PopulationOptions{
+		Base:       base,
+		Population: population.Ref{Seed: 1, Size: 4},
+		Mixes:      [][]string{{"mcf06", "ycsb-a"}},
+		NRHs:       []float64{64},
+		Defenses:   []string{"para"},
+		Chunk:      2,
+		Workers:    1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, err := sim.RunPopulation(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 2 || cells[0].Modules != 4 {
+			b.Fatalf("bands = %+v", cells)
+		}
+	}
+}
 
 // BenchmarkFig13Adversarial regenerates Fig. 13 at bench scale.
 func BenchmarkFig13Adversarial(b *testing.B) {

@@ -13,6 +13,8 @@
 //	            [-cores N] [-rows N] [-seed N]
 //	            [-defenses para,rrs] [-nrhs 1024,64] [-profiles S0,M0]
 //	            [-backends ddr4-3200,hbm2] [-benign mcf06,...] [-nrh13 64]
+//	            [-population N] [-population-seed S] [-population-chunk N]
+//	            [-bands-json FILE]
 //	            [-spec campaign.json] [-print-spec] [-q]
 //
 // A campaign can also be declared as a JSON file (-spec); explicit
@@ -27,6 +29,7 @@
 //	svard-sweep -fig12 -nrhs 1024,64 -defenses para,rrs   # same again: all cache hits
 //	svard-sweep -fig12 -mixes 120 -instr 200000000        # paper scale; Ctrl-C it...
 //	svard-sweep -fig12 -mixes 120 -instr 200000000 -resume # ...and pick it back up
+//	svard-sweep -population 1000 -bands-json bands.json   # Monte Carlo confidence bands
 package main
 
 import (
@@ -73,6 +76,11 @@ func main() {
 		benign   = flag.String("benign", "", "comma-separated Fig. 13 benign workloads")
 		nrh13    = flag.Float64("nrh13", 0, "Fig. 13 HCfirst (default 64)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+
+		popSize  = flag.Int("population", 0, "sweep a synthetic module population of this size (Fig. 12 confidence bands instead of per-profile points)")
+		popSeed  = flag.Uint64("population-seed", 1, "population seed: any module of the population is reconstructible from (seed, index)")
+		popChunk = flag.Int("population-chunk", 0, "modules resident per population chunk (memory knob, 0 = default 16; never affects results)")
+		bandsOut = flag.String("bands-json", "", "write the population band cells as JSON to this file")
 	)
 	var explicitMixes [][]string
 	flag.Func("mix", "one explicit workload mix, comma-separated (repeatable; overrides -mixes)", func(s string) error {
@@ -162,6 +170,15 @@ func main() {
 			spec.Figures = append(spec.Figures, campaign.Fig13)
 		}
 	}
+	if set["population"] || set["population-seed"] {
+		spec.Population = &campaign.PopulationSpec{Seed: *popSeed, Size: *popSize}
+	}
+	// A population campaign only sweeps Fig. 12 bands; when the figure
+	// flags are silent, pin Fig. 12 rather than letting the default
+	// (both figures) fail validation.
+	if spec.Population != nil && len(spec.Figures) == 0 {
+		spec.Figures = []string{campaign.Fig12}
+	}
 
 	if err := spec.Validate(); err != nil {
 		fatal(err)
@@ -196,9 +213,10 @@ func main() {
 	}
 
 	eng := &campaign.Engine{
-		Store:   store,
-		Workers: *parallel,
-		Resume:  *resume,
+		Store:           store,
+		Workers:         *parallel,
+		Resume:          *resume,
+		PopulationChunk: *popChunk,
 	}
 	if !*quiet {
 		eng.Progress = func(msg string) { fmt.Fprintf(os.Stderr, "\r%-60s", msg) }
@@ -232,6 +250,27 @@ func main() {
 		}
 		for _, d := range names {
 			fmt.Println(report.Fig12(d, out.Fig12))
+		}
+	}
+	if out.Bands != nil {
+		names := spec.Defenses
+		if len(names) == 0 {
+			names = sim.DefenseNames
+		}
+		for _, d := range names {
+			fmt.Println(report.Bands(d, out.Bands))
+		}
+		if *bandsOut != "" {
+			b, err := report.BandsJSON(out.Bands)
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*bandsOut, append(b, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "bands written to %s\n", *bandsOut)
+			}
 		}
 	}
 	if out.Fig13 != nil {

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"svard/internal/cache"
+	"svard/internal/population"
 	"svard/internal/profile"
 	"svard/internal/sim"
 	"svard/internal/trace"
@@ -50,6 +51,23 @@ type Spec struct {
 
 	Benign []string `json:"benign,omitempty"` // Fig. 13 benign workloads
 	NRH13  float64  `json:"nrh13,omitempty"`  // Fig. 13 threshold (default 64)
+
+	// Population, when set, turns the Fig. 12 sweep into a Monte Carlo
+	// confidence-band sweep over Size synthetic modules sampled from the
+	// Table 5 fit by (Seed, index) — the campaign's outcome carries
+	// Bands instead of Fig12 cells. The field is a pointer with
+	// omitempty precisely so it is fingerprint-neutral when absent:
+	// every pre-population spec keeps its exact fingerprint, journal,
+	// and cache keys.
+	Population *PopulationSpec `json:"population,omitempty"`
+}
+
+// PopulationSpec declares a campaign's synthetic module population.
+// Only result-shaping knobs live here (they feed the fingerprint);
+// execution knobs like the module chunk size belong to the Engine.
+type PopulationSpec struct {
+	Seed uint64 `json:"seed"`
+	Size int    `json:"size"`
 }
 
 // Figures a campaign can regenerate.
@@ -141,6 +159,20 @@ func (s Spec) Validate() error {
 			return err
 		}
 	}
+	if s.Population != nil {
+		if s.Population.Size < 1 {
+			return fmt.Errorf("campaign: population size %d, want >= 1", s.Population.Size)
+		}
+		if s.has(Fig13) {
+			return fmt.Errorf("campaign: population campaigns sweep fig12 confidence bands only; drop fig13 (or evaluate fig13 over population labels directly via sim.Fig13Options)")
+		}
+		if len(s.Profiles) > 0 {
+			return fmt.Errorf("campaign: population and profiles are mutually exclusive (the population IS the profile axis)")
+		}
+		if len(s.Backends) > 0 {
+			return fmt.Errorf("campaign: population campaigns sweep one backend; set base.backend instead of backends")
+		}
+	}
 	return nil
 }
 
@@ -165,6 +197,20 @@ func (s Spec) fig12Options() sim.Fig12Options {
 	}
 }
 
+// populationOptions expands the (normalized) spec for the Monte Carlo
+// band sweep. chunk is the engine's module-residency knob (0: default);
+// it never reaches the spec, so it cannot shape the fingerprint.
+func (s Spec) populationOptions(chunk int) sim.PopulationOptions {
+	return sim.PopulationOptions{
+		Base:       s.Base,
+		Population: population.Ref{Seed: s.Population.Seed, Size: s.Population.Size},
+		Mixes:      s.Mixes,
+		NRHs:       s.NRHs,
+		Defenses:   s.Defenses,
+		Chunk:      chunk,
+	}
+}
+
 // fig13Options expands the (normalized) spec for the Fig. 13 sweep.
 func (s Spec) fig13Options() sim.Fig13Options {
 	return sim.Fig13Options{
@@ -186,7 +232,15 @@ func (s Spec) Jobs() ([]sim.Job, error) {
 	}
 	var jobs []sim.Job
 	if s.has(Fig12) {
-		jobs = append(jobs, sim.Fig12Jobs(s.fig12Options())...)
+		if s.Population != nil {
+			pj, err := sim.PopulationJobs(s.populationOptions(0))
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, pj...)
+		} else {
+			jobs = append(jobs, sim.Fig12Jobs(s.fig12Options())...)
+		}
 	}
 	if s.has(Fig13) {
 		j, err := sim.Fig13Jobs(s.fig13Options())
@@ -219,6 +273,10 @@ type Outcome struct {
 	Fig12 []sim.Fig12Cell
 	Fig13 []sim.Fig13Cell
 
+	// Bands carries the Monte Carlo confidence bands of a population
+	// campaign (Spec.Population set), in place of Fig12 point cells.
+	Bands []sim.BandCell `json:",omitempty"`
+
 	Total   int // simulation jobs in the campaign
 	Resumed int // jobs already journaled as complete when the run started
 
@@ -247,6 +305,13 @@ type Engine struct {
 	// identical either way (the cache is consulted unconditionally);
 	// Resume preserves the completed-job accounting across restarts.
 	Resume bool
+
+	// PopulationChunk bounds how many of a population campaign's
+	// synthetic modules are resident at once (<= 0: the sim default).
+	// Purely an execution/memory knob: bands are identical for any
+	// value, and it participates in neither the fingerprint nor the
+	// cache keys.
+	PopulationChunk int
 
 	// Sim is the base executor a cache miss falls back to (nil: sim.Run).
 	// Tests inject failing or counting runners here.
@@ -322,6 +387,14 @@ func (e *Engine) RunCtx(ctx context.Context, spec Spec) (*Outcome, error) {
 	for _, figure := range spec.Figures {
 		switch figure {
 		case Fig12:
+			if spec.Population != nil {
+				opt := spec.populationOptions(e.PopulationChunk)
+				opt.Workers, opt.Runner, opt.Progress = e.Workers, runner, e.Progress
+				if out.Bands, err = sim.RunPopulationCtx(ctx, opt); err != nil {
+					return nil, err
+				}
+				continue
+			}
 			opt := spec.fig12Options()
 			opt.Workers, opt.Runner, opt.Progress = e.Workers, runner, e.Progress
 			if out.Fig12, err = sim.RunFig12Ctx(ctx, opt); err != nil {

@@ -367,6 +367,142 @@ func TestJournalTornLineAndResume(t *testing.T) {
 	}
 }
 
+// tinyPopulationSpec is a real-simulation population campaign sized to
+// run in well under a second per cell.
+func tinyPopulationSpec() Spec {
+	base := sim.DefaultConfig()
+	base.Cores = 2
+	base.RowsPerBank = 2048
+	base.CellsPerRow = 2048
+	base.InstrPerCore = 8_000
+	base.WarmupPerCore = 1_000
+	return Spec{
+		Figures:    []string{Fig12},
+		Base:       base,
+		Mixes:      [][]string{{"mcf06", "lbm06"}},
+		NRHs:       []float64{64},
+		Defenses:   []string{"para"},
+		Population: &PopulationSpec{Seed: 7, Size: 3},
+	}
+}
+
+func TestPopulationSpecJobsAndValidate(t *testing.T) {
+	jobs, err := tinyPopulationSpec().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per module: 1 baseline + 1 defense x 1 nRH x 2 configs, x 1 mix.
+	if want := 3 * 3; len(jobs) != want {
+		t.Errorf("jobs = %d, want %d", len(jobs), want)
+	}
+	seen := map[string]bool{}
+	for _, job := range jobs {
+		key := cache.Key(job.Config)
+		if seen[key] {
+			t.Errorf("duplicate cache key for job %q", job.Label)
+		}
+		seen[key] = true
+	}
+
+	for name, breakIt := range map[string]func(*Spec){
+		"zero-size":      func(s *Spec) { s.Population.Size = 0 },
+		"with-fig13":     func(s *Spec) { s.Figures = []string{Fig12, Fig13}; s.Benign = []string{"mcf06"} },
+		"with-profiles":  func(s *Spec) { s.Profiles = []string{"S0"} },
+		"with-backends":  func(s *Spec) { s.Backends = []string{"hbm2"} },
+		"default-figure": func(s *Spec) { s.Figures = nil }, // normalizes to both -> fig13 conflict
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := tinyPopulationSpec()
+			breakIt(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("validation accepted a broken population spec")
+			}
+		})
+	}
+}
+
+// TestPopulationFingerprintNeutral: the Population field must be
+// invisible when unset — pre-population specs keep their exact
+// fingerprint and journal — and must scope a distinct campaign when set.
+func TestPopulationFingerprintNeutral(t *testing.T) {
+	plain := tinySpec()
+	b, err := json.Marshal(plain.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "population") {
+		t.Fatalf("population leaks into a population-free spec's canonical JSON: %s", b)
+	}
+
+	a := tinyPopulationSpec()
+	c := tinyPopulationSpec()
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Error("identical population specs fingerprint differently")
+	}
+	c.Population.Seed = 8
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different population seeds share a fingerprint")
+	}
+	d := tinyPopulationSpec()
+	d.Population = nil
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("population campaign shares a fingerprint with the point-estimate campaign")
+	}
+}
+
+// TestPopulationCampaignInterruptedThenResumed is the tentpole
+// acceptance criterion: a population campaign killed mid-sweep and
+// resumed completes from cached cells and reports confidence bands
+// bit-identical to an uninterrupted run.
+func TestPopulationCampaignInterruptedThenResumed(t *testing.T) {
+	spec := tinyPopulationSpec()
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: one uninterrupted cold run in its own store.
+	ref, err := (&Engine{Store: newStore(t, t.TempDir()), Workers: 2, PopulationChunk: 2}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Bands) != 2 || ref.Fig12 != nil {
+		t.Fatalf("population campaign outcome: %d bands, fig12 %v", len(ref.Bands), ref.Fig12)
+	}
+	for _, c := range ref.Bands {
+		if c.Modules != spec.Population.Size {
+			t.Errorf("%s: folded %d modules, want %d", c.Config, c.Modules, spec.Population.Size)
+		}
+	}
+
+	// Interrupted run: killed after 4 completed simulations.
+	dir := t.TempDir()
+	const interruptAt = 4
+	var calls1 atomic.Int64
+	eng1 := &Engine{Store: newStore(t, dir), Workers: 2, Sim: failAfter(interruptAt, &calls1)}
+	if _, err := eng1.Run(spec); err == nil {
+		t.Fatal("interrupted population campaign reported success")
+	}
+
+	// Resume in a fresh store over the same directory, with a different
+	// chunk size: results must not notice either.
+	var calls2 atomic.Int64
+	eng2 := &Engine{Store: newStore(t, dir), Workers: 1, Resume: true, PopulationChunk: 1, Sim: countingSim(&calls2)}
+	out, err := eng2.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Bands, ref.Bands) {
+		t.Fatalf("resumed bands differ from the uninterrupted run:\ngot  %+v\nwant %+v", out.Bands, ref.Bands)
+	}
+	if out.Resumed != interruptAt {
+		t.Errorf("Resumed = %d, want %d", out.Resumed, interruptAt)
+	}
+	if want := int64(len(jobs) - interruptAt); calls2.Load() != want {
+		t.Errorf("resume re-simulated %d jobs, want %d", calls2.Load(), want)
+	}
+}
+
 func TestSpecJobsCounts(t *testing.T) {
 	spec, _ := goldenSpec(t)
 	jobs, err := spec.Jobs()

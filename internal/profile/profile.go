@@ -29,12 +29,45 @@ type VulnProfile struct {
 // no tested level is known safe.
 const BinBelowGrid = 0xFF
 
+// validateGrid checks that a level grid fits the uint8 bin encoding:
+// at least one level, and fewer than 255 of them — bin 0xFF is reserved
+// for BinBelowGrid, so a grid with >= 255 entries would silently alias
+// real safe-level indices with "no level is safe".
+func validateGrid(levels []float64) error {
+	if len(levels) == 0 {
+		return fmt.Errorf("profile: empty hammer-level grid")
+	}
+	if len(levels) >= BinBelowGrid {
+		return fmt.Errorf("profile: %d hammer levels overflow the uint8 bin encoding (max %d; bin 0x%X is reserved for below-grid rows)",
+			len(levels), BinBelowGrid-1, BinBelowGrid)
+	}
+	return nil
+}
+
+// validateBanks rejects a profile with no characterized banks: every
+// lookup would have nothing to fall back on (and the representative-bank
+// modulo would divide by zero).
+func validateBanks(banks []int) error {
+	if len(banks) == 0 {
+		return fmt.Errorf("profile: no characterized banks")
+	}
+	return nil
+}
+
 // Capture profiles the given banks of a module under model m: for every
 // row, the analytic equivalent of sweeping Alg. 1's hammer counts and
 // recording the largest level with no bitflip. Censored rows (no flip
-// even at the top level) record the top level as safe.
+// even at the top level) record the top level as safe. It panics on an
+// empty bank list or a level grid the uint8 bin encoding cannot hold —
+// both are programmer errors, never data.
 func Capture(m *disturb.Model, label string, banks []int) *VulnProfile {
 	levels := disturb.HammerLevels()
+	if err := validateGrid(levels); err != nil {
+		panic(err)
+	}
+	if err := validateBanks(banks); err != nil {
+		panic(err)
+	}
 	p := &VulnProfile{
 		Label:       label,
 		RowsPerBank: m.Geom.RowsPerBank,
@@ -61,8 +94,16 @@ func safeIdx(levels []float64, hcFirst float64) uint8 {
 }
 
 // NewEmpty builds an empty profile for measurement-driven capture (the
-// testbench path); fill it with SetBin.
+// testbench path); fill it with SetBin. Like Capture it panics on an
+// empty bank list or an oversized level grid — the caller supplies both
+// as constants of the measurement campaign.
 func NewEmpty(label string, rowsPerBank int, banks []int, levels []float64) *VulnProfile {
+	if err := validateGrid(levels); err != nil {
+		panic(err)
+	}
+	if err := validateBanks(banks); err != nil {
+		panic(err)
+	}
 	p := &VulnProfile{
 		Label:       label,
 		RowsPerBank: rowsPerBank,
@@ -98,30 +139,45 @@ func (p *VulnProfile) SetBin(bankPos, row, firstFlipIdx int) {
 // bankPos maps an arbitrary bank index onto a characterized bank: the
 // bank itself when characterized, otherwise a representative (banks
 // within a module exhibit near-identical distributions, Takeaways 1/3).
+// A profile with no characterized banks — only constructible by hand,
+// since the constructors and Unmarshal reject it — reports -1, and the
+// lookups fall back to the most conservative answer.
 func (p *VulnProfile) bankPos(bank int) int {
 	for i, b := range p.Banks {
 		if b == bank {
 			return i
 		}
 	}
+	if len(p.Bins) == 0 {
+		return -1
+	}
 	return bank % len(p.Bins)
 }
 
 // SafeThreshold returns the largest hammer count known not to flip the
 // row: the defense-facing per-row threshold. Rows that flipped at the
-// smallest tested level report half that level.
+// smallest tested level report half that level, as does every row of a
+// degenerate profile with no characterized banks (nothing is known safe).
 func (p *VulnProfile) SafeThreshold(bank, row int) float64 {
-	idx := p.Bins[p.bankPos(bank)][row%p.RowsPerBank]
+	idx := p.SafeIdx(bank, row)
 	if idx == BinBelowGrid {
+		if len(p.Levels) == 0 {
+			return 0
+		}
 		return p.Levels[0] / 2
 	}
 	return p.Levels[idx]
 }
 
 // SafeIdx returns the row's safe-level index (BinBelowGrid for rows
-// below the grid).
+// below the grid, and for every row of a profile with no characterized
+// banks or rows).
 func (p *VulnProfile) SafeIdx(bank, row int) uint8 {
-	return p.Bins[p.bankPos(bank)][row%p.RowsPerBank]
+	pos := p.bankPos(bank)
+	if pos < 0 || p.RowsPerBank <= 0 {
+		return BinBelowGrid
+	}
+	return p.Bins[pos][row%p.RowsPerBank]
 }
 
 // MinSafeThreshold returns the module's worst-case safe threshold — what
@@ -214,11 +270,25 @@ func (s *ScaledProfile) MinSafeThreshold() float64 {
 // compactly as base64.
 func (p *VulnProfile) Marshal() ([]byte, error) { return json.Marshal(p) }
 
-// Unmarshal parses a profile produced by Marshal.
+// Unmarshal parses a profile produced by Marshal. Unlike the in-process
+// constructors it treats the input as untrusted — a corrupt or
+// hand-edited profile is rejected with a descriptive error instead of
+// panicking rows later inside SafeThreshold: the banks must be
+// non-empty, the level grid must fit the uint8 bin encoding, and every
+// bin must name a tested level (or BinBelowGrid).
 func Unmarshal(data []byte) (*VulnProfile, error) {
 	var p VulnProfile
 	if err := json.Unmarshal(data, &p); err != nil {
 		return nil, err
+	}
+	if err := validateBanks(p.Banks); err != nil {
+		return nil, err
+	}
+	if err := validateGrid(p.Levels); err != nil {
+		return nil, err
+	}
+	if p.RowsPerBank <= 0 {
+		return nil, fmt.Errorf("profile: rows_per_bank %d, want >= 1", p.RowsPerBank)
 	}
 	if len(p.Bins) != len(p.Banks) {
 		return nil, fmt.Errorf("profile: %d bin banks for %d banks", len(p.Bins), len(p.Banks))
@@ -226,6 +296,12 @@ func Unmarshal(data []byte) (*VulnProfile, error) {
 	for i := range p.Bins {
 		if len(p.Bins[i]) != p.RowsPerBank {
 			return nil, fmt.Errorf("profile: bank %d has %d rows, want %d", i, len(p.Bins[i]), p.RowsPerBank)
+		}
+		for r, bin := range p.Bins[i] {
+			if bin != BinBelowGrid && int(bin) >= len(p.Levels) {
+				return nil, fmt.Errorf("profile: bank %d (index %d) row %d: bin %d out of range for %d levels",
+					p.Banks[i], i, r, bin, len(p.Levels))
+			}
 		}
 	}
 	return &p, nil

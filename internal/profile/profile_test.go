@@ -267,6 +267,64 @@ func TestQuickSafeThresholdPositive(t *testing.T) {
 	}
 }
 
+func TestZeroBankProfileConservative(t *testing.T) {
+	// A degenerate profile with no characterized banks is only
+	// constructible by hand, but lookups on one must stay conservative
+	// instead of dividing by zero in the representative-bank modulo.
+	p := &VulnProfile{Label: "empty", RowsPerBank: 4, Levels: []float64{10, 20}}
+	if idx := p.SafeIdx(3, 2); idx != BinBelowGrid {
+		t.Errorf("SafeIdx on empty profile = %d, want BinBelowGrid", idx)
+	}
+	if th := p.SafeThreshold(3, 2); th != 5 {
+		t.Errorf("SafeThreshold on empty profile = %v, want levels[0]/2", th)
+	}
+	p.Levels = nil
+	if th := p.SafeThreshold(0, 0); th != 0 {
+		t.Errorf("SafeThreshold with no levels = %v, want 0", th)
+	}
+}
+
+func TestNewEmptyPanicsOnBadShape(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewEmpty with no banks", func() { NewEmpty("t", 4, nil, []float64{10}) })
+	mustPanic("NewEmpty with no levels", func() { NewEmpty("t", 4, []int{0}, nil) })
+	bigGrid := make([]float64, BinBelowGrid)
+	for i := range bigGrid {
+		bigGrid[i] = float64(i + 1)
+	}
+	mustPanic("NewEmpty with 255 levels", func() { NewEmpty("t", 4, []int{0}, bigGrid) })
+	// One below the reserved marker is the largest legal grid.
+	if p := NewEmpty("t", 4, []int{0}, bigGrid[:BinBelowGrid-1]); p.NumBins() == 0 {
+		t.Error("254-level grid rejected")
+	}
+}
+
+func TestUnmarshalRejectsBadShapes(t *testing.T) {
+	cases := map[string]string{
+		"no banks":         `{"label":"x","rows_per_bank":2,"banks":[],"levels":[1],"bins":[]}`,
+		"no levels":        `{"label":"x","rows_per_bank":2,"banks":[1],"levels":[],"bins":[[255,255]]}`,
+		"zero rows":        `{"label":"x","rows_per_bank":0,"banks":[1],"levels":[1],"bins":[[]]}`,
+		"out-of-range bin": `{"label":"x","rows_per_bank":2,"banks":[1],"levels":[1,2],"bins":[[0,2]]}`,
+	}
+	for name, data := range cases {
+		if _, err := Unmarshal([]byte(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// BinBelowGrid is always legal, as is the top real index.
+	ok := `{"label":"x","rows_per_bank":2,"banks":[1],"levels":[1,2],"bins":[[255,1]]}`
+	if _, err := Unmarshal([]byte(ok)); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+}
+
 func TestRepresentativeLabelsExist(t *testing.T) {
 	for _, l := range RepresentativeLabels() {
 		if _, ok := SpecByLabel(l); !ok {

@@ -3,6 +3,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -233,6 +234,31 @@ func Fig12(defense string, cells []sim.Fig12Cell) string {
 			fmt.Sprintf("%.3f", c.HS), fmt.Sprintf("%.3f", c.MS), fmt.Sprint(c.Violations))
 	}
 	return t.String()
+}
+
+// Bands renders the population confidence bands for one defense: the
+// Fig. 12 grid with per-metric p5/p50/p95 over the sampled modules
+// instead of three point estimates.
+func Bands(defense string, cells []sim.BandCell) string {
+	t := Table{
+		Title:   fmt.Sprintf("Fig. 12 population bands (%s): weighted speedup p5/p50/p95 over sampled modules", defense),
+		Headers: []string{"HCfirst", "Config", "Modules", "WS p5", "WS p50", "WS p95", "WS mean", "MS p95", "Bitflips"},
+	}
+	for _, c := range cells {
+		if c.Defense != defense {
+			continue
+		}
+		t.Add(fmt.Sprintf("%.0f", c.NRH), c.Config, fmt.Sprint(c.Modules),
+			fmt.Sprintf("%.3f", c.WS.P5), fmt.Sprintf("%.3f", c.WS.P50), fmt.Sprintf("%.3f", c.WS.P95),
+			fmt.Sprintf("%.3f", c.WS.Mean), fmt.Sprintf("%.3f", c.MS.P95), fmt.Sprint(c.Violations))
+	}
+	return t.String()
+}
+
+// BandsJSON emits the full band cells (all three metrics with complete
+// distribution summaries) as indented JSON for downstream plotting.
+func BandsJSON(cells []sim.BandCell) ([]byte, error) {
+	return json.MarshalIndent(cells, "", "  ")
 }
 
 // Obsv15 renders the residual overheads at one threshold.

@@ -96,12 +96,41 @@ func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
-// Intn returns a uniform value in [0, n). It panics if n <= 0.
+// Intn returns a near-uniform value in [0, n). It panics if n <= 0.
+//
+// Intn deliberately retains the textbook modulo bias of Uint64()%n: the
+// bias is at most n/2^64 per value (immeasurable for every n this
+// repository uses), and every golden fixture, calibrated module, and
+// content-addressed cache key downstream was produced through this
+// exact reduction, so changing it would silently move all of them. New
+// code that needs exact uniformity — the population sampler — uses
+// UintN instead.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn called with n <= 0")
 	}
 	return int(r.Uint64() % uint64(n))
+}
+
+// UintN returns an exactly uniform value in [0, n) by bounded rejection:
+// values above the largest multiple of n are redrawn, so every residue
+// is equally likely (no modulo bias). Powers of two reduce to a mask and
+// never reject. It panics if n == 0.
+func (r *Rand) UintN(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: UintN called with n == 0")
+	}
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Largest multiple of n that fits in a uint64; at worst (n just above
+	// 2^63) this rejects just under half of all draws.
+	limit := ^uint64(0) - ^uint64(0)%n
+	for {
+		if v := r.Uint64(); v < limit {
+			return v % n
+		}
+	}
 }
 
 // Int63 returns a uniform non-negative int64.

@@ -247,6 +247,59 @@ func TestQuickMix64NoTrivialCollisions(t *testing.T) {
 	}
 }
 
+func TestUintNPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UintN(0) did not panic")
+		}
+	}()
+	New(13).UintN(0)
+}
+
+func TestUintNBounds(t *testing.T) {
+	r := New(14)
+	for _, n := range []uint64{1, 2, 3, 7, 16, 100, 1 << 33, ^uint64(0)} {
+		for i := 0; i < 200; i++ {
+			if v := r.UintN(n); v >= n {
+				t.Fatalf("UintN(%d) = %d out of range", n, v)
+			}
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if v := r.UintN(1); v != 0 {
+			t.Fatalf("UintN(1) = %d, want 0", v)
+		}
+	}
+}
+
+func TestUintNPowerOfTwoMatchesMask(t *testing.T) {
+	// The power-of-two fast path must be a pure mask of the next Uint64,
+	// consuming exactly one draw.
+	a, b := New(15), New(15)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.UintN(64), b.Uint64()&63; got != want {
+			t.Fatalf("step %d: UintN(64) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestUintNUnbiased(t *testing.T) {
+	// n = 3 maximizes the modulo bias UintN exists to remove; with
+	// rejection each residue should land within a few sigma of n/3.
+	r := New(16)
+	const n, trials = 3, 300000
+	var counts [n]int
+	for i := 0; i < trials; i++ {
+		counts[r.UintN(n)]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.01 {
+			t.Errorf("UintN(3) residue %d: %d draws, want ~%.0f", v, c, want)
+		}
+	}
+}
+
 func BenchmarkUint64(b *testing.B) {
 	r := New(1)
 	for i := 0; i < b.N; i++ {

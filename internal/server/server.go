@@ -91,11 +91,14 @@ type SubmitRequest struct {
 
 // ResultResponse is the body of GET /api/v1/jobs/{id}/result.
 type ResultResponse struct {
-	Job     JobInfo         `json:"job"`
-	Fig12   []sim.Fig12Cell `json:"fig12,omitempty"`
-	Fig13   []sim.Fig13Cell `json:"fig13,omitempty"`
-	Total   int             `json:"total"`
-	Resumed int             `json:"resumed"`
+	Job   JobInfo         `json:"job"`
+	Fig12 []sim.Fig12Cell `json:"fig12,omitempty"`
+	Fig13 []sim.Fig13Cell `json:"fig13,omitempty"`
+	// Bands carries a population campaign's Monte Carlo confidence
+	// bands, in place of Fig12 point cells.
+	Bands   []sim.BandCell `json:"bands,omitempty"`
+	Total   int            `json:"total"`
+	Resumed int            `json:"resumed"`
 	// Computed/Served attribute this job's cells exactly: Computed were
 	// simulated by this job, Served came from the cache or another
 	// job's in-flight computation. Stats is the shared store's global
@@ -229,6 +232,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		Job:      info,
 		Fig12:    out.Fig12,
 		Fig13:    out.Fig13,
+		Bands:    out.Bands,
 		Total:    out.Total,
 		Resumed:  out.Resumed,
 		Computed: out.Computed,

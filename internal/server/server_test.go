@@ -833,6 +833,67 @@ func TestTerminalEventLogCompaction(t *testing.T) {
 	}
 }
 
+// TestPopulationCampaignOverHTTP: a Monte Carlo population campaign
+// rides the generic submit/schedule/result path end to end — the
+// scheduler sizes it from Spec.Jobs, streams per-cell progress, and the
+// result endpoint serves confidence bands instead of Fig. 12 cells.
+func TestPopulationCampaignOverHTTP(t *testing.T) {
+	base := sim.DefaultConfig()
+	base.Cores = 2
+	base.RowsPerBank = 2048
+	base.CellsPerRow = 2048
+	base.InstrPerCore = 8_000
+	base.WarmupPerCore = 1_000
+	spec := campaign.Spec{
+		Figures:    []string{campaign.Fig12},
+		Base:       base,
+		Mixes:      [][]string{{"mcf06", "lbm06"}},
+		NRHs:       []float64{64},
+		Defenses:   []string{"para"},
+		Population: &campaign.PopulationSpec{Seed: 7, Size: 2},
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, c := newService(t, t.TempDir(), server.Config{Workers: 2})
+	ctx := context.Background()
+	info, err := c.Submit(ctx, spec, "population", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Total != len(jobs) {
+		t.Errorf("job sized at %d cells, want %d", info.Total, len(jobs))
+	}
+	final, err := c.Wait(ctx, info.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != server.StateDone {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+
+	res, err := c.Result(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fig12) != 0 {
+		t.Errorf("population campaign served %d Fig12 point cells", len(res.Fig12))
+	}
+	if len(res.Bands) != 2 { // 1 defense x 1 nRH x {NoSvard, Svard}
+		t.Fatalf("bands = %d, want 2", len(res.Bands))
+	}
+	for _, b := range res.Bands {
+		if b.Modules != spec.Population.Size {
+			t.Errorf("%s: folded %d modules, want %d", b.Config, b.Modules, spec.Population.Size)
+		}
+		if !(b.WS.Min <= b.WS.P50 && b.WS.P50 <= b.WS.Max) {
+			t.Errorf("%s: WS band unordered: %+v", b.Config, b.WS)
+		}
+	}
+}
+
 // TestHealthzAndMetrics: the observability endpoints expose the
 // scheduler and cache counters the ISSUE names.
 func TestHealthzAndMetrics(t *testing.T) {

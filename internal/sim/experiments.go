@@ -7,6 +7,7 @@ import (
 
 	"svard/internal/exec"
 	"svard/internal/metrics"
+	"svard/internal/population"
 	"svard/internal/profile"
 	"svard/internal/trace"
 )
@@ -53,8 +54,18 @@ type Fig12Options struct {
 	Defenses []string   // default all five
 	Profiles []string   // default S0, M0, H1
 	Backends []string   // memory backends to sweep (default: just Base.Backend)
-	Workers  int        // max concurrent simulations (<= 0: GOMAXPROCS)
-	Runner   Runner     // per-job executor (nil: Run); see Runner
+
+	// Population, when Size >= 1, sweeps a synthetic Monte Carlo module
+	// population instead of the default representative profiles: with
+	// Profiles unset, they become the population's labels
+	// (pop:<seed>:<index>), one Svärd configuration per sampled chip.
+	// This point-estimate path holds every module's tables resident —
+	// for confidence bands over large populations use RunPopulation,
+	// which streams.
+	Population population.Ref
+
+	Workers  int    // max concurrent simulations (<= 0: GOMAXPROCS)
+	Runner   Runner // per-job executor (nil: Run); see Runner
 	Progress func(string)
 }
 
@@ -71,7 +82,11 @@ func (opt Fig12Options) fill() Fig12Options {
 		opt.Defenses = DefenseNames
 	}
 	if len(opt.Profiles) == 0 {
-		opt.Profiles = profile.RepresentativeLabels()
+		if opt.Population.Size >= 1 {
+			opt.Profiles = opt.Population.Labels()
+		} else {
+			opt.Profiles = profile.RepresentativeLabels()
+		}
 	}
 	if len(opt.Backends) == 0 {
 		opt.Backends = []string{opt.Base.Backend}
@@ -303,8 +318,14 @@ type Fig13Options struct {
 	Benign   []string // 7 benign workloads joining the attacker
 	Profiles []string
 	Backends []string // memory backends to sweep (default: just Base.Backend)
-	Workers  int      // max concurrent simulations (<= 0: GOMAXPROCS)
-	Runner   Runner   // per-job executor (nil: Run); see Runner
+
+	// Population, when Size >= 1 and Profiles is unset, evaluates the
+	// adversarial patterns over a synthetic module population: one
+	// Svärd bar per sampled chip (see Fig12Options.Population).
+	Population population.Ref
+
+	Workers  int    // max concurrent simulations (<= 0: GOMAXPROCS)
+	Runner   Runner // per-job executor (nil: Run); see Runner
 	Progress func(string)
 }
 
@@ -314,7 +335,11 @@ func (opt Fig13Options) fill() Fig13Options {
 		opt.NRH = 64
 	}
 	if len(opt.Profiles) == 0 {
-		opt.Profiles = profile.RepresentativeLabels()
+		if opt.Population.Size >= 1 {
+			opt.Profiles = opt.Population.Labels()
+		} else {
+			opt.Profiles = profile.RepresentativeLabels()
+		}
 	}
 	if len(opt.Benign) == 0 {
 		opt.Benign = []string{"mcf06", "lbm06", "ycsb-a", "tpcc", "h264dec", "milc06", "xz17"}

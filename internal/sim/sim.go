@@ -25,6 +25,7 @@ import (
 	"svard/internal/mitigation/hydra"
 	"svard/internal/mitigation/para"
 	"svard/internal/mitigation/rrs"
+	"svard/internal/population"
 	"svard/internal/profile"
 	"svard/internal/trace"
 )
@@ -146,6 +147,12 @@ func buildModule(label string, rows, cells, banks int, seed uint64) (*moduleEntr
 	e.once.Do(func() {
 		spec, ok := profile.SpecByLabel(label)
 		if !ok {
+			// Synthetic population modules ("pop:<seed>:<index>") resolve
+			// through the Monte Carlo sampler; any other unknown label is
+			// an error.
+			spec, ok = population.SpecForLabel(label)
+		}
+		if !ok {
 			e.err = fmt.Errorf("sim: unknown module %q", label)
 			return
 		}
@@ -173,6 +180,25 @@ func buildModule(label string, rows, cells, banks int, seed uint64) (*moduleEntr
 		}
 	})
 	return e, e.err
+}
+
+// dropCachedModule evicts every module-cache entry for the given label.
+// The per-module tables a sweep pins are deliberately process-lifetime
+// (megabytes per module — see moduleEntry), which is exactly wrong for a
+// Monte Carlo population: 10K synthetic chips would pin tens of
+// gigabytes that are each consulted for one module's cells and never
+// again. The population sweep evicts each chunk's modules once their
+// cells are folded. Eviction is only a cache hint — an in-flight run
+// holding the entry pointer keeps using it, and a later request simply
+// rebuilds — so it is safe even if a concurrent sweep shares a label.
+func dropCachedModule(label string) {
+	prefix := label + "/"
+	moduleCache.Range(func(k, _ any) bool {
+		if strings.HasPrefix(k.(string), prefix) {
+			moduleCache.Delete(k)
+		}
+		return true
+	})
 }
 
 // buildDefense constructs the configured defense over thresholds th.
