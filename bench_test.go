@@ -15,6 +15,7 @@ import (
 	"svard/internal/population"
 	"svard/internal/profile"
 	"svard/internal/sim"
+	"svard/internal/temporal"
 )
 
 // benchModule memoizes small calibrated modules across benchmarks.
@@ -219,7 +220,7 @@ func BenchmarkFig12RRS(b *testing.B)         { benchFig12(b, "rrs") }
 // loop; Serial vs NoSkip documents the event engine's cycle-skipping
 // speedup (>= 2x on the default spec, bit-identical cells — see
 // EXPERIMENTS.md, "event-driven engine").
-func benchFig12Sweep(b *testing.B, workers int, noSkip bool, backend string) {
+func benchFig12Sweep(b *testing.B, workers int, noSkip bool, backend string, tspec *temporal.Spec) {
 	b.Helper()
 	base := sim.DefaultConfig()
 	base.Cores = 2
@@ -229,6 +230,7 @@ func benchFig12Sweep(b *testing.B, workers int, noSkip bool, backend string) {
 	base.WarmupPerCore = 3_000
 	base.NoSkip = noSkip
 	base.Backend = backend
+	base.Temporal = tspec
 	opt := sim.Fig12Options{
 		Base:     base,
 		Mixes:    [][]string{{"mcf06", "ycsb-a"}},
@@ -257,20 +259,33 @@ func benchFig12Sweep(b *testing.B, workers int, noSkip bool, backend string) {
 }
 
 // BenchmarkFig12SweepSerial is the Workers=1 reference for the sweep.
-func BenchmarkFig12SweepSerial(b *testing.B) { benchFig12Sweep(b, 1, false, "") }
+func BenchmarkFig12SweepSerial(b *testing.B) { benchFig12Sweep(b, 1, false, "", nil) }
 
 // BenchmarkFig12SweepParallel fans the same sweep across all cores.
-func BenchmarkFig12SweepParallel(b *testing.B) { benchFig12Sweep(b, runtime.GOMAXPROCS(0), false, "") }
+func BenchmarkFig12SweepParallel(b *testing.B) {
+	benchFig12Sweep(b, runtime.GOMAXPROCS(0), false, "", nil)
+}
 
 // BenchmarkFig12SweepSerialNoSkip is the per-cycle reference loop on
 // the Serial sweep: the denominator of the event engine's speedup.
-func BenchmarkFig12SweepSerialNoSkip(b *testing.B) { benchFig12Sweep(b, 1, true, "") }
+func BenchmarkFig12SweepSerialNoSkip(b *testing.B) { benchFig12Sweep(b, 1, true, "", nil) }
 
 // BenchmarkFig12SweepSerialHBM2 is the Serial sweep on the hbm2 preset:
 // four pseudo-channel controllers per machine instead of one, so it
 // tracks the multi-channel backend's cost (routing, per-channel defense
 // instances, the widened NextEvent bound) release over release.
-func BenchmarkFig12SweepSerialHBM2(b *testing.B) { benchFig12Sweep(b, 1, false, "hbm2") }
+func BenchmarkFig12SweepSerialHBM2(b *testing.B) { benchFig12Sweep(b, 1, false, "hbm2", nil) }
+
+// BenchmarkFig12SweepSerialTemporal is the Serial sweep with a mild
+// temporal process attached: every leg crosses epoch edges and samples
+// live thresholds through the per-row memo, so Serial vs SerialTemporal
+// tracks the epoch-table overhead (edge ticks, memo fills, the
+// NextEvent epoch bound) release over release. The process is gentle on
+// purpose — it should move thresholds, not trigger a violation storm
+// that would make the benchmark measure tracker bookkeeping instead.
+func BenchmarkFig12SweepSerialTemporal(b *testing.B) {
+	benchFig12Sweep(b, 1, false, "", &temporal.Spec{EpochCycles: 65536, Drift: -0.01, Sigma: 0.02})
+}
 
 // BenchmarkPopulationSweep runs the Monte Carlo confidence-band sweep
 // over a small synthetic population at bench scale. Unlike the Fig. 12

@@ -15,6 +15,7 @@
 //	            [-backends ddr4-3200,hbm2] [-benign mcf06,...] [-nrh13 64]
 //	            [-population N] [-population-seed S] [-population-chunk N]
 //	            [-bands-json FILE]
+//	            [-temporal epoch=65536,drift=-0.05,sigma=0.1] [-temporal-intervals 0,16,64]
 //	            [-spec campaign.json] [-print-spec] [-q]
 //
 // A campaign can also be declared as a JSON file (-spec); explicit
@@ -30,6 +31,7 @@
 //	svard-sweep -fig12 -mixes 120 -instr 200000000        # paper scale; Ctrl-C it...
 //	svard-sweep -fig12 -mixes 120 -instr 200000000 -resume # ...and pick it back up
 //	svard-sweep -population 1000 -bands-json bands.json   # Monte Carlo confidence bands
+//	svard-sweep -temporal epoch=65536,drift=-0.05,sigma=0.1  # margin erosion vs re-calibration interval
 package main
 
 import (
@@ -48,6 +50,7 @@ import (
 	"svard/internal/dram"
 	"svard/internal/report"
 	"svard/internal/sim"
+	"svard/internal/temporal"
 	"svard/internal/trace"
 )
 
@@ -81,6 +84,9 @@ func main() {
 		popSeed  = flag.Uint64("population-seed", 1, "population seed: any module of the population is reconstructible from (seed, index)")
 		popChunk = flag.Int("population-chunk", 0, "modules resident per population chunk (memory knob, 0 = default 16; never affects results)")
 		bandsOut = flag.String("bands-json", "", "write the population band cells as JSON to this file")
+
+		temporalSpec      = flag.String("temporal", "", "temporal process spec, e.g. epoch=65536,drift=-0.05,sigma=0.1 (margin-erosion sweep instead of Fig. 12 points)")
+		temporalIntervals = flag.String("temporal-intervals", "", "comma-separated re-calibration intervals in epochs (default 0,16,64)")
 	)
 	var explicitMixes [][]string
 	flag.Func("mix", "one explicit workload mix, comma-separated (repeatable; overrides -mixes)", func(s string) error {
@@ -173,10 +179,30 @@ func main() {
 	if set["population"] || set["population-seed"] {
 		spec.Population = &campaign.PopulationSpec{Seed: *popSeed, Size: *popSize}
 	}
-	// A population campaign only sweeps Fig. 12 bands; when the figure
-	// flags are silent, pin Fig. 12 rather than letting the default
-	// (both figures) fail validation.
-	if spec.Population != nil && len(spec.Figures) == 0 {
+	if set["temporal"] {
+		proc, err := temporal.ParseSpec(*temporalSpec)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Temporal = &campaign.TemporalSpec{Process: proc}
+	}
+	if set["temporal-intervals"] {
+		if spec.Temporal == nil {
+			fatal(fmt.Errorf("-temporal-intervals requires -temporal (or a spec file with a temporal block)"))
+		}
+		spec.Temporal.Intervals = nil
+		for _, s := range splitList(*temporalIntervals) {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				fatal(err)
+			}
+			spec.Temporal.Intervals = append(spec.Temporal.Intervals, v)
+		}
+	}
+	// Population and temporal campaigns only sweep the Fig. 12 grid; when
+	// the figure flags are silent, pin Fig. 12 rather than letting the
+	// default (both figures) fail validation.
+	if (spec.Population != nil || spec.Temporal != nil) && len(spec.Figures) == 0 {
 		spec.Figures = []string{campaign.Fig12}
 	}
 
@@ -272,6 +298,9 @@ func main() {
 				fmt.Fprintf(os.Stderr, "bands written to %s\n", *bandsOut)
 			}
 		}
+	}
+	if out.Erosion != nil {
+		fmt.Println(report.Erosion(out.Erosion))
 	}
 	if out.Fig13 != nil {
 		fmt.Println(report.Fig13(out.Fig13))

@@ -39,14 +39,27 @@ import (
 // catch.
 const SchemaVersion = "svard-sim-v3"
 
+// TemporalSchemaVersion tags keys of configurations that carry a
+// temporal-variation block (Config.Temporal != nil). Static
+// configurations keep SchemaVersion — and, because nil pointer fields
+// are skipped by the encoder below, their keys are byte-identical to
+// pre-temporal builds, so no stored static result is invalidated.
+// Temporal runs get their own version string so the namespace starts
+// empty and can be bumped independently of the static schema.
+const TemporalSchemaVersion = "svard-sim-v4"
+
 // Key returns the canonical content address of one simulation: a hex
-// SHA-256 over SchemaVersion and a stable field-order encoding of cfg.
-// Two Configs differing in any field (including nested Core fields and
-// Mix entries) hash to different keys; the same Config always hashes to
-// the same key, across processes and runs.
+// SHA-256 over the schema version and a stable field-order encoding of
+// cfg. Two Configs differing in any field (including nested Core fields
+// and Mix entries) hash to different keys; the same Config always hashes
+// to the same key, across processes and runs.
 func Key(cfg sim.Config) string {
 	h := sha256.New()
-	writeString(h, SchemaVersion)
+	if cfg.Temporal != nil {
+		writeString(h, TemporalSchemaVersion)
+	} else {
+		writeString(h, SchemaVersion)
+	}
 	writeValue(h, reflect.ValueOf(cfg))
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -84,13 +97,29 @@ func writeValue(h hash.Hash, v reflect.Value) {
 		for i := 0; i < v.Len(); i++ {
 			writeValue(h, v.Index(i))
 		}
+	case reflect.Pointer:
+		// Reached only for non-nil pointers: the struct case below skips
+		// nil pointer fields entirely. The tag keeps a *T field from
+		// aliasing an inline T field.
+		h.Write([]byte{'p'})
+		writeValue(h, v.Elem())
 	case reflect.Struct:
 		t := v.Type()
 		names := make([]string, 0, t.NumField())
 		for i := 0; i < t.NumField(); i++ {
-			if t.Field(i).IsExported() {
-				names = append(names, t.Field(i).Name)
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
 			}
+			// A nil pointer field stays out of the encoding altogether —
+			// not even its name is written — so adding an optional block
+			// to sim.Config leaves every config without it at its exact
+			// pre-existing key (the pinned-key test enforces this for the
+			// Temporal field).
+			if f.Type.Kind() == reflect.Pointer && v.Field(i).IsNil() {
+				continue
+			}
+			names = append(names, f.Name)
 		}
 		sort.Strings(names)
 		h.Write([]byte{'{'})

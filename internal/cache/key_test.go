@@ -2,10 +2,12 @@ package cache
 
 import (
 	"crypto/sha256"
+	"encoding/hex"
 	"reflect"
 	"testing"
 
 	"svard/internal/sim"
+	"svard/internal/temporal"
 )
 
 func TestKeyDeterministic(t *testing.T) {
@@ -53,6 +55,11 @@ func TestKeyCoversEveryField(t *testing.T) {
 			v.SetString(v.String() + "x")
 		case reflect.Slice:
 			v.Set(reflect.Append(v, reflect.Zero(v.Type().Elem())))
+		case reflect.Pointer:
+			// nil → pointer-to-zero: field presence alone must change the
+			// key (nested pointee fields get their own coverage walk in
+			// TestKeyCoversTemporalFields).
+			v.Set(reflect.New(v.Type().Elem()))
 		default:
 			t.Fatalf("%s: unhandled kind %s — extend this test and cache.writeValue", path, v.Kind())
 		}
@@ -133,6 +140,106 @@ func TestKeyMixFraming(t *testing.T) {
 	c.Mix = []string{"mcf06", "lbm06", ""}
 	if Key(a) == Key(b) || Key(a) == Key(c) {
 		t.Error("Mix framing is not self-delimiting")
+	}
+}
+
+// TestKeyCoversTemporalFields: with a temporal block attached, every
+// field of the Spec must participate in the key.
+func TestKeyCoversTemporalFields(t *testing.T) {
+	base := sim.DefaultConfig()
+	base.Mix = []string{"mcf06"}
+	base.Temporal = &temporal.Spec{EpochCycles: 65536}
+	baseKey := Key(base)
+
+	specType := reflect.TypeOf(temporal.Spec{})
+	for i := 0; i < specType.NumField(); i++ {
+		f := specType.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		cfg := base
+		spec := *base.Temporal // fresh copy per field
+		cfg.Temporal = &spec
+		fv := reflect.ValueOf(cfg.Temporal).Elem().Field(i)
+		switch fv.Kind() {
+		case reflect.Uint64:
+			fv.SetUint(fv.Uint() + 1)
+		case reflect.Float64:
+			fv.SetFloat(fv.Float() + 0.5)
+		default:
+			t.Fatalf("Temporal.%s: unhandled kind %s — extend this test", f.Name, fv.Kind())
+		}
+		if Key(cfg) == baseKey {
+			t.Errorf("mutating Temporal.%s did not change the cache key", f.Name)
+		}
+	}
+}
+
+// TestKeyStaticUnchangedByTemporalField pins the exact keys two static
+// configurations hashed to before Config.Temporal existed. A nil
+// Temporal must stay invisible to the encoding — these hex strings are
+// the proof that no stored static result was orphaned by the field's
+// introduction. If either ever changes, cached static entries are being
+// silently invalidated: bump SchemaVersion deliberately instead.
+func TestKeyStaticUnchangedByTemporalField(t *testing.T) {
+	a := sim.DefaultConfig()
+	a.Mix = []string{"mcf06", "lbm06"}
+	const pinA = "c1ac9733c6d1de51027706600a5d031e41c350bb233090377f293bc017a4c282"
+	if got := Key(a); got != pinA {
+		t.Errorf("static key drifted:\n got %s\nwant %s", got, pinA)
+	}
+
+	b := sim.DefaultConfig()
+	b.Cores = 2
+	b.RowsPerBank = 2048
+	b.CellsPerRow = 2048
+	b.InstrPerCore = 10000
+	b.WarmupPerCore = 2000
+	b.NRH = 64
+	b.Defense = "para"
+	b.Svard = true
+	b.Mix = []string{"mcf06", "ycsb-a"}
+	const pinB = "a513d603642ea77b1c815aaf531d195ee6b6c58e09bbf2d5df42670ab5d5e7c7"
+	if got := Key(b); got != pinB {
+		t.Errorf("static key drifted:\n got %s\nwant %s", got, pinB)
+	}
+}
+
+// TestKeyTemporalSchemaVersion: only configs with a temporal block are
+// keyed under the v4 schema; static configs stay on v3. Pinned by
+// recomputing both keys against the schema constants directly.
+func TestKeyTemporalSchemaVersion(t *testing.T) {
+	if SchemaVersion != "svard-sim-v3" {
+		t.Fatalf("static SchemaVersion changed to %q: this invalidates every stored static result", SchemaVersion)
+	}
+	if TemporalSchemaVersion != "svard-sim-v4" {
+		t.Fatalf("TemporalSchemaVersion changed to %q", TemporalSchemaVersion)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Mix = []string{"mcf06"}
+	static := Key(cfg)
+	cfg.Temporal = &temporal.Spec{EpochCycles: 65536, Drift: -0.01}
+	tempo := Key(cfg)
+	if static == tempo {
+		t.Fatal("temporal block did not change the cache key")
+	}
+
+	// Recompute each key with the schema string written explicitly: the
+	// static key must be reproducible under SchemaVersion, the temporal
+	// one under TemporalSchemaVersion.
+	rekey := func(schema string, c sim.Config) string {
+		h := sha256.New()
+		writeString(h, schema)
+		writeValue(h, reflect.ValueOf(c))
+		return hex.EncodeToString(h.Sum(nil))
+	}
+	cfg.Temporal = nil
+	if rekey(SchemaVersion, cfg) != static {
+		t.Error("static config not keyed under SchemaVersion")
+	}
+	cfg.Temporal = &temporal.Spec{EpochCycles: 65536, Drift: -0.01}
+	if rekey(TemporalSchemaVersion, cfg) != tempo {
+		t.Error("temporal config not keyed under TemporalSchemaVersion")
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"svard/internal/population"
 	"svard/internal/profile"
 	"svard/internal/sim"
+	"svard/internal/temporal"
 	"svard/internal/trace"
 )
 
@@ -60,6 +61,15 @@ type Spec struct {
 	// every pre-population spec keeps its exact fingerprint, journal,
 	// and cache keys.
 	Population *PopulationSpec `json:"population,omitempty"`
+
+	// Temporal, when set, turns the Fig. 12 sweep into a margin-erosion
+	// sweep (sim.RunErosion): the same (defense, nRH, Svärd) grid is
+	// evaluated under the calibration-time truth and under a live truth
+	// aged by each re-calibration interval, and the outcome carries
+	// Erosion cells instead of Fig12 cells. Like Population, the field
+	// is a pointer with omitempty so it is fingerprint-neutral when
+	// absent.
+	Temporal *TemporalSpec `json:"temporal,omitempty"`
 }
 
 // PopulationSpec declares a campaign's synthetic module population.
@@ -68,6 +78,14 @@ type Spec struct {
 type PopulationSpec struct {
 	Seed uint64 `json:"seed"`
 	Size int    `json:"size"`
+}
+
+// TemporalSpec declares a campaign's margin-erosion sweep: the temporal
+// process (its AgeEpochs must be 0 — the intervals own the age axis)
+// and the re-calibration intervals to evaluate.
+type TemporalSpec struct {
+	Process   temporal.Spec `json:"process"`
+	Intervals []uint64      `json:"intervals,omitempty"`
 }
 
 // Figures a campaign can regenerate.
@@ -93,6 +111,11 @@ func (s Spec) Normalized() Spec {
 		}
 		s.Mixes = trace.Mixes(n, s.Base.Cores, s.Base.Seed)
 		s.MixCount = n
+	}
+	if s.Temporal != nil && len(s.Temporal.Intervals) == 0 {
+		t := *s.Temporal
+		t.Intervals = sim.DefaultErosionIntervals()
+		s.Temporal = &t
 	}
 	return s
 }
@@ -172,6 +195,31 @@ func (s Spec) Validate() error {
 		if len(s.Backends) > 0 {
 			return fmt.Errorf("campaign: population campaigns sweep one backend; set base.backend instead of backends")
 		}
+		if s.Temporal != nil {
+			return fmt.Errorf("campaign: population and temporal are mutually exclusive")
+		}
+	}
+	if s.Temporal != nil {
+		if err := s.Temporal.Process.Validate(); err != nil {
+			return fmt.Errorf("campaign: temporal: %w", err)
+		}
+		if s.has(Fig13) {
+			return fmt.Errorf("campaign: temporal campaigns sweep fig12 margin erosion only; drop fig13")
+		}
+		if len(s.Profiles) > 1 {
+			return fmt.Errorf("campaign: temporal campaigns erode one module profile; set base config's ModuleLabel (or a single profile) instead of %d profiles", len(s.Profiles))
+		}
+		if len(s.Backends) > 0 {
+			return fmt.Errorf("campaign: temporal campaigns sweep one backend; set base.backend instead of backends")
+		}
+		if s.Base.Temporal != nil {
+			return fmt.Errorf("campaign: temporal campaigns attach the process themselves; base.Temporal must be unset")
+		}
+		// The erosion expansion re-validates (AgeEpochs, duplicate
+		// intervals) — surface those errors at admission too.
+		if _, err := sim.ErosionJobs(s.erosionOptions()); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -211,6 +259,25 @@ func (s Spec) populationOptions(chunk int) sim.PopulationOptions {
 	}
 }
 
+// erosionOptions expands the (normalized) spec for the margin-erosion
+// sweep. A single Profiles entry overrides the base module label; the
+// multi-profile case is rejected by Validate (erosion drifts one
+// module's truth).
+func (s Spec) erosionOptions() sim.ErosionOptions {
+	base := s.Base
+	if len(s.Profiles) == 1 {
+		base.ModuleLabel = s.Profiles[0]
+	}
+	return sim.ErosionOptions{
+		Base:      base,
+		Process:   s.Temporal.Process,
+		Intervals: s.Temporal.Intervals,
+		Mixes:     s.Mixes,
+		NRHs:      s.NRHs,
+		Defenses:  s.Defenses,
+	}
+}
+
 // fig13Options expands the (normalized) spec for the Fig. 13 sweep.
 func (s Spec) fig13Options() sim.Fig13Options {
 	return sim.Fig13Options{
@@ -232,13 +299,20 @@ func (s Spec) Jobs() ([]sim.Job, error) {
 	}
 	var jobs []sim.Job
 	if s.has(Fig12) {
-		if s.Population != nil {
+		switch {
+		case s.Population != nil:
 			pj, err := sim.PopulationJobs(s.populationOptions(0))
 			if err != nil {
 				return nil, err
 			}
 			jobs = append(jobs, pj...)
-		} else {
+		case s.Temporal != nil:
+			ej, err := sim.ErosionJobs(s.erosionOptions())
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, ej...)
+		default:
 			jobs = append(jobs, sim.Fig12Jobs(s.fig12Options())...)
 		}
 	}
@@ -276,6 +350,10 @@ type Outcome struct {
 	// Bands carries the Monte Carlo confidence bands of a population
 	// campaign (Spec.Population set), in place of Fig12 point cells.
 	Bands []sim.BandCell `json:",omitempty"`
+
+	// Erosion carries the margin-erosion cells of a temporal campaign
+	// (Spec.Temporal set), in place of Fig12 point cells.
+	Erosion []sim.ErosionCell `json:",omitempty"`
 
 	Total   int // simulation jobs in the campaign
 	Resumed int // jobs already journaled as complete when the run started
@@ -391,6 +469,14 @@ func (e *Engine) RunCtx(ctx context.Context, spec Spec) (*Outcome, error) {
 				opt := spec.populationOptions(e.PopulationChunk)
 				opt.Workers, opt.Runner, opt.Progress = e.Workers, runner, e.Progress
 				if out.Bands, err = sim.RunPopulationCtx(ctx, opt); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if spec.Temporal != nil {
+				opt := spec.erosionOptions()
+				opt.Workers, opt.Runner, opt.Progress = e.Workers, runner, e.Progress
+				if out.Erosion, err = sim.RunErosionCtx(ctx, opt); err != nil {
 					return nil, err
 				}
 				continue

@@ -12,6 +12,7 @@ import (
 
 	"svard/internal/cache"
 	"svard/internal/sim"
+	"svard/internal/temporal"
 )
 
 // fig12GoldenFile mirrors internal/sim's golden fixture layout: the
@@ -494,6 +495,154 @@ func TestPopulationCampaignInterruptedThenResumed(t *testing.T) {
 	}
 	if !reflect.DeepEqual(out.Bands, ref.Bands) {
 		t.Fatalf("resumed bands differ from the uninterrupted run:\ngot  %+v\nwant %+v", out.Bands, ref.Bands)
+	}
+	if out.Resumed != interruptAt {
+		t.Errorf("Resumed = %d, want %d", out.Resumed, interruptAt)
+	}
+	if want := int64(len(jobs) - interruptAt); calls2.Load() != want {
+		t.Errorf("resume re-simulated %d jobs, want %d", calls2.Load(), want)
+	}
+}
+
+// tinyTemporalSpec is a real-simulation margin-erosion campaign sized
+// to run in well under a second per cell.
+func tinyTemporalSpec() Spec {
+	base := sim.DefaultConfig()
+	base.Cores = 2
+	base.RowsPerBank = 2048
+	base.CellsPerRow = 2048
+	base.InstrPerCore = 8_000
+	base.WarmupPerCore = 1_000
+	return Spec{
+		Figures:  []string{Fig12},
+		Base:     base,
+		Mixes:    [][]string{{"mcf06", "lbm06"}},
+		NRHs:     []float64{256, 64},
+		Defenses: []string{"para"},
+		Temporal: &TemporalSpec{
+			Process:   temporal.Spec{EpochCycles: 65536, Drift: -0.03, Sigma: 0.05},
+			Intervals: []uint64{0, 16},
+		},
+	}
+}
+
+func TestTemporalSpecJobsAndValidate(t *testing.T) {
+	jobs, err := tinyTemporalSpec().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1 static + 2 interval) grids x 1 defense x 2 svard x 2 nRH x 1 mix.
+	if want := 3 * 4; len(jobs) != want {
+		t.Errorf("jobs = %d, want %d", len(jobs), want)
+	}
+	seen := map[string]bool{}
+	for _, job := range jobs {
+		key := cache.Key(job.Config)
+		if seen[key] {
+			t.Errorf("duplicate cache key for job %q", job.Label)
+		}
+		seen[key] = true
+	}
+
+	for name, breakIt := range map[string]func(*Spec){
+		"zero-epoch":      func(s *Spec) { s.Temporal.Process.EpochCycles = 0 },
+		"negative-sigma":  func(s *Spec) { s.Temporal.Process.Sigma = -0.1 },
+		"dip-above-one":   func(s *Spec) { s.Temporal.Process.DipP = 1.5 },
+		"process-age":     func(s *Spec) { s.Temporal.Process.AgeEpochs = 4 },
+		"dup-intervals":   func(s *Spec) { s.Temporal.Intervals = []uint64{0, 16, 16} },
+		"with-fig13":      func(s *Spec) { s.Figures = []string{Fig12, Fig13}; s.Benign = []string{"mcf06"} },
+		"with-population": func(s *Spec) { s.Population = &PopulationSpec{Seed: 1, Size: 2} },
+		"with-backends":   func(s *Spec) { s.Backends = []string{"hbm2"} },
+		"two-profiles":    func(s *Spec) { s.Profiles = []string{"S0", "M0"} },
+		"base-temporal":   func(s *Spec) { s.Base.Temporal = &temporal.Spec{EpochCycles: 1} },
+		"default-figure":  func(s *Spec) { s.Figures = nil }, // normalizes to both -> fig13 conflict
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := tinyTemporalSpec()
+			breakIt(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("validation accepted a broken temporal spec")
+			}
+		})
+	}
+}
+
+// TestTemporalFingerprintNeutral: the Temporal field must be invisible
+// when unset — pre-temporal specs keep their exact fingerprint and
+// journal — and must scope a distinct campaign when set.
+func TestTemporalFingerprintNeutral(t *testing.T) {
+	plain := tinySpec()
+	b, err := json.Marshal(plain.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "temporal") {
+		t.Fatalf("temporal leaks into a temporal-free spec's canonical JSON: %s", b)
+	}
+
+	a := tinyTemporalSpec()
+	c := tinyTemporalSpec()
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Error("identical temporal specs fingerprint differently")
+	}
+	c.Temporal.Process.Drift = -0.04
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different temporal drifts share a fingerprint")
+	}
+	d := tinyTemporalSpec()
+	d.Temporal = nil
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("temporal campaign shares a fingerprint with the static campaign")
+	}
+	// The default intervals are pinned by normalization, so a spec that
+	// spells them out is the same campaign as one that omits them.
+	e := tinyTemporalSpec()
+	e.Temporal.Intervals = nil
+	f := tinyTemporalSpec()
+	f.Temporal.Intervals = sim.DefaultErosionIntervals()
+	if e.Fingerprint() != f.Fingerprint() {
+		t.Error("default intervals fingerprint differently from explicit ones")
+	}
+}
+
+// TestErosionCampaignInterruptedThenResumed: a temporal campaign killed
+// mid-sweep and resumed completes from cached cells and reports a
+// margin-erosion table bit-identical to an uninterrupted run.
+func TestErosionCampaignInterruptedThenResumed(t *testing.T) {
+	spec := tinyTemporalSpec()
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: one uninterrupted cold run in its own store.
+	ref, err := (&Engine{Store: newStore(t, t.TempDir()), Workers: 2}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Erosion) != 4 || ref.Fig12 != nil {
+		t.Fatalf("temporal campaign outcome: %d erosion cells, fig12 %v", len(ref.Erosion), ref.Fig12)
+	}
+
+	// Interrupted run: killed after 4 completed simulations.
+	dir := t.TempDir()
+	const interruptAt = 4
+	var calls1 atomic.Int64
+	eng1 := &Engine{Store: newStore(t, dir), Workers: 2, Sim: failAfter(interruptAt, &calls1)}
+	if _, err := eng1.Run(spec); err == nil {
+		t.Fatal("interrupted temporal campaign reported success")
+	}
+
+	// Resume in a fresh store over the same directory, with a different
+	// worker count: the erosion table must not notice either.
+	var calls2 atomic.Int64
+	eng2 := &Engine{Store: newStore(t, dir), Workers: 1, Resume: true, Sim: countingSim(&calls2)}
+	out, err := eng2.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Erosion, ref.Erosion) {
+		t.Fatalf("resumed erosion cells differ from the uninterrupted run:\ngot  %+v\nwant %+v", out.Erosion, ref.Erosion)
 	}
 	if out.Resumed != interruptAt {
 		t.Errorf("Resumed = %d, want %d", out.Resumed, interruptAt)

@@ -261,6 +261,34 @@ func BandsJSON(cells []sim.BandCell) ([]byte, error) {
 	return json.MarshalIndent(cells, "", "  ")
 }
 
+// Erosion renders the margin-erosion sweep: per (defense, config,
+// re-calibration interval), the smallest violation-free swept nRH under
+// the calibration-time truth vs. the drifted live truth, the resulting
+// margin shift, and the bitflips the drift produces at the calibrated
+// operating point. "none" in the nRH columns means no swept threshold
+// kept the tracker silent.
+func Erosion(cells []sim.ErosionCell) string {
+	t := Table{
+		Title:   "Margin erosion: violation-free nRH under calibration vs drifted truth",
+		Headers: []string{"Defense", "Config", "Interval", "Calib nRH", "Live nRH", "Shift", "Bitflips@Calib"},
+	}
+	nrh := func(v float64) string {
+		if v == 0 {
+			return "none"
+		}
+		return fmt.Sprintf("%.0f", v)
+	}
+	for _, c := range cells {
+		shift := "-"
+		if c.Shift != 0 {
+			shift = fmt.Sprintf("%.2fx", c.Shift)
+		}
+		t.Add(c.Defense, c.Config, fmt.Sprintf("%d ep", c.Interval),
+			nrh(c.CalibNRH), nrh(c.LiveNRH), shift, fmt.Sprint(c.Violations))
+	}
+	return t.String()
+}
+
 // Obsv15 renders the residual overheads at one threshold.
 func Obsv15(cells []sim.Fig12Cell, nrh float64) string {
 	t := Table{

@@ -86,4 +86,14 @@ func TestRenderersProduceAllRows(t *testing.T) {
 	if !strings.Contains(f13, "2.500") {
 		t.Errorf("Fig13 output:\n%s", f13)
 	}
+	ero := Erosion([]sim.ErosionCell{
+		{Defense: "para", Config: "NoSvard", Interval: 0, CalibNRH: 64, LiveNRH: 64, Shift: 1},
+		{Defense: "para", Config: "NoSvard", Interval: 64, CalibNRH: 64, LiveNRH: 1024, Shift: 16, Violations: 1757},
+		{Defense: "rrs", Config: "Svard-S0", Interval: 64, CalibNRH: 64, LiveNRH: 0, Shift: 0, Violations: 9},
+	})
+	for _, want := range []string{"64 ep", "1.00x", "16.00x", "1757", "none", "-"} {
+		if !strings.Contains(ero, want) {
+			t.Errorf("Erosion output missing %q:\n%s", want, ero)
+		}
+	}
 }

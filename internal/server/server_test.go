@@ -26,6 +26,7 @@ import (
 	"svard/internal/client"
 	"svard/internal/server"
 	"svard/internal/sim"
+	"svard/internal/temporal"
 )
 
 // fig12GoldenFile mirrors internal/sim's fixture layout.
@@ -752,6 +753,22 @@ func TestAPIErrors(t *testing.T) {
 	if _, err := c.Submit(ctx, badBackend, "bad-backend", 0); err == nil ||
 		!strings.Contains(err.Error(), "400") || !strings.Contains(err.Error(), "lpddr5") {
 		t.Errorf("invalid backend error = %v, want 400 naming lpddr5", err)
+	}
+
+	// A malformed temporal process is a 400 at submit — never a panic in
+	// a worker — for every way it can be malformed.
+	for name, proc := range map[string]temporal.Spec{
+		"zero-epoch":     {EpochCycles: 0, Drift: -0.05},
+		"negative-sigma": {EpochCycles: 65536, Sigma: -1},
+		"dip-above-one":  {EpochCycles: 65536, DipP: 2, DipFactor: 0.5},
+	} {
+		badTemporal := tinySpec()
+		badTemporal.Figures = []string{campaign.Fig12}
+		badTemporal.Temporal = &campaign.TemporalSpec{Process: proc}
+		if _, err := c.Submit(ctx, badTemporal, "bad-temporal", 0); err == nil ||
+			!strings.Contains(err.Error(), "400") || !strings.Contains(err.Error(), "temporal") {
+			t.Errorf("%s: invalid temporal error = %v, want 400 naming temporal", name, err)
+		}
 	}
 
 	// A running (non-done) job has no result yet: 409, not 200/404.

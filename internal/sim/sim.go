@@ -27,6 +27,7 @@ import (
 	"svard/internal/mitigation/rrs"
 	"svard/internal/population"
 	"svard/internal/profile"
+	"svard/internal/temporal"
 	"svard/internal/trace"
 )
 
@@ -71,6 +72,14 @@ type Config struct {
 	// loop exists only for those tests and for debugging the engine
 	// itself (see EXPERIMENTS.md, "event-driven engine").
 	NoSkip bool
+
+	// Temporal, when non-nil, attaches a temporal-variation process
+	// (internal/temporal): the security tracker's ground-truth
+	// thresholds drift per epoch while every defense keeps reading the
+	// frozen calibration view (views.go). nil means static truth — and
+	// is deliberately invisible to cache keys and campaign fingerprints,
+	// so every pre-temporal configuration keeps its exact identity.
+	Temporal *temporal.Spec `json:",omitempty"`
 }
 
 // DefaultConfig returns the Table 4 system with scaled-down workload
@@ -93,16 +102,25 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate checks the configuration's named presets — today the memory
-// backend — without building anything. The campaign spec validator and
-// the server's submit path call it so an invalid backend is a
-// descriptive error (HTTP 400), never a panic inside a worker.
+// Validate checks the configuration's named presets — the memory
+// backend and the temporal process — without building anything. The
+// campaign spec validator and the server's submit path call it so an
+// invalid backend or temporal spec is a descriptive error (HTTP 400),
+// never a panic inside a worker.
 func (c *Config) Validate() error {
 	b, err := dram.BackendByName(c.Backend)
 	if err != nil {
 		return err
 	}
-	return b.Validate()
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if c.Temporal != nil {
+		if err := c.Temporal.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Result summarizes one simulation.
@@ -457,6 +475,12 @@ func buildMachine(cfg Config, st *poolState) (*machine, error) {
 	if st != nil {
 		st.tracker = tracker
 	}
+	if cfg.Temporal != nil {
+		if err := cfg.Temporal.Validate(); err != nil {
+			return nil, err
+		}
+		tracker.startTemporal(temporal.NewProcess(*cfg.Temporal, cfg.Seed), cfg.Temporal.EpochCycles)
+	}
 
 	var mcs []*memctrl.Controller
 	if st != nil && cap(st.mcs) >= nchan {
@@ -562,6 +586,7 @@ func (m *machine) runNaive(maxCycles uint64) (uint64, bool) {
 	remaining := len(m.cores)
 	for cycle := uint64(0); cycle < maxCycles; cycle++ {
 		m.ticks++
+		m.tracker.tickEpoch(cycle)
 		for _, mc := range m.mcs {
 			mc.TickFull(cycle)
 		}
@@ -595,6 +620,7 @@ func (m *machine) runSkip(maxCycles uint64) (uint64, bool) {
 	cycle := uint64(0)
 	for cycle < maxCycles {
 		m.ticks++
+		m.tracker.tickEpoch(cycle)
 		active := false
 		for _, mc := range m.mcs {
 			if mc.Tick(cycle) {
@@ -617,7 +643,10 @@ func (m *machine) runSkip(maxCycles uint64) (uint64, bool) {
 			cycle++
 			continue
 		}
-		next := ^uint64(0)
+		// The tracker's next epoch edge bounds the jump too: live
+		// thresholds change at the edge, so skipping across it could
+		// misclassify a violation. MaxUint64 when static.
+		next := m.tracker.NextEvent(cycle)
 		for _, mc := range m.mcs {
 			if n := mc.NextEvent(cycle); n < next {
 				next = n

@@ -1,9 +1,8 @@
 package sim
 
 import (
-	"math"
-
 	"svard/internal/disturb"
+	"svard/internal/temporal"
 )
 
 // secTracker implements memctrl.Tracker: it accounts read disturbance
@@ -12,15 +11,20 @@ import (
 // restore). A correctly configured defense must keep this at zero; the
 // defense-free baseline at low thresholds must not (tests assert both).
 //
+// The thresholds it compares against are the LIVE view of the truth
+// (views.go): for static runs that is exactly the calibration view the
+// defenses were configured against; with a temporal process attached the
+// live view drifts per epoch while defenses keep reading calibration —
+// the tracker is the only component allowed to see the drifted truth.
+//
 // All per-row tables are flat [bank*rows+row] arrays — the tracker is
 // on the controller's command path, and the accrual table is the
 // largest piece of pooled state (4 B/row: 16 MB at the paper's 128K
 // rows x 32 banks).
 type secTracker struct {
 	model  *disturb.Model
-	hcBase []float64 // unscaled true HCfirst per [bank*rows+row], from buildModule
+	live   liveView  // ground-truth thresholds (== calibration when static)
 	psi    []float64 // RowPress susceptibility per [bank*rows+row], from buildModule
-	factor float64   // profile scaling factor (§7.1 future-chip scaling)
 	cpuGHz float64
 
 	rows         int
@@ -50,9 +54,8 @@ func newSecTracker(model *disturb.Model, hcBase, psi []float64, factor, cpuGHz f
 func (t *secTracker) reset(model *disturb.Model, hcBase, psi []float64, factor, cpuGHz float64, banks, banksPerRank int) {
 	rows := model.Geom.RowsPerBank
 	t.model = model
-	t.hcBase = hcBase
+	t.live.reset(hcBase, factor, rows)
 	t.psi = psi
-	t.factor = factor
 	t.cpuGHz = cpuGHz
 	t.rows = rows
 	t.banksPerRank = banksPerRank
@@ -68,12 +71,24 @@ func (t *secTracker) reset(model *disturb.Model, hcBase, psi []float64, factor, 
 }
 
 func (t *secTracker) hcFirst(idx int) float32 {
-	v := float32(t.hcBase[idx] * t.factor)
-	if v == 0 {
-		v = math.SmallestNonzeroFloat32
-	}
-	return v
+	return t.live.hcFirst(idx)
 }
+
+// startTemporal attaches a temporal process to the tracker's live view.
+// Must be called after reset, before the run starts.
+func (t *secTracker) startTemporal(proc temporal.Process, epochCycles uint64) {
+	t.live.start(proc, epochCycles, len(t.cur))
+}
+
+// tickEpoch advances the live view to cycle's epoch; the engine loops
+// call it every ticked cycle (a single branch when static).
+func (t *secTracker) tickEpoch(cycle uint64) { t.live.tickEpoch(cycle) }
+
+// NextEvent reports the next cycle at which the tracker's state changes
+// on its own — the next epoch edge (MaxUint64 when static). The event
+// engine folds it into its skip bounds so cycle-skipping never jumps
+// over an epoch boundary.
+func (t *secTracker) NextEvent(cycle uint64) uint64 { return t.live.nextEvent() }
 
 // OnAct: opening a row restores its own cells.
 func (t *secTracker) OnAct(bank, row int, cycle uint64) {

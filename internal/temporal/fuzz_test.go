@@ -1,0 +1,33 @@
+package temporal
+
+import "testing"
+
+// FuzzParseSpec: ParseSpec must reject malformed specs with an error —
+// never a panic — and any spec it accepts must validate and round-trip
+// through String.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("epoch=65536,drift=-0.05,sigma=0.1,dip=0.01,dipfactor=0.5,age=64")
+	f.Add("epoch=1")
+	f.Add("")
+	f.Add("epoch=0")
+	f.Add("epoch=1,epoch=2")
+	f.Add("epoch=1,sigma=NaN")
+	f.Add("drift==,")
+	f.Add("epoch=18446744073709551615,dip=1")
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted a spec Validate rejects: %v", s, verr)
+		}
+		back, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("accepted spec %+v does not re-parse from %q: %v", spec, spec.String(), err)
+		}
+		if back != spec {
+			t.Fatalf("round trip changed the spec: %+v -> %q -> %+v", spec, spec.String(), back)
+		}
+	})
+}

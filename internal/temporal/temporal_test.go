@@ -1,0 +1,178 @@
+package temporal
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func validSpec() Spec {
+	return Spec{EpochCycles: 65536, Drift: -0.05, Sigma: 0.1, DipP: 0.01, DipFactor: 0.5, AgeEpochs: 16}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		breakIt func(*Spec)
+		wantErr string
+	}{
+		{"valid", func(s *Spec) {}, ""},
+		{"minimal", func(s *Spec) { *s = Spec{EpochCycles: 1} }, ""},
+		{"zero epoch length", func(s *Spec) { s.EpochCycles = 0 }, "epoch length"},
+		{"negative sigma", func(s *Spec) { s.Sigma = -0.1 }, "sigma"},
+		{"huge sigma", func(s *Spec) { s.Sigma = 9 }, "sigma"},
+		{"NaN sigma", func(s *Spec) { s.Sigma = math.NaN() }, "finite"},
+		{"inf drift", func(s *Spec) { s.Drift = math.Inf(1) }, "finite"},
+		{"huge drift", func(s *Spec) { s.Drift = -9 }, "drift"},
+		{"dip probability negative", func(s *Spec) { s.DipP = -0.1 }, "dip probability"},
+		{"dip probability above one", func(s *Spec) { s.DipP = 1.5 }, "dip probability"},
+		{"NaN dip probability", func(s *Spec) { s.DipP = math.NaN() }, "finite"},
+		{"dip without factor", func(s *Spec) { s.DipP = 0.5; s.DipFactor = 0 }, "dip factor"},
+		{"dip factor above one", func(s *Spec) { s.DipFactor = 1.5 }, "dip factor"},
+		{"negative dip factor without dip", func(s *Spec) { s.DipP = 0; s.DipFactor = -1 }, "dip factor"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.breakIt(&s)
+			err := s.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	for _, s := range []Spec{
+		{EpochCycles: 1},
+		{EpochCycles: 65536, Drift: -0.05},
+		validSpec(),
+	} {
+		got, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", s.String(), got, s)
+		}
+	}
+}
+
+func TestParseSpecDefaultsDipFactor(t *testing.T) {
+	s, err := ParseSpec("epoch=100,dip=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DipFactor != 0.5 {
+		t.Errorf("DipFactor = %v, want the 0.5 default", s.DipFactor)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"   ",
+		"epoch",                      // not key=value
+		"epoch=",                     // empty value
+		"epoch=x",                    // not a number
+		"epoch=0",                    // fails validation
+		"drift=0.1",                  // missing epoch
+		"epoch=1,epoch=2",            // duplicate key
+		"epoch=1,wat=3",              // unknown key
+		"epoch=1,,drift=1",           // empty entry
+		"epoch=1,sigma=-1",           // fails validation
+		"epoch=1,dip=2",              // fails validation
+		"epoch=1,drift=1e9",          // fails validation
+		"epoch=99999999999999999999", // uint64 overflow
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) = nil error, want rejection", bad)
+		}
+	}
+}
+
+// TestFactorDeterministic: a row's trajectory is a pure function of
+// (seed, bank, row, epoch) — two processes with the same binding agree
+// exactly, in any evaluation order.
+func TestFactorDeterministic(t *testing.T) {
+	p1 := NewProcess(validSpec(), 42)
+	p2 := NewProcess(validSpec(), 42)
+	for epoch := uint64(8); epoch > 0; epoch-- { // reverse order on p2's first touch
+		if got, want := p2.Factor(3, 1000, epoch), p1.Factor(3, 1000, epoch); got != want {
+			t.Fatalf("Factor(3,1000,%d) = %v vs %v across processes", epoch, got, want)
+		}
+	}
+}
+
+// TestFactorVaries: with sigma > 0 distinct rows and seeds see distinct
+// trajectories, and the factor actually moves over epochs.
+func TestFactorVaries(t *testing.T) {
+	spec := Spec{EpochCycles: 1024, Sigma: 0.2}
+	p := NewProcess(spec, 1)
+	if p.Factor(0, 0, 0) != 1 {
+		t.Errorf("fresh row at epoch 0 with no age: factor = %v, want exactly 1", p.Factor(0, 0, 0))
+	}
+	if p.Factor(0, 0, 5) == p.Factor(0, 1, 5) {
+		t.Error("adjacent rows share a trajectory")
+	}
+	if p.Factor(0, 0, 5) == NewProcess(spec, 2).Factor(0, 0, 5) {
+		t.Error("different seeds share a trajectory")
+	}
+	if p.Factor(0, 0, 5) == 1 {
+		t.Error("sigma > 0 left the factor at exactly 1 after 5 epochs")
+	}
+}
+
+// TestFactorDrift: a strongly negative drift must decay thresholds on
+// essentially every row; positive drift must grow them.
+func TestFactorDrift(t *testing.T) {
+	down := NewProcess(Spec{EpochCycles: 1, Drift: -0.5}, 7)
+	up := NewProcess(Spec{EpochCycles: 1, Drift: 0.5}, 7)
+	for row := 0; row < 32; row++ {
+		if f := down.Factor(0, row, 10); f >= 1 {
+			t.Fatalf("row %d: negative drift gave factor %v >= 1", row, f)
+		}
+		if f := up.Factor(0, row, 10); f <= 1 {
+			t.Fatalf("row %d: positive drift gave factor %v <= 1", row, f)
+		}
+	}
+}
+
+// TestFactorAgeClosedForm: the pre-run age term uses the closed-form
+// N(mu*A, sigma^2*A) law; with sigma = 0 it must be exactly exp(mu*A),
+// matching what summing A deterministic steps would give.
+func TestFactorAgeClosedForm(t *testing.T) {
+	spec := Spec{EpochCycles: 1, Drift: -0.1, AgeEpochs: 30}
+	p := NewProcess(spec, 3)
+	want := math.Exp(-0.1 * 30)
+	if got := p.Factor(0, 0, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("aged factor = %v, want exp(drift*age) = %v", got, want)
+	}
+}
+
+// TestFactorDip: with DipP = 1 every epoch dips, so the factor must be
+// exactly DipFactor times the undipped trajectory.
+func TestFactorDip(t *testing.T) {
+	base := Spec{EpochCycles: 1, Drift: -0.01}
+	dipped := base
+	dipped.DipP = 1
+	dipped.DipFactor = 0.25
+	pb := NewProcess(base, 5)
+	pd := NewProcess(dipped, 5)
+	for epoch := uint64(0); epoch < 4; epoch++ {
+		want := pb.Factor(1, 2, epoch) * 0.25
+		if got := pd.Factor(1, 2, epoch); math.Abs(got-want) > 1e-15 {
+			t.Fatalf("epoch %d: dipped factor = %v, want %v", epoch, got, want)
+		}
+	}
+}
