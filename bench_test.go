@@ -12,6 +12,7 @@ import (
 
 	"svard/internal/charz"
 	"svard/internal/core"
+	"svard/internal/obs"
 	"svard/internal/population"
 	"svard/internal/profile"
 	"svard/internal/sim"
@@ -220,7 +221,7 @@ func BenchmarkFig12RRS(b *testing.B)         { benchFig12(b, "rrs") }
 // loop; Serial vs NoSkip documents the event engine's cycle-skipping
 // speedup (>= 2x on the default spec, bit-identical cells — see
 // EXPERIMENTS.md, "event-driven engine").
-func benchFig12Sweep(b *testing.B, workers int, noSkip bool, backend string, tspec *temporal.Spec) {
+func benchFig12Sweep(b *testing.B, workers int, noSkip bool, backend string, tspec *temporal.Spec, rec *obs.Recorder) {
 	b.Helper()
 	base := sim.DefaultConfig()
 	base.Cores = 2
@@ -238,6 +239,12 @@ func benchFig12Sweep(b *testing.B, workers int, noSkip bool, backend string, tsp
 		Defenses: []string{"para", "rrs"},
 		Profiles: []string{"S0"},
 		Workers:  workers,
+	}
+	if rec != nil {
+		// One shared recorder across the whole sweep (serial only — a
+		// Recorder is not concurrency-safe): the closure is created once
+		// out here, so recording stays inside the allocation budget.
+		opt.Runner = func(cfg sim.Config) (sim.Result, error) { return sim.PooledRunRecorded(cfg, rec) }
 	}
 	// Warm the module cache (and the run-state pool) so the timed region
 	// measures the simulation fan-out, not the one-off module
@@ -259,22 +266,31 @@ func benchFig12Sweep(b *testing.B, workers int, noSkip bool, backend string, tsp
 }
 
 // BenchmarkFig12SweepSerial is the Workers=1 reference for the sweep.
-func BenchmarkFig12SweepSerial(b *testing.B) { benchFig12Sweep(b, 1, false, "", nil) }
+// It runs with a flight recorder attached, so the reported allocs/op
+// holds the telemetry layer to the same allocation-flat budget as the
+// sweep itself.
+func BenchmarkFig12SweepSerial(b *testing.B) {
+	rec := &obs.Recorder{}
+	benchFig12Sweep(b, 1, false, "", nil, rec)
+	if rec.Counters.Ticks == 0 {
+		b.Fatal("recorder attached but recorded nothing")
+	}
+}
 
 // BenchmarkFig12SweepParallel fans the same sweep across all cores.
 func BenchmarkFig12SweepParallel(b *testing.B) {
-	benchFig12Sweep(b, runtime.GOMAXPROCS(0), false, "", nil)
+	benchFig12Sweep(b, runtime.GOMAXPROCS(0), false, "", nil, nil)
 }
 
 // BenchmarkFig12SweepSerialNoSkip is the per-cycle reference loop on
 // the Serial sweep: the denominator of the event engine's speedup.
-func BenchmarkFig12SweepSerialNoSkip(b *testing.B) { benchFig12Sweep(b, 1, true, "", nil) }
+func BenchmarkFig12SweepSerialNoSkip(b *testing.B) { benchFig12Sweep(b, 1, true, "", nil, nil) }
 
 // BenchmarkFig12SweepSerialHBM2 is the Serial sweep on the hbm2 preset:
 // four pseudo-channel controllers per machine instead of one, so it
 // tracks the multi-channel backend's cost (routing, per-channel defense
 // instances, the widened NextEvent bound) release over release.
-func BenchmarkFig12SweepSerialHBM2(b *testing.B) { benchFig12Sweep(b, 1, false, "hbm2", nil) }
+func BenchmarkFig12SweepSerialHBM2(b *testing.B) { benchFig12Sweep(b, 1, false, "hbm2", nil, nil) }
 
 // BenchmarkFig12SweepSerialTemporal is the Serial sweep with a mild
 // temporal process attached: every leg crosses epoch edges and samples
@@ -284,7 +300,7 @@ func BenchmarkFig12SweepSerialHBM2(b *testing.B) { benchFig12Sweep(b, 1, false, 
 // purpose — it should move thresholds, not trigger a violation storm
 // that would make the benchmark measure tracker bookkeeping instead.
 func BenchmarkFig12SweepSerialTemporal(b *testing.B) {
-	benchFig12Sweep(b, 1, false, "", &temporal.Spec{EpochCycles: 65536, Drift: -0.01, Sigma: 0.02})
+	benchFig12Sweep(b, 1, false, "", &temporal.Spec{EpochCycles: 65536, Drift: -0.01, Sigma: 0.02}, nil)
 }
 
 // BenchmarkPopulationSweep runs the Monte Carlo confidence-band sweep

@@ -1,34 +1,44 @@
 // svard-benchdiff compares two Go benchmark outputs (benchstat's input
 // format — the BENCH_sim.json artifact CI uploads) and reports per-
-// benchmark changes in time/op and allocs/op. CI runs it against the
-// previous run's artifact and turns regressions beyond a threshold
-// into GitHub Actions warning annotations, so a perf or allocation
-// regression is visible on the pull request without failing the build
-// (shared runners make time/op noisy; allocs/op is deterministic).
+// benchmark changes in time/op, allocs/op, and B/op. CI runs it against
+// the previous run's artifact and turns regressions beyond a threshold
+// into GitHub Actions warning annotations; with -fail-on, regressions
+// on the named metrics fail the build instead of merely warning (shared
+// runners make time/op noisy; allocs/op and B/op are deterministic, so
+// they are safe to hard-fail on).
 //
 // Usage:
 //
-//	svard-benchdiff [-threshold 10] [-gha] old.txt new.txt
+//	svard-benchdiff [-threshold 10] [-gha] [-fail-on allocs,bytes] old.txt new.txt
 //
-// Exit status is 0 unless the inputs are unreadable; regressions warn.
+// -fail-on takes a comma-separated subset of time, allocs, bytes — or
+// "any" for all three. Exit status: 0 clean, 1 when a -fail-on metric
+// regressed (or an input is unreadable), 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"svard/internal/benchdiff"
 )
 
 func main() {
 	var (
-		threshold = flag.Float64("threshold", 10, "warn when time/op or allocs/op regresses more than this percentage")
-		gha       = flag.Bool("gha", false, "emit GitHub Actions ::warning:: annotations for regressions")
+		threshold = flag.Float64("threshold", 10, "warn when time/op, allocs/op, or B/op regresses more than this percentage")
+		gha       = flag.Bool("gha", false, "emit GitHub Actions ::warning::/::error:: annotations for regressions")
+		failOn    = flag.String("fail-on", "", "comma-separated metrics whose regressions fail the build: time, allocs, bytes, or 'any'")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: svard-benchdiff [-threshold PCT] [-gha] old.txt new.txt")
+		fmt.Fprintln(os.Stderr, "usage: svard-benchdiff [-threshold PCT] [-gha] [-fail-on METRICS] old.txt new.txt")
+		os.Exit(2)
+	}
+	fatal, err := parseFailOn(*failOn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	oldB, err := os.ReadFile(flag.Arg(0))
@@ -47,13 +57,55 @@ func main() {
 		return
 	}
 	fmt.Print(benchdiff.Table(diffs))
+	failed := false
 	for _, d := range diffs {
-		for _, r := range d.Regressions(*threshold) {
-			if *gha {
-				fmt.Printf("::warning title=benchmark regression::%s\n", r)
-			} else {
-				fmt.Printf("WARNING: %s\n", r)
+		for _, r := range d.TypedRegressions(*threshold) {
+			hard := fatal[r.Metric]
+			failed = failed || hard
+			switch {
+			case *gha && hard:
+				fmt.Printf("::error title=benchmark regression::%s\n", r.Message)
+			case *gha:
+				fmt.Printf("::warning title=benchmark regression::%s\n", r.Message)
+			case hard:
+				fmt.Printf("FAIL: %s\n", r.Message)
+			default:
+				fmt.Printf("WARNING: %s\n", r.Message)
 			}
 		}
 	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseFailOn maps the -fail-on flag to the metric set that fails the
+// build. Unknown metric names are usage errors, not silent no-ops: a
+// typo in CI config must not quietly disable the gate.
+func parseFailOn(s string) (map[benchdiff.Metric]bool, error) {
+	out := map[benchdiff.Metric]bool{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "any" {
+			for _, m := range benchdiff.Metrics {
+				out[m] = true
+			}
+			continue
+		}
+		known := false
+		for _, m := range benchdiff.Metrics {
+			if part == string(m) {
+				out[m] = true
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("svard-benchdiff: unknown -fail-on metric %q (have time, allocs, bytes, any)", part)
+		}
+	}
+	return out, nil
 }

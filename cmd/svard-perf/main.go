@@ -27,6 +27,7 @@ import (
 
 	"svard/internal/cache"
 	"svard/internal/dram"
+	"svard/internal/obs"
 	"svard/internal/report"
 	"svard/internal/sim"
 	"svard/internal/trace"
@@ -58,15 +59,22 @@ func main() {
 	// flushProfiles finalizes -cpuprofile/-memprofile output. Every exit
 	// path must run it — the error paths below call fail, which flushes
 	// before os.Exit (a deferred flush alone would be skipped and leave
-	// a truncated CPU profile and no heap profile).
+	// a truncated CPU profile and no heap profile). The CPU profile file
+	// is closed HERE, after StopCPUProfile's final flush — closing it on
+	// a separate defer would run before this one and truncate short
+	// profiles to zero bytes.
 	flushed := false
+	var cpuFile *os.File
 	flushProfiles := func() {
 		if flushed {
 			return
 		}
 		flushed = true
-		if *cpuProf != "" {
+		if cpuFile != nil {
 			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
 		}
 		if *memProf != "" {
 			f, err := os.Create(*memProf)
@@ -93,9 +101,14 @@ func main() {
 			fail(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
 			fail(err)
 		}
-		defer f.Close()
+		cpuFile = f
+		// Tag each cell's samples with its sweep coordinates so
+		// `go tool pprof -tags` splits the profile by defense/nRH/module.
+		// Off unless profiling: pprof.Do costs allocations per cell.
+		obs.EnableProfilingLabels()
 	}
 	if !*fig12 && !*fig13 && !*obsv15 {
 		*fig12, *fig13, *obsv15 = true, true, true

@@ -17,6 +17,7 @@
 //	POST   /api/v1/jobs/{id}/cancel   cancel (also DELETE /api/v1/jobs/{id})
 //	GET    /api/v1/jobs/{id}/events   stream NDJSON per-cell progress
 //	GET    /api/v1/jobs/{id}/result   folded Fig. 12/13 cells
+//	GET    /api/v1/jobs/{id}/trace    flight-recorder timeline (Chrome trace JSON)
 //	GET    /api/v1/cells/{key}        raw cached cell by config key
 //	POST   /api/v1/key                config -> content-addressed key
 //	GET    /healthz                   liveness + scheduler summary
@@ -43,6 +44,7 @@ import (
 
 	"svard/internal/cache"
 	"svard/internal/dram"
+	"svard/internal/obs"
 	"svard/internal/server"
 )
 
@@ -77,7 +79,10 @@ func main() {
 	if *withPprof {
 		// The service handler keeps the API namespace; pprof mounts
 		// beside it so a live sweep can be profiled with
-		// `go tool pprof http://ADDR/debug/pprof/profile`.
+		// `go tool pprof http://ADDR/debug/pprof/profile`. Labeling each
+		// cell's samples with its sweep coordinates only matters (and only
+		// costs anything) when someone can actually take a profile.
+		obs.EnableProfilingLabels()
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -48,6 +48,7 @@ import (
 	"svard/internal/cache"
 	"svard/internal/campaign"
 	"svard/internal/dram"
+	"svard/internal/obs"
 	"svard/internal/report"
 	"svard/internal/sim"
 	"svard/internal/temporal"
@@ -87,6 +88,8 @@ func main() {
 
 		temporalSpec      = flag.String("temporal", "", "temporal process spec, e.g. epoch=65536,drift=-0.05,sigma=0.1 (margin-erosion sweep instead of Fig. 12 points)")
 		temporalIntervals = flag.String("temporal-intervals", "", "comma-separated re-calibration intervals in epochs (default 0,16,64)")
+
+		traceOut = flag.String("trace", "", "write a flight-recorder timeline of the campaign (Chrome trace_event JSON for chrome://tracing / Perfetto / svard-trace) to this file")
 	)
 	var explicitMixes [][]string
 	flag.Func("mix", "one explicit workload mix, comma-separated (repeatable; overrides -mixes)", func(s string) error {
@@ -244,6 +247,9 @@ func main() {
 		Resume:          *resume,
 		PopulationChunk: *popChunk,
 	}
+	if *traceOut != "" {
+		eng.Trace = obs.NewTrace()
+	}
 	if !*quiet {
 		eng.Progress = func(msg string) { fmt.Fprintf(os.Stderr, "\r%-60s", msg) }
 	}
@@ -261,6 +267,17 @@ func main() {
 	out, err := eng.RunCtx(ctx, spec)
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
+	}
+	// Write the timeline even on an interrupted run: a partial trace of
+	// what did execute is exactly what you want when diagnosing why a
+	// campaign stalled.
+	if *traceOut != "" {
+		if terr := eng.Trace.WriteFile(*traceOut); terr != nil {
+			fmt.Fprintln(os.Stderr, terr)
+		} else if !*quiet {
+			fmt.Fprintf(os.Stderr, "trace written to %s (%d cells; inspect with svard-trace, or open in chrome://tracing)\n",
+				*traceOut, eng.Trace.Len())
+		}
 	}
 	if err != nil {
 		if *cacheDir != "" {

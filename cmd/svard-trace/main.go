@@ -1,0 +1,308 @@
+// svard-trace inspects the flight-recorder timelines that svard-sweep
+// -trace and svard-served's /api/v1/jobs/{id}/trace emit (Chrome
+// trace_event JSON — the same files open in chrome://tracing and
+// Perfetto). It answers the questions a timeline viewer is clumsy at:
+// which cells were slowest, where the time went phase by phase, what
+// the engine counters totalled, and how two cells or two runs differ.
+//
+// Usage:
+//
+//	svard-trace [-top N] trace.json              summary: phases, slowest cells, counters
+//	svard-trace old.json new.json                counter totals diff between two runs
+//	svard-trace -diff-cells 'A::B' trace.json    counter diff between two cells (index or label substring)
+//	svard-trace -check trace.json                validate (parses, spans nest); exit 1 on failure
+//	svard-trace -glossary                        print the counter glossary and exit
+//
+// Cell selectors for -diff-cells are either a 0-based timeline index
+// ("3") or a case-insensitive label substring ("para nRH=64"); an
+// ambiguous substring is an error listing the candidates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"svard/internal/obs"
+	"svard/internal/report"
+)
+
+func main() {
+	var (
+		top       = flag.Int("top", 10, "how many slowest cells to list in the summary")
+		check     = flag.Bool("check", false, "validate the trace (JSON parses, spans nest) and exit; non-zero on failure")
+		diffCells = flag.String("diff-cells", "", "diff two cells of one trace: 'SEL::SEL', each a 0-based index or label substring")
+		glossary  = flag.Bool("glossary", false, "print the counter glossary and exit")
+	)
+	flag.Parse()
+
+	if *glossary {
+		fmt.Print(glossaryTable())
+		return
+	}
+
+	switch {
+	case *check:
+		if flag.NArg() != 1 {
+			usage()
+		}
+		runCheck(flag.Arg(0))
+	case *diffCells != "":
+		if flag.NArg() != 1 {
+			usage()
+		}
+		runDiffCells(flag.Arg(0), *diffCells)
+	case flag.NArg() == 1:
+		runSummary(flag.Arg(0), *top)
+	case flag.NArg() == 2:
+		runDiffRuns(flag.Arg(0), flag.Arg(1))
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: svard-trace [-top N] trace.json
+       svard-trace old.json new.json
+       svard-trace -diff-cells 'SEL::SEL' trace.json
+       svard-trace -check trace.json
+       svard-trace -glossary`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func load(path string) *obs.File {
+	f, err := obs.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	return f
+}
+
+// runCheck is the CI gate: the file must parse as trace JSON and its
+// spans must strictly nest per lane (Perfetto renders overlapping
+// spans misleadingly instead of erroring, so CI catches it here).
+func runCheck(path string) {
+	f := load(path)
+	if err := f.Validate(); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	cells := f.CellSummaries()
+	fmt.Printf("%s: ok — %d events, %d cells, spans nest\n", path, len(f.TraceEvents), len(cells))
+}
+
+func runSummary(path string, top int) {
+	f := load(path)
+	cells := f.CellSummaries()
+	if len(cells) == 0 {
+		fmt.Printf("%s: no cell events\n", path)
+		return
+	}
+
+	// Wall span: first cell start to last cell end, in timeline µs.
+	wallEnd := 0.0
+	var busy float64
+	lanes := map[int]bool{}
+	for _, c := range cells {
+		if end := c.TsUs + c.DurUs; end > wallEnd {
+			wallEnd = end
+		}
+		busy += c.DurUs
+		lanes[c.Tid] = true
+	}
+	fmt.Printf("%s: %d cells over %d lanes, wall %s, busy %s\n\n",
+		path, len(cells), len(lanes), fmtUs(wallEnd-cells[0].TsUs), fmtUs(busy))
+
+	// Phase breakdown: where the busy time went, across all cells.
+	// Wait is reported beside the phases — it is queueing before the
+	// cell's execution interval, not part of it.
+	phaseTotal := map[string]float64{}
+	var waitTotal float64
+	for _, c := range cells {
+		waitTotal += c.WaitUs
+		for name, dur := range c.Phases {
+			phaseTotal[name] += dur
+		}
+	}
+	pt := report.Table{
+		Title:   "Phase breakdown (all cells)",
+		Headers: []string{"phase", "total", "% busy", "mean/cell"},
+	}
+	n := float64(len(cells))
+	for p := obs.PhaseLookup; p < obs.Phase(obs.NumPhases); p++ {
+		tot := phaseTotal[p.String()]
+		pct := 0.0
+		if busy > 0 {
+			pct = tot / busy * 100
+		}
+		pt.Add(p.String(), fmtUs(tot), fmt.Sprintf("%.1f%%", pct), fmtUs(tot/n))
+	}
+	pt.Add("(wait)", fmtUs(waitTotal), "-", fmtUs(waitTotal/n))
+	fmt.Println(pt.String())
+
+	// Slowest cells.
+	byDur := make([]obs.CellSummary, len(cells))
+	copy(byDur, cells)
+	sort.SliceStable(byDur, func(a, b int) bool { return byDur[a].DurUs > byDur[b].DurUs })
+	if top > len(byDur) {
+		top = len(byDur)
+	}
+	st := report.Table{
+		Title:   fmt.Sprintf("Slowest %d cells", top),
+		Headers: []string{"#", "cell", "outcome", "dur", "wait", "run", "sim ticks", "skipped"},
+	}
+	for i, c := range byDur[:top] {
+		label := c.Label
+		if c.Err != "" {
+			label += " (error: " + c.Err + ")"
+		}
+		st.Add(strconv.Itoa(i+1), label, c.Outcome, fmtUs(c.DurUs), fmtUs(c.WaitUs),
+			fmtUs(c.Phases[obs.PhaseRun.String()]),
+			strconv.FormatUint(c.Counter["sim_ticks"], 10),
+			strconv.FormatUint(c.Counter["skipped_cycles"], 10))
+	}
+	fmt.Println(st.String())
+
+	// Counter totals, in glossary order with the help text.
+	totals := sumCounters(cells)
+	ct := report.Table{
+		Title:   "Counter totals",
+		Headers: []string{"counter", "total", "what it counts"},
+	}
+	for _, info := range obs.Glossary() {
+		ct.Add(info.Name, strconv.FormatUint(totals[info.Name], 10), info.Help)
+	}
+	fmt.Print(ct.String())
+}
+
+// runDiffRuns compares two trace files' counter totals — the "did this
+// change make the engine do more work" question, independent of wall
+// time (which shared machines make noisy).
+func runDiffRuns(oldPath, newPath string) {
+	oldTotals := sumCounters(load(oldPath).CellSummaries())
+	newTotals := sumCounters(load(newPath).CellSummaries())
+	fmt.Print(diffTable(
+		fmt.Sprintf("Counter totals: %s vs %s", oldPath, newPath),
+		oldPath, newPath, oldTotals, newTotals))
+}
+
+// runDiffCells compares two cells within one trace — e.g. the same mix
+// at two nRH values, to see which engine work scaled.
+func runDiffCells(path, spec string) {
+	parts := strings.SplitN(spec, "::", 2)
+	if len(parts) != 2 {
+		fatal(fmt.Errorf("bad -diff-cells %q: want 'SEL::SEL' (0-based index or label substring)", spec))
+	}
+	cells := load(path).CellSummaries()
+	a, err := selectCell(cells, parts[0])
+	if err != nil {
+		fatal(err)
+	}
+	b, err := selectCell(cells, parts[1])
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("A: %s (%s, dur %s)\nB: %s (%s, dur %s)\n\n",
+		a.Label, a.Outcome, fmtUs(a.DurUs), b.Label, b.Outcome, fmtUs(b.DurUs))
+	fmt.Print(diffTable("Counter diff", "A", "B", a.Counter, b.Counter))
+}
+
+// selectCell resolves an index or label substring to exactly one cell.
+func selectCell(cells []obs.CellSummary, sel string) (obs.CellSummary, error) {
+	if i, err := strconv.Atoi(sel); err == nil {
+		if i < 0 || i >= len(cells) {
+			return obs.CellSummary{}, fmt.Errorf("cell index %d out of range (have %d cells)", i, len(cells))
+		}
+		return cells[i], nil
+	}
+	var matches []int
+	for i, c := range cells {
+		if strings.Contains(strings.ToLower(c.Label), strings.ToLower(sel)) {
+			matches = append(matches, i)
+		}
+	}
+	switch len(matches) {
+	case 1:
+		return cells[matches[0]], nil
+	case 0:
+		return obs.CellSummary{}, fmt.Errorf("no cell label contains %q", sel)
+	default:
+		lines := make([]string, 0, 5)
+		for _, i := range matches {
+			lines = append(lines, fmt.Sprintf("  %d: %s", i, cells[i].Label))
+			if len(lines) == 5 {
+				break
+			}
+		}
+		return obs.CellSummary{}, fmt.Errorf("%q matches %d cells; use an index:\n%s",
+			sel, len(matches), strings.Join(lines, "\n"))
+	}
+}
+
+func sumCounters(cells []obs.CellSummary) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, c := range cells {
+		for k, v := range c.Counter {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// diffTable renders old/new counter maps side by side in glossary
+// order, skipping counters zero on both sides.
+func diffTable(title, oldName, newName string, oldC, newC map[string]uint64) string {
+	t := report.Table{
+		Title:   title,
+		Headers: []string{"counter", oldName, newName, "delta"},
+	}
+	for _, info := range obs.Glossary() {
+		o, n := oldC[info.Name], newC[info.Name]
+		if o == 0 && n == 0 {
+			continue
+		}
+		t.Add(info.Name, strconv.FormatUint(o, 10), strconv.FormatUint(n, 10), fmtDelta(o, n))
+	}
+	return t.String()
+}
+
+func fmtDelta(o, n uint64) string {
+	d := int64(n) - int64(o)
+	if o == 0 {
+		if d == 0 {
+			return "0"
+		}
+		return fmt.Sprintf("%+d", d)
+	}
+	return fmt.Sprintf("%+d (%+.1f%%)", d, (float64(n)/float64(o)-1)*100)
+}
+
+func glossaryTable() string {
+	t := report.Table{
+		Title:   "Flight-recorder counters",
+		Headers: []string{"counter", "what it counts"},
+	}
+	for _, info := range obs.Glossary() {
+		t.Add(info.Name, info.Help)
+	}
+	return t.String()
+}
+
+// fmtUs renders a microsecond quantity human-first.
+func fmtUs(us float64) string {
+	switch {
+	case us >= 1e6:
+		return fmt.Sprintf("%.2fs", us/1e6)
+	case us >= 1e3:
+		return fmt.Sprintf("%.2fms", us/1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", us)
+	}
+}

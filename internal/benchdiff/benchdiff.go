@@ -1,6 +1,6 @@
 // Package benchdiff parses Go benchmark output (the format benchstat
 // consumes) and compares two runs: per-benchmark geometric-mean time/op
-// and allocs/op, with regression detection for CI. It is the minimal
+// plus allocs/op and B/op, with per-metric regression detection for CI. It is the minimal
 // self-contained core of a benchstat-style comparison — no external
 // dependencies, so the CI step works offline and the logic is testable.
 package benchdiff
@@ -18,6 +18,7 @@ type Sample struct {
 	Name     string
 	NsPerOp  float64
 	AllocsOp float64 // NaN when the run did not report allocations
+	BytesOp  float64 // NaN when the run did not report bytes
 }
 
 // Parse extracts benchmark samples from Go test output. Lines that are
@@ -34,7 +35,7 @@ func Parse(out string) []Sample {
 		if _, err := strconv.Atoi(fields[1]); err != nil {
 			continue // iteration count must follow the name
 		}
-		s := Sample{Name: trimCPUSuffix(fields[0]), AllocsOp: math.NaN()}
+		s := Sample{Name: trimCPUSuffix(fields[0]), AllocsOp: math.NaN(), BytesOp: math.NaN()}
 		ok := false
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -47,6 +48,8 @@ func Parse(out string) []Sample {
 				ok = true
 			case "allocs/op":
 				s.AllocsOp = v
+			case "B/op":
+				s.BytesOp = v
 			}
 		}
 		if ok {
@@ -75,9 +78,13 @@ type Diff struct {
 	OldNs, NewNs       float64
 	OldAllocs          float64 // NaN when unreported
 	NewAllocs          float64
+	OldBytes           float64 // NaN when unreported
+	NewBytes           float64
 	TimeDelta          float64 // percent; positive = slower
 	AllocsDelta        float64 // percent; positive = more allocations
+	BytesDelta         float64 // percent; positive = more bytes per op
 	HasAllocs          bool
+	HasBytes           bool
 	OldCount, NewCount int // samples per side
 }
 
@@ -102,6 +109,8 @@ func Compare(oldS, newS []Sample) []Diff {
 			NewNs:     geomean(times(n)),
 			OldAllocs: mean(allocs(o)),
 			NewAllocs: mean(allocs(n)),
+			OldBytes:  mean(bytes(o)),
+			NewBytes:  mean(bytes(n)),
 			OldCount:  len(o),
 			NewCount:  len(n),
 		}
@@ -110,28 +119,75 @@ func Compare(oldS, newS []Sample) []Diff {
 		}
 		if !math.IsNaN(d.OldAllocs) && !math.IsNaN(d.NewAllocs) {
 			d.HasAllocs = true
-			if d.OldAllocs > 0 {
-				d.AllocsDelta = (d.NewAllocs/d.OldAllocs - 1) * 100
-			} else if d.NewAllocs > 0 {
-				d.AllocsDelta = math.Inf(1)
-			}
+			d.AllocsDelta = pctDelta(d.OldAllocs, d.NewAllocs)
+		}
+		if !math.IsNaN(d.OldBytes) && !math.IsNaN(d.NewBytes) {
+			d.HasBytes = true
+			d.BytesDelta = pctDelta(d.OldBytes, d.NewBytes)
 		}
 		diffs = append(diffs, d)
 	}
 	return diffs
 }
 
-// Regressions returns human-readable regression descriptions for this
-// diff beyond thresholdPct.
-func (d Diff) Regressions(thresholdPct float64) []string {
-	var out []string
+// pctDelta is the old->new change in percent; 0->0 is 0, 0->anything
+// is +Inf (any appearance of a formerly absent cost is a regression).
+func pctDelta(old, new float64) float64 {
+	if old > 0 {
+		return (new/old - 1) * 100
+	}
+	if new > 0 {
+		return math.Inf(1)
+	}
+	return 0
+}
+
+// Metric names one per-op measurement a benchmark can regress on.
+type Metric string
+
+const (
+	MetricTime   Metric = "time"   // ns/op (noisy on shared runners)
+	MetricAllocs Metric = "allocs" // allocs/op (deterministic)
+	MetricBytes  Metric = "bytes"  // B/op (deterministic)
+)
+
+// Metrics lists every comparable metric, in report order.
+var Metrics = []Metric{MetricTime, MetricAllocs, MetricBytes}
+
+// Regression is one detected regression, typed by metric so a CI
+// caller can warn on noisy metrics but hard-fail on deterministic ones
+// (svard-benchdiff -fail-on).
+type Regression struct {
+	Metric  Metric
+	Message string
+}
+
+// TypedRegressions returns this diff's regressions beyond thresholdPct,
+// tagged with the metric that moved.
+func (d Diff) TypedRegressions(thresholdPct float64) []Regression {
+	var out []Regression
 	if d.TimeDelta > thresholdPct {
-		out = append(out, fmt.Sprintf("%s: time/op regressed %+.1f%% (%.3gms -> %.3gms)",
-			d.Name, d.TimeDelta, d.OldNs/1e6, d.NewNs/1e6))
+		out = append(out, Regression{MetricTime, fmt.Sprintf("%s: time/op regressed %+.1f%% (%.3gms -> %.3gms)",
+			d.Name, d.TimeDelta, d.OldNs/1e6, d.NewNs/1e6)})
 	}
 	if d.HasAllocs && d.AllocsDelta > thresholdPct {
-		out = append(out, fmt.Sprintf("%s: allocs/op regressed %+.1f%% (%.0f -> %.0f)",
-			d.Name, d.AllocsDelta, d.OldAllocs, d.NewAllocs))
+		out = append(out, Regression{MetricAllocs, fmt.Sprintf("%s: allocs/op regressed %+.1f%% (%.0f -> %.0f)",
+			d.Name, d.AllocsDelta, d.OldAllocs, d.NewAllocs)})
+	}
+	if d.HasBytes && d.BytesDelta > thresholdPct {
+		out = append(out, Regression{MetricBytes, fmt.Sprintf("%s: B/op regressed %+.1f%% (%.0f -> %.0f)",
+			d.Name, d.BytesDelta, d.OldBytes, d.NewBytes)})
+	}
+	return out
+}
+
+// Regressions returns human-readable regression descriptions for this
+// diff beyond thresholdPct (TypedRegressions without the metric tags).
+func (d Diff) Regressions(thresholdPct float64) []string {
+	typed := d.TypedRegressions(thresholdPct)
+	out := make([]string, len(typed))
+	for i, r := range typed {
+		out[i] = r.Message
 	}
 	return out
 }
@@ -139,8 +195,9 @@ func (d Diff) Regressions(thresholdPct float64) []string {
 // Table renders the comparison as an aligned text table.
 func Table(diffs []Diff) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-40s %12s %12s %8s %12s %12s %8s\n",
-		"benchmark", "old time/op", "new time/op", "delta", "old allocs", "new allocs", "delta")
+	fmt.Fprintf(&b, "%-40s %12s %12s %8s %12s %12s %8s %12s %12s %8s\n",
+		"benchmark", "old time/op", "new time/op", "delta",
+		"old allocs", "new allocs", "delta", "old B/op", "new B/op", "delta")
 	for _, d := range diffs {
 		alloc1, alloc2, alloc3 := "-", "-", "-"
 		if d.HasAllocs {
@@ -148,8 +205,15 @@ func Table(diffs []Diff) string {
 			alloc2 = fmt.Sprintf("%.0f", d.NewAllocs)
 			alloc3 = fmt.Sprintf("%+.1f%%", d.AllocsDelta)
 		}
-		fmt.Fprintf(&b, "%-40s %12s %12s %7.1f%% %12s %12s %8s\n",
-			d.Name, fmtNs(d.OldNs), fmtNs(d.NewNs), d.TimeDelta, alloc1, alloc2, alloc3)
+		byte1, byte2, byte3 := "-", "-", "-"
+		if d.HasBytes {
+			byte1 = fmt.Sprintf("%.0f", d.OldBytes)
+			byte2 = fmt.Sprintf("%.0f", d.NewBytes)
+			byte3 = fmt.Sprintf("%+.1f%%", d.BytesDelta)
+		}
+		fmt.Fprintf(&b, "%-40s %12s %12s %7.1f%% %12s %12s %8s %12s %12s %8s\n",
+			d.Name, fmtNs(d.OldNs), fmtNs(d.NewNs), d.TimeDelta,
+			alloc1, alloc2, alloc3, byte1, byte2, byte3)
 	}
 	return b.String()
 }
@@ -188,6 +252,16 @@ func allocs(s []Sample) []float64 {
 	for _, x := range s {
 		if !math.IsNaN(x.AllocsOp) {
 			out = append(out, x.AllocsOp)
+		}
+	}
+	return out
+}
+
+func bytes(s []Sample) []float64 {
+	var out []float64
+	for _, x := range s {
+		if !math.IsNaN(x.BytesOp) {
+			out = append(out, x.BytesOp)
 		}
 	}
 	return out

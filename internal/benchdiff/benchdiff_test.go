@@ -84,8 +84,34 @@ func TestAllocRegressionFromZero(t *testing.T) {
 	if len(diffs) != 1 {
 		t.Fatal("missing diff")
 	}
-	if r := diffs[0].Regressions(10); len(r) != 1 {
-		t.Errorf("0 -> 2 allocs must warn, got %v", r)
+	// Both deterministic metrics went from zero to nonzero: each must
+	// warn, tagged with its own metric.
+	typed := diffs[0].TypedRegressions(10)
+	if len(typed) != 2 || typed[0].Metric != MetricAllocs || typed[1].Metric != MetricBytes {
+		t.Errorf("0 -> 2 allocs and 0 -> 64 B/op must both warn, got %v", typed)
+	}
+	if r := diffs[0].Regressions(10); len(r) != 2 {
+		t.Errorf("Regressions must mirror TypedRegressions, got %v", r)
+	}
+}
+
+func TestBytesCompared(t *testing.T) {
+	diffs := Compare(Parse(oldRun), Parse(newRun))
+	serial := diffs[1]
+	if !serial.HasBytes || serial.BytesDelta > -99 {
+		t.Errorf("serial B/op delta = %.2f%% (has=%v), want ~-99.8%%", serial.BytesDelta, serial.HasBytes)
+	}
+	if diffs[0].HasBytes {
+		t.Error("parallel has no B/op data")
+	}
+	// A B/op regression is typed MetricBytes so -fail-on bytes catches
+	// it even when time and allocs held steady.
+	up := Compare(
+		Parse("BenchmarkY 	 10	 100 ns/op	 1000 B/op	 5 allocs/op\n"),
+		Parse("BenchmarkY 	 10	 100 ns/op	 2000 B/op	 5 allocs/op\n"))
+	typed := up[0].TypedRegressions(10)
+	if len(typed) != 1 || typed[0].Metric != MetricBytes {
+		t.Errorf("doubled B/op must warn exactly once as bytes, got %v", typed)
 	}
 }
 

@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"svard/internal/cache"
+	"svard/internal/obs"
 	"svard/internal/population"
 	"svard/internal/profile"
 	"svard/internal/sim"
@@ -395,6 +397,22 @@ type Engine struct {
 	// Tests inject failing or counting runners here.
 	Sim sim.Runner
 
+	// Trace, when set, turns on the flight recorder: every cell gets a
+	// per-run obs.Recorder, its phase spans (queue wait, cache lookup,
+	// build, warmup, run, fold) and counters are collected into Trace,
+	// and the cache outcome (computed vs served) is attributed per cell.
+	// nil costs nothing — the untraced runner is byte-for-byte the
+	// pre-observability path. Results are bit-identical either way; the
+	// recorder observes, it never steers.
+	Trace *obs.Trace
+
+	// SimRecorded, when set alongside Trace, is the recorded base
+	// executor a traced cache miss falls back to — the scheduler injects
+	// its worker-slot-gated recorded runner here. nil falls back to Sim
+	// (phases still recorded around it, sim-internal counters absent) or,
+	// when both are nil, to sim.PooledRunRecorded.
+	SimRecorded RecordedRunner
+
 	Progress func(string)
 
 	// Observe, when set, is called once per completed cell (cache hit or
@@ -402,6 +420,25 @@ type Engine struct {
 	// goroutines. The campaign service streams per-cell progress from it.
 	// It must not block for long: it runs on the sweep's critical path.
 	Observe func(sim.Config)
+}
+
+// RecordedRunner executes one cell while folding its counters and phase
+// stamps into rec (which may be nil: run unrecorded). sim.RunRecorded
+// and sim.PooledRunRecorded satisfy it.
+type RecordedRunner func(sim.Config, *obs.Recorder) (sim.Result, error)
+
+// CellLabel renders a human-oriented label from a cell's config — used
+// by the server's progress events and the flight-recorder trace. The
+// mix is part of it: without it every mix of the same (defense, nRH,
+// module, svard) cell would label identically. The cache key carries
+// the exact identity.
+func CellLabel(cfg sim.Config) string {
+	svard := "nosvard"
+	if cfg.Svard {
+		svard = "svard"
+	}
+	return fmt.Sprintf("%s nRH=%v %s %s [%s]",
+		cfg.Defense, cfg.NRH, cfg.ModuleLabel, svard, strings.Join(cfg.Mix, ","))
 }
 
 // Run executes the campaign, reusing every cached cell and journaling
@@ -461,6 +498,9 @@ func (e *Engine) RunCtx(ctx context.Context, spec Spec) (*Outcome, error) {
 		}
 		return res, err
 	}
+	if e.Trace != nil {
+		runner = e.tracedRunner(j, &computed)
+	}
 
 	for _, figure := range spec.Figures {
 		switch figure {
@@ -499,4 +539,62 @@ func (e *Engine) RunCtx(ctx context.Context, spec Spec) (*Outcome, error) {
 	out.Served = out.Total - out.Computed
 	out.Stats = e.Store.Stats()
 	return out, nil
+}
+
+// tracedRunner is the flight-recorded variant of RunCtx's cell runner:
+// identical cache/journal/Observe behavior, plus a per-cell Recorder
+// whose phase spans and counters land in e.Trace. The wait phase runs
+// from the trace anchor to the cell's execution start; the lookup phase
+// ends either when the compute callback takes over (miss) or when
+// GetOrCompute returns (hit/dedup — the lookup WAS the cell).
+func (e *Engine) tracedRunner(j *journal, computed *atomic.Int64) sim.Runner {
+	baseRec := e.SimRecorded
+	if baseRec == nil {
+		if e.Sim != nil {
+			s := e.Sim
+			baseRec = func(cfg sim.Config, _ *obs.Recorder) (sim.Result, error) { return s(cfg) }
+		} else {
+			baseRec = sim.PooledRunRecorded
+		}
+	}
+	return func(cfg sim.Config) (sim.Result, error) {
+		start := time.Now()
+		rec := &obs.Recorder{}
+		rec.Stamp(obs.PhaseWait, e.Trace.Start(), start)
+		rec.Begin(obs.PhaseLookup)
+		ran := false
+		res, err := e.Store.GetOrCompute(cfg, func(c sim.Config) (sim.Result, error) {
+			ran = true
+			rec.End(obs.PhaseLookup)
+			r, cerr := baseRec(c, rec)
+			if cerr == nil {
+				computed.Add(1)
+			}
+			return r, cerr
+		})
+		if !ran {
+			rec.End(obs.PhaseLookup)
+		}
+		end := time.Now()
+		outcome := "served"
+		if ran {
+			outcome = "computed"
+			rec.Counters.CellsComputed = 1
+		} else {
+			rec.Counters.CellsServed = 1
+		}
+		key := cache.Key(cfg)
+		if err == nil {
+			j.done(key)
+			if e.Observe != nil {
+				e.Observe(cfg)
+			}
+		}
+		cell := obs.CellFromRecorder(CellLabel(cfg), key, outcome, rec, start, end)
+		if err != nil {
+			cell.Err = err.Error()
+		}
+		e.Trace.Add(cell)
+		return res, err
+	}
 }

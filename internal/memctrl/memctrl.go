@@ -10,6 +10,7 @@ import (
 	"svard/internal/dram"
 	"svard/internal/mem"
 	"svard/internal/mitigation"
+	"svard/internal/obs"
 	"svard/internal/rowtab"
 )
 
@@ -137,6 +138,14 @@ type Controller struct {
 	Track Tracker
 	Stats Stats
 
+	// Obs carries the flight-recorder counters (scan lengths, refresh
+	// stalls, mitigation directives). Unlike Stats it is never part of a
+	// Result — sim folds it into an obs.Recorder when one is attached —
+	// so it can grow without perturbing cached results or fixtures. It
+	// follows Stats's lifecycle exactly: zeroed by Reset, incremented
+	// unconditionally (an uint64 add is cheaper than a branch here).
+	Obs obs.ControllerCounters
+
 	readQ   []Request
 	writeQ  []Request
 	victims []victimOp
@@ -250,6 +259,7 @@ func (c *Controller) Reset(cfg Config, t mem.Timing, def mitigation.Defense, tr 
 	c.Def = def
 	c.Track = tr
 	c.Stats = Stats{}
+	c.Obs = obs.ControllerCounters{}
 	c.readQ = c.readQ[:0]
 	c.writeQ = c.writeQ[:0]
 	c.victims = c.victims[:0]
@@ -544,6 +554,7 @@ func (c *Controller) tick(cycle uint64) bool {
 			base := rank * c.Sys.BanksPerRank()
 			for b := base; b < base+c.Sys.BanksPerRank(); b++ {
 				if c.Sys.Banks[b].OpenRow >= 0 && c.Sys.CanPRE(b, cycle) {
+					c.Obs.RefreshStalls++
 					c.issuePRE(b, cycle)
 					return true
 				}
@@ -898,6 +909,7 @@ func (c *Controller) schedule(q []Request, cycle uint64, writes bool) bool {
 	if len(q) == 0 {
 		return false
 	}
+	c.Obs.ScanPasses++
 	epoch := c.scanEpoch << scanFlagBits
 	hitSum := c.hitSumR
 	if writes {
@@ -913,6 +925,7 @@ func (c *Controller) schedule(q []Request, cycle uint64, writes bool) bool {
 		// walking the rest of the queue for a hit that cannot exist.
 		for i := range q {
 			r := &q[i]
+			c.Obs.ScanEntries++
 			if cycle < r.retryAt {
 				continue
 			}
@@ -971,6 +984,7 @@ func (c *Controller) schedule(q []Request, cycle uint64, writes bool) bool {
 	}
 	for i := range q {
 		r := &q[i]
+		c.Obs.ScanEntries++
 		if cycle < r.retryAt {
 			continue
 		}
@@ -1112,16 +1126,20 @@ func (c *Controller) execute(dir mitigation.Directive, cycle uint64) {
 		// this directive.
 		key := c.rowKey(dir.Bank, dir.Row)
 		if c.victimSet.Get(key) {
+			c.Obs.DirRefreshDeduped++
 			return
 		}
 		c.victimSet.Set(key)
+		c.Obs.DirRefreshVictim++
 		c.victims = append(c.victims, victimOp{bank: dir.Bank, row: dir.Row})
 	case mitigation.SwapRows:
 		c.swapRows(dir.Bank, dir.Row, dir.DstRow)
 		c.Sys.BlockBank(dir.Bank, cycle, dir.BusyCycles)
 		c.Track.OnRowsSwapped(dir.Bank, dir.Row, dir.DstRow)
 		c.Stats.Migrations++
+		c.Obs.DirSwapRows++
 	case mitigation.ExtraMem:
+		c.Obs.DirExtraMem++
 		for i := 0; i < dir.MemReads; i++ {
 			if c.Read(c.metaAddr(dir.Bank, dir.Row, i), 0, nil, cycle) {
 				c.Stats.MetaReads++

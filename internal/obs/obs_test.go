@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPhaseString(t *testing.T) {
+	want := []string{"wait", "lookup", "build", "warmup", "run", "fold"}
+	if NumPhases != len(want) {
+		t.Fatalf("NumPhases = %d, want %d", NumPhases, len(want))
+	}
+	for p, name := range want {
+		if got := Phase(p).String(); got != name {
+			t.Errorf("Phase(%d) = %q, want %q", p, got, name)
+		}
+	}
+	if Phase(-1).String() != "unknown" || Phase(NumPhases).String() != "unknown" {
+		t.Error("out-of-range phases must stringify as unknown")
+	}
+}
+
+// countUint64Fields walks a struct (embedded structs included) and
+// counts its uint64 fields.
+func countUint64Fields(t reflect.Type) int {
+	n := 0
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		switch {
+		case f.Type.Kind() == reflect.Struct:
+			n += countUint64Fields(f.Type)
+		case f.Type.Kind() == reflect.Uint64:
+			n++
+		}
+	}
+	return n
+}
+
+// TestGlossaryCoversEveryCounter pins the glossary to the struct: a
+// counter added to Counters without a glossary entry would silently
+// miss svard-trace, /metrics, and the docs.
+func TestGlossaryCoversEveryCounter(t *testing.T) {
+	fields := countUint64Fields(reflect.TypeOf(Counters{}))
+	if g := len(Glossary()); g != fields {
+		t.Fatalf("glossary has %d entries, Counters has %d uint64 fields", g, fields)
+	}
+	// Each Get must read a distinct field: fill the struct with unique
+	// values and require the glossary to surface every one of them.
+	var c Counters
+	var fill func(v reflect.Value, next *uint64)
+	fill = func(v reflect.Value, next *uint64) {
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			switch f.Kind() {
+			case reflect.Struct:
+				fill(f, next)
+			case reflect.Uint64:
+				*next++
+				f.SetUint(*next)
+			}
+		}
+	}
+	n := uint64(0)
+	fill(reflect.ValueOf(&c).Elem(), &n)
+	seen := map[uint64]string{}
+	for _, info := range Glossary() {
+		v := info.Get(&c)
+		if v == 0 {
+			t.Errorf("glossary %q reads no field", info.Name)
+		}
+		if prev, dup := seen[v]; dup {
+			t.Errorf("glossary %q and %q read the same field", info.Name, prev)
+		}
+		seen[v] = info.Name
+		if info.Help == "" {
+			t.Errorf("glossary %q has no help text", info.Name)
+		}
+		if info.Name != strings.ToLower(info.Name) || strings.Contains(info.Name, " ") {
+			t.Errorf("glossary name %q is not snake_case", info.Name)
+		}
+	}
+	m := c.Map()
+	if len(m) != fields {
+		t.Errorf("Map has %d entries, want %d", len(m), fields)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{
+		EngineCounters:     EngineCounters{Ticks: 10, SkippedCycles: 5, BoundCore: 2},
+		ControllerCounters: ControllerCounters{ScanPasses: 3, DirSwapRows: 1},
+		CellsComputed:      1,
+	}
+	var sum Counters
+	sum.Add(a)
+	sum.Add(a)
+	if sum.Ticks != 20 || sum.SkippedCycles != 10 || sum.BoundCore != 4 ||
+		sum.ScanPasses != 6 || sum.DirSwapRows != 2 || sum.CellsComputed != 2 {
+		t.Errorf("Add accumulated wrong: %+v", sum)
+	}
+}
+
+// TestRecorderNilSafe pins the disabled-path contract: every Recorder
+// method must be a no-op on a nil receiver.
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Reset()
+	r.Begin(PhaseRun)
+	r.End(PhaseRun)
+	r.Stamp(PhaseWait, time.Now(), time.Now())
+	if _, _, ok := r.Span(PhaseRun); ok {
+		t.Error("nil recorder reported a span")
+	}
+	if r.Dur(PhaseRun) != 0 {
+		t.Error("nil recorder reported a duration")
+	}
+}
+
+func TestRecorderSpans(t *testing.T) {
+	r := &Recorder{}
+	if _, _, ok := r.Span(PhaseBuild); ok {
+		t.Error("unstamped phase reported a span")
+	}
+	t0 := time.Now()
+	r.Stamp(PhaseBuild, t0, t0.Add(5*time.Millisecond))
+	if d := r.Dur(PhaseBuild); d != 5*time.Millisecond {
+		t.Errorf("Dur = %v, want 5ms", d)
+	}
+	r.Begin(PhaseRun)
+	r.End(PhaseRun)
+	if _, _, ok := r.Span(PhaseRun); !ok {
+		t.Error("Begin/End did not complete the span")
+	}
+	// End before Begin (clock skew / misuse) is an incomplete span, not
+	// a negative duration.
+	r.Stamp(PhaseFold, t0.Add(time.Second), t0)
+	if d := r.Dur(PhaseFold); d != 0 {
+		t.Errorf("inverted span Dur = %v, want 0", d)
+	}
+	r.Counters.Ticks = 7
+	r.Reset()
+	if r.Counters.Ticks != 0 || r.Dur(PhaseBuild) != 0 {
+		t.Error("Reset left state behind")
+	}
+}
+
+// makeCell builds a synthetic cell [startMs, endMs] after the trace
+// anchor with a plausible phase layout and the given counters.
+func makeCell(tr *Trace, label string, startMs, endMs float64, c Counters) Cell {
+	anchor := tr.Start()
+	at := func(ms float64) time.Time { return anchor.Add(time.Duration(ms * float64(time.Millisecond))) }
+	rec := &Recorder{Counters: c}
+	start, end := at(startMs), at(endMs)
+	mid := startMs + (endMs-startMs)/2
+	rec.Stamp(PhaseWait, anchor, start)
+	rec.Stamp(PhaseLookup, start, at(startMs+0.1))
+	rec.Stamp(PhaseBuild, at(startMs+0.1), at(startMs+0.3))
+	rec.Stamp(PhaseWarmup, at(startMs+0.3), at(mid))
+	rec.Stamp(PhaseRun, at(mid), at(endMs-0.1))
+	rec.Stamp(PhaseFold, at(endMs-0.1), end)
+	return CellFromRecorder(label, strings.Repeat("ab", 32), "computed", rec, start, end)
+}
+
+func TestTraceRoundtrip(t *testing.T) {
+	tr := NewTrace()
+	// A and B overlap (two lanes); C starts after A ends (reuses lane 0).
+	a := makeCell(tr, "cell A", 10, 30, Counters{EngineCounters: EngineCounters{Ticks: 100, SkippedCycles: 40}})
+	b := makeCell(tr, "cell B", 20, 40, Counters{EngineCounters: EngineCounters{Ticks: 200}})
+	cc := makeCell(tr, "cell C", 35, 50, Counters{ControllerCounters: ControllerCounters{ScanPasses: 7}})
+	cc.Outcome = "served"
+	cc.Err = "boom"
+	tr.Add(a)
+	tr.Add(b)
+	tr.Add(cc)
+
+	if tot := tr.Totals(); tot.Ticks != 300 || tot.ScanPasses != 7 {
+		t.Errorf("Totals = %+v", tot)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("emitted trace does not validate: %v", err)
+	}
+
+	sums := f.CellSummaries()
+	if len(sums) != 3 {
+		t.Fatalf("got %d cell summaries, want 3", len(sums))
+	}
+	// Timeline order.
+	if sums[0].Label != "cell A" || sums[1].Label != "cell B" || sums[2].Label != "cell C" {
+		t.Fatalf("order: %q %q %q", sums[0].Label, sums[1].Label, sums[2].Label)
+	}
+	// Lane packing: A and B overlap, C fits back on A's lane.
+	if sums[0].Tid == sums[1].Tid {
+		t.Error("overlapping cells share a lane")
+	}
+	if sums[2].Tid != sums[0].Tid {
+		t.Errorf("cell C on lane %d, want reuse of lane %d", sums[2].Tid, sums[0].Tid)
+	}
+	// Counters and identity survive the roundtrip.
+	if sums[0].Counter["sim_ticks"] != 100 || sums[0].Counter["skipped_cycles"] != 40 {
+		t.Errorf("cell A counters = %v", sums[0].Counter)
+	}
+	if sums[2].Counter["scan_passes"] != 7 || sums[2].Outcome != "served" || sums[2].Err != "boom" {
+		t.Errorf("cell C = %+v", sums[2])
+	}
+	if sums[0].Key != strings.Repeat("ab", 32) {
+		t.Errorf("cell A key = %q", sums[0].Key)
+	}
+	// Wait is the anchor-to-start gap (10ms), reported as an arg.
+	if math.Abs(sums[0].WaitUs-10_000) > 100 {
+		t.Errorf("cell A wait = %.0fµs, want ~10000", sums[0].WaitUs)
+	}
+	// Phases attribute to their cell: A's run phase is ~9.9ms.
+	if run := sums[0].Phases["run"]; math.Abs(run-9_900) > 100 {
+		t.Errorf("cell A run phase = %.0fµs, want ~9900", run)
+	}
+	if lookup := sums[1].Phases["lookup"]; math.Abs(lookup-100) > 20 {
+		t.Errorf("cell B lookup phase = %.0fµs, want ~100", lookup)
+	}
+}
+
+func TestTraceRetentionLimit(t *testing.T) {
+	tr := NewTraceLimit(2)
+	for i := 0; i < 5; i++ {
+		tr.Add(makeCell(tr, "cell", float64(10*i), float64(10*i+5),
+			Counters{EngineCounters: EngineCounters{Ticks: 1}}))
+	}
+	if tr.Len() != 2 || tr.Dropped() != 3 {
+		t.Errorf("Len = %d Dropped = %d, want 2/3", tr.Len(), tr.Dropped())
+	}
+	// Counters stay exact past the span-retention bound.
+	if tot := tr.Totals(); tot.Ticks != 5 {
+		t.Errorf("Totals.Ticks = %d, want 5", tot.Ticks)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.CellSummaries()); got != 2 {
+		t.Errorf("summaries = %d, want 2", got)
+	}
+}
+
+func TestValidateRejectsBadTraces(t *testing.T) {
+	cell := func(name string, tid int, ts, dur float64) Event {
+		return Event{Name: name, Cat: "cell", Ph: "X", Pid: 1, Tid: tid, Ts: ts, Dur: dur}
+	}
+	// Partial overlap on one lane: invalid.
+	bad := &File{TraceEvents: []Event{cell("a", 0, 0, 10), cell("b", 0, 5, 10)}}
+	if err := bad.Validate(); err == nil {
+		t.Error("partial overlap validated")
+	}
+	// Same intervals on different lanes: fine.
+	ok := &File{TraceEvents: []Event{cell("a", 0, 0, 10), cell("b", 1, 5, 10)}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("cross-lane overlap rejected: %v", err)
+	}
+	// Nested: fine.
+	nested := &File{TraceEvents: []Event{cell("a", 0, 0, 10), {Name: "run", Cat: "phase", Ph: "X", Tid: 0, Ts: 2, Dur: 3}}}
+	if err := nested.Validate(); err != nil {
+		t.Errorf("nested span rejected: %v", err)
+	}
+	// Phase outside any cell: invalid.
+	orphan := &File{TraceEvents: []Event{{Name: "run", Cat: "phase", Ph: "X", Tid: 3, Ts: 2, Dur: 3}}}
+	if err := orphan.Validate(); err == nil {
+		t.Error("orphan phase span validated")
+	}
+	// Negative duration: invalid.
+	neg := &File{TraceEvents: []Event{cell("a", 0, 0, -1)}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative duration validated")
+	}
+}
+
+func TestProfilingLabelsGate(t *testing.T) {
+	if ProfilingLabelsEnabled() {
+		t.Fatal("labels must start disabled")
+	}
+	EnableProfilingLabels()
+	defer profilingLabels.Store(false)
+	if !ProfilingLabelsEnabled() {
+		t.Fatal("EnableProfilingLabels did not stick")
+	}
+}

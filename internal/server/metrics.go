@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
+
+	"svard/internal/obs"
 )
 
 // handleHealthz is the liveness/readiness probe: cheap, allocation-light,
@@ -85,4 +88,68 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m("# HELP svard_uptime_seconds Seconds since the service started.")
 	m("# TYPE svard_uptime_seconds counter")
 	m("svard_uptime_seconds %g", uptime)
+
+	// Flight-recorder rollups: the full obs counter glossary summed
+	// across all retained jobs, plus a compact per-job breakdown (the
+	// full per-cell detail lives behind GET /api/v1/jobs/{id}/trace).
+	rollups := s.sched.traceRollups()
+	var agg obs.Counters
+	for _, r := range rollups {
+		agg.Add(r.totals)
+	}
+	aggMap := agg.Map()
+	for _, info := range obs.Glossary() {
+		name := "svard_obs_" + info.Name + "_total"
+		m("# HELP %s %s (summed over retained jobs).", name, info.Help)
+		m("# TYPE %s counter", name)
+		m("%s %d", name, aggMap[info.Name])
+	}
+	m("# HELP svard_job_cells Cells per job by cache outcome.")
+	m("# TYPE svard_job_cells gauge")
+	m("# HELP svard_job_sim_ticks Simulated cycles actually ticked, per job.")
+	m("# TYPE svard_job_sim_ticks gauge")
+	m("# HELP svard_job_skipped_cycles Cycles elided by the event engine, per job.")
+	m("# TYPE svard_job_skipped_cycles gauge")
+	for _, r := range rollups {
+		m(`svard_job_cells{id=%q,name=%q,outcome="computed"} %d`, r.info.ID, r.info.Name, r.totals.CellsComputed)
+		m(`svard_job_cells{id=%q,name=%q,outcome="served"} %d`, r.info.ID, r.info.Name, r.totals.CellsServed)
+		m(`svard_job_sim_ticks{id=%q,name=%q} %d`, r.info.ID, r.info.Name, r.totals.Ticks)
+		m(`svard_job_skipped_cycles{id=%q,name=%q} %d`, r.info.ID, r.info.Name, r.totals.SkippedCycles)
+	}
+
+	// Go runtime gauges, so a scrape sees service health without a
+	// client-library dependency.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m("# HELP go_goroutines Number of goroutines that currently exist.")
+	m("# TYPE go_goroutines gauge")
+	m("go_goroutines %d", runtime.NumGoroutine())
+	m("# HELP go_heap_inuse_bytes Heap bytes in in-use spans.")
+	m("# TYPE go_heap_inuse_bytes gauge")
+	m("go_heap_inuse_bytes %d", ms.HeapInuse)
+	m("# HELP go_gc_pause_seconds_total Cumulative stop-the-world GC pause time.")
+	m("# TYPE go_gc_pause_seconds_total counter")
+	m("go_gc_pause_seconds_total %g", float64(ms.PauseTotalNs)/1e9)
+	m("# HELP go_gc_cycles_total Completed GC cycles.")
+	m("# TYPE go_gc_cycles_total counter")
+	m("go_gc_cycles_total %d", ms.NumGC)
+}
+
+// jobRollup pairs a job's identity with its flight-recorder totals.
+type jobRollup struct {
+	info   JobInfo
+	totals obs.Counters
+}
+
+// traceRollups snapshots every retained job's counter totals in
+// submission order.
+func (s *Scheduler) traceRollups() []jobRollup {
+	s.mu.Lock()
+	order := append([]*job(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]jobRollup, 0, len(order))
+	for _, j := range order {
+		out = append(out, jobRollup{info: j.info(), totals: j.trace.Totals()})
+	}
+	return out
 }

@@ -15,7 +15,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +22,7 @@ import (
 	"svard/internal/cache"
 	"svard/internal/campaign"
 	"svard/internal/exec"
+	"svard/internal/obs"
 	"svard/internal/sim"
 )
 
@@ -88,6 +88,12 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelCauseFunc
 
+	// trace is the job's flight recorder: per-cell phase spans and
+	// counter snapshots, capped at maxRetainedTraceCells span records
+	// (counter totals keep accumulating past the cap). Served by
+	// GET /api/v1/jobs/{id}/trace and rolled up on /metrics.
+	trace *obs.Trace
+
 	mu       sync.Mutex
 	state    State
 	done     int
@@ -146,6 +152,13 @@ func (j *job) append(ev Event) {
 // monotonic across compaction, so ?from= offsets stay valid — a client
 // asking for compacted seqs simply receives the retained tail.
 const maxRetainedCellEvents = 1024
+
+// maxRetainedTraceCells bounds a job's flight-recorder span records for
+// the same reason: a paper-scale campaign's ~17K cells at a few hundred
+// bytes each would otherwise sit in memory until the job is evicted.
+// Counter totals (the /metrics rollups) are exact regardless — only
+// span records past the cap are dropped, and the trace notes how many.
+const maxRetainedTraceCells = 2048
 
 // compactLocked drops a terminal job's cell events if the log is large
 // (caller holds j.mu).
@@ -276,6 +289,7 @@ func (s *Scheduler) Submit(spec campaign.Spec, name string, priority int) (JobIn
 		total:    len(jobs),
 		ctx:      ctx,
 		cancel:   cancel,
+		trace:    obs.NewTraceLimit(maxRetainedTraceCells),
 		state:    StateQueued,
 		changed:  make(chan struct{}),
 		sub:      time.Now().UTC(),
@@ -384,20 +398,39 @@ func (s *Scheduler) run(j *job) {
 		defer func() { <-s.slots }()
 		return base(cfg)
 	}
+	// The recorded variant: same slot gating, but a cache miss runs with
+	// the cell's flight recorder attached so the job's trace carries
+	// sim-internal counters and phases. An injected test runner (s.sim)
+	// runs unrecorded — the campaign engine still stamps the cell's
+	// spans around it.
+	slottedRec := func(cfg sim.Config, rec *obs.Recorder) (sim.Result, error) {
+		select {
+		case s.slots <- struct{}{}:
+		case <-j.ctx.Done():
+			return sim.Result{}, context.Cause(j.ctx)
+		}
+		defer func() { <-s.slots }()
+		if s.sim != nil {
+			return s.sim(cfg)
+		}
+		return sim.RunRecorded(cfg, rec)
+	}
 
 	eng := &campaign.Engine{
 		Store: s.store,
 		// The engine's pool may outnumber the global slots; excess
 		// goroutines just block in slotted, and the shared bound holds.
-		Workers: s.workers,
-		Resume:  true, // re-submitted specs report prior progress
-		Sim:     slotted,
+		Workers:     s.workers,
+		Resume:      true, // re-submitted specs report prior progress
+		Sim:         slotted,
+		Trace:       j.trace,
+		SimRecorded: slottedRec,
 		Observe: func(cfg sim.Config) {
 			s.cellsDone.Add(1)
 			key := cache.Key(cfg)
 			j.mu.Lock()
 			j.done++
-			j.append(Event{Type: "cell", Label: cellLabel(cfg), Key: key, Done: j.done})
+			j.append(Event{Type: "cell", Label: campaign.CellLabel(cfg), Key: key, Done: j.done})
 			j.mu.Unlock()
 		},
 	}
@@ -484,6 +517,16 @@ func (s *Scheduler) Jobs() []JobInfo {
 		infos[i] = j.info()
 	}
 	return infos
+}
+
+// Trace returns a job's flight-recorder trace (available from the
+// moment the job is admitted; it grows as cells complete).
+func (s *Scheduler) Trace(id string) (*obs.Trace, JobInfo, error) {
+	j := s.lookup(id)
+	if j == nil {
+		return nil, JobInfo{}, errNotFound
+	}
+	return j.trace, j.info(), nil
 }
 
 // Outcome returns a completed job's folded figures.
@@ -586,19 +629,6 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("server: shutdown timed out: %w", context.Cause(ctx))
 	}
-}
-
-// cellLabel renders a human-oriented progress label from a cell's
-// config. The mix is part of it — without it every mix of the same
-// (defense, nRH, module, svard) cell would label identically. The
-// event's Key carries the exact identity.
-func cellLabel(cfg sim.Config) string {
-	svard := "nosvard"
-	if cfg.Svard {
-		svard = "svard"
-	}
-	return fmt.Sprintf("%s nRH=%v %s %s [%s]",
-		cfg.Defense, cfg.NRH, cfg.ModuleLabel, svard, strings.Join(cfg.Mix, ","))
 }
 
 // defaultWorkers mirrors the sweep engine's worker default.

@@ -63,6 +63,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /api/v1/cells/{key}", s.handleCell)
 	s.mux.HandleFunc("POST /api/v1/key", s.handleKey)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -239,6 +240,23 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		Served:   out.Served,
 		Stats:    out.Stats,
 	})
+}
+
+// handleTrace serves a job's flight-recorder timeline as Chrome
+// trace_event JSON — save it and open it in chrome://tracing or
+// Perfetto, or feed it to svard-trace. Available while the job runs
+// (a partial timeline) and after it finishes.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr, info, err := s.sched.Trace(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", info.ID+"-trace.json"))
+	w.WriteHeader(http.StatusOK)
+	tr.Write(w)
 }
 
 // handleCell serves one raw cached simulation result by its

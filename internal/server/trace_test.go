@@ -1,0 +1,112 @@
+// Tests of the flight-recorder surface: the per-job trace endpoint and
+// the /metrics rollups it feeds.
+package server_test
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"svard/internal/obs"
+	"svard/internal/server"
+)
+
+// TestJobTraceEndpoint: a finished job's trace downloads as valid
+// Chrome trace_event JSON with one cell per swept config.
+func TestJobTraceEndpoint(t *testing.T) {
+	_, c := newService(t, t.TempDir(), server.Config{Workers: 2, Sim: fakeSim})
+	ctx := context.Background()
+	info, err := c.Submit(ctx, tinySpec(), "traced", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, info.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(c.BaseURL + "/api/v1/jobs/" + info.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("trace content type = %q", ct)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, info.ID) {
+		t.Errorf("content disposition %q does not name the job", cd)
+	}
+	f, err := obs.Read(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("job trace does not validate: %v", err)
+	}
+	cells := f.CellSummaries()
+	if len(cells) != info.Total {
+		t.Fatalf("trace has %d cells, job swept %d", len(cells), info.Total)
+	}
+	for _, cell := range cells {
+		if cell.Outcome != "computed" {
+			t.Errorf("cell %q outcome = %q, want computed (cold store)", cell.Label, cell.Outcome)
+		}
+		if cell.Phases["lookup"] <= 0 {
+			t.Errorf("cell %q has no lookup phase", cell.Label)
+		}
+	}
+
+	// Unknown job: 404, not an empty trace.
+	resp2, err := http.Get(c.BaseURL + "/api/v1/jobs/nope/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job trace status = %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestMetricsObsRollups: /metrics exposes the counter glossary summed
+// over jobs, per-job cell outcomes, and the Go runtime gauges — all in
+// the hand-rolled text format (no client dependency).
+func TestMetricsObsRollups(t *testing.T) {
+	_, c := newService(t, t.TempDir(), server.Config{Workers: 2, Sim: fakeSim})
+	ctx := context.Background()
+	info, err := c.Submit(ctx, tinySpec(), "rollup", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, info.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	text := scrapeMetrics(t, c)
+	for _, series := range []string{
+		// Every glossary counter appears as an aggregate series.
+		"svard_obs_sim_ticks_total",
+		"svard_obs_skipped_cycles_total",
+		"svard_obs_scan_passes_total",
+		// The injected fake sim computes every cell.
+		"svard_obs_cells_computed_total 5",
+		"svard_obs_cells_served_total 0",
+		// Per-job rollups carry the job identity.
+		`svard_job_cells{id="` + info.ID + `",name="rollup",outcome="computed"} 5`,
+		`svard_job_sim_ticks{id="` + info.ID + `",name="rollup"}`,
+		// Go runtime gauges.
+		"go_goroutines",
+		"go_heap_inuse_bytes",
+		"go_gc_pause_seconds_total",
+		"go_gc_cycles_total",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("metrics missing %q", series)
+		}
+	}
+	if t.Failed() {
+		t.Logf("metrics body:\n%s", text)
+	}
+}

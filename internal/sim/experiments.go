@@ -4,9 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
+	"strconv"
 
 	"svard/internal/exec"
 	"svard/internal/metrics"
+	"svard/internal/obs"
 	"svard/internal/population"
 	"svard/internal/profile"
 	"svard/internal/trace"
@@ -38,6 +41,27 @@ func runJobs(ctx context.Context, workers int, run Runner, progress func(string)
 		run = PooledRun
 	}
 	report := exec.Progress(progress)
+	if obs.ProfilingLabelsEnabled() {
+		// Attach cell-identity pprof labels around each job so CPU
+		// profiles (svard-perf -cpuprofile, svard-served -pprof)
+		// attribute samples to the cell that burned them. Off by default:
+		// pprof.Do allocates per call, which would break the
+		// allocation-flat sweep budget.
+		return exec.MapCtx(ctx, workers, len(jobs), func(i int) (res Result, err error) {
+			report(jobs[i].Label)
+			cfg := &jobs[i].Config
+			labels := pprof.Labels(
+				"defense", cfg.Defense,
+				"nrh", strconv.FormatFloat(cfg.NRH, 'g', -1, 64),
+				"module", cfg.ModuleLabel,
+				"backend", backendLabel(cfg.Backend),
+			)
+			pprof.Do(ctx, labels, func(context.Context) {
+				res, err = run(jobs[i].Config)
+			})
+			return res, err
+		})
+	}
 	return exec.MapCtx(ctx, workers, len(jobs), func(i int) (Result, error) {
 		report(jobs[i].Label)
 		return run(jobs[i].Config)

@@ -25,6 +25,7 @@ import (
 	"svard/internal/mitigation/hydra"
 	"svard/internal/mitigation/para"
 	"svard/internal/mitigation/rrs"
+	"svard/internal/obs"
 	"svard/internal/population"
 	"svard/internal/profile"
 	"svard/internal/temporal"
@@ -339,6 +340,15 @@ type machine struct {
 	tracker *secTracker
 	ticks   uint64 // simulated cycles actually ticked by the driver loop
 
+	// Flight-recorder state. The engine counters are plain fields on the
+	// per-run machine (zeroed by construction), incremented only on the
+	// idle-jump path, so they cost the hot loop nothing measurable. rec
+	// is the attached recorder — nil on the unrecorded paths, where the
+	// only residue is one predictable nil check per ticked cycle.
+	obs       obs.EngineCounters
+	rec       *obs.Recorder
+	measuring bool // every core has entered its measurement region
+
 	// Channel routing fields (unused when nchan == 1 — the DDR4 preset
 	// binds cores straight to mcs[0] through port).
 	nchan      uint64
@@ -597,6 +607,9 @@ func (m *machine) runNaive(maxCycles uint64) (uint64, bool) {
 				remaining--
 			}
 		}
+		if m.rec != nil && !m.measuring {
+			m.noteMeasuring()
+		}
 		if remaining == 0 {
 			return cycle, true
 		}
@@ -636,25 +649,34 @@ func (m *machine) runSkip(maxCycles uint64) (uint64, bool) {
 				remaining--
 			}
 		}
+		if m.rec != nil && !m.measuring {
+			m.noteMeasuring()
+		}
 		if remaining == 0 {
 			return cycle, true
 		}
 		if active {
+			m.obs.ActiveTicks++
 			cycle++
 			continue
 		}
 		// The tracker's next epoch edge bounds the jump too: live
 		// thresholds change at the edge, so skipping across it could
-		// misclassify a violation. MaxUint64 when static.
+		// misclassify a violation. MaxUint64 when static. bound tracks
+		// which component's NextEvent set the jump target (ties keep the
+		// earlier source, matching the scan order).
 		next := m.tracker.NextEvent(cycle)
+		bound := &m.obs.BoundTracker
 		for _, mc := range m.mcs {
 			if n := mc.NextEvent(cycle); n < next {
 				next = n
+				bound = &m.obs.BoundController
 			}
 		}
 		for _, c := range m.cores {
 			if n := c.NextEvent(cycle); n < next {
 				next = n
+				bound = &m.obs.BoundCore
 			}
 		}
 		if next <= cycle {
@@ -662,7 +684,11 @@ func (m *machine) runSkip(maxCycles uint64) (uint64, bool) {
 		}
 		if next > maxCycles {
 			next = maxCycles // quiescent to the horizon: truncate
+			bound = &m.obs.BoundHorizon
 		}
+		m.obs.SkipJumps++
+		m.obs.SkippedCycles += next - (cycle + 1)
+		*bound += 1
 		cycle = next
 	}
 	return maxCycles, false
@@ -696,8 +722,43 @@ func (m *machine) result(cfg Config, endCycle uint64, finished bool) Result {
 	return res
 }
 
+// noteMeasuring flips the attached recorder from the warmup phase to
+// the run phase on the first ticked cycle where every core has entered
+// its measurement region. Only called while a recorder is attached and
+// the flip is still pending.
+func (m *machine) noteMeasuring() {
+	for _, c := range m.cores {
+		if !c.Started() {
+			return
+		}
+	}
+	m.rec.End(obs.PhaseWarmup)
+	m.rec.Begin(obs.PhaseRun)
+	m.measuring = true
+}
+
+// foldObs folds the machine's engine counters and every controller's
+// counters into the attached recorder (no-op when none is attached).
+func (m *machine) foldObs() {
+	if m.rec == nil {
+		return
+	}
+	m.obs.Ticks = m.ticks
+	m.obs.EpochAdvances = m.tracker.epochAdvances()
+	c := &m.rec.Counters
+	c.EngineCounters.Add(m.obs)
+	for _, mc := range m.mcs {
+		c.ControllerCounters.Add(mc.Obs)
+		// The throttle counter lives in Stats (it predates the flight
+		// recorder and is part of cached Results); mirror it here so the
+		// obs counter set is self-contained.
+		c.ThrottleStalls += mc.Stats.ThrottleStalls
+	}
+}
+
 // run drives a built machine to completion and folds the Result.
 func (m *machine) run(cfg Config) Result {
+	m.rec.Begin(obs.PhaseWarmup)
 	var cycle uint64
 	var finished bool
 	if cfg.NoSkip {
@@ -705,7 +766,20 @@ func (m *machine) run(cfg Config) Result {
 	} else {
 		cycle, finished = m.runSkip(cfg.MaxCycles)
 	}
-	return m.result(cfg, cycle, finished)
+	if m.rec != nil {
+		if !m.measuring {
+			// Truncated before every core entered measurement: close the
+			// warmup span here so the timeline stays well-formed.
+			m.rec.End(obs.PhaseWarmup)
+			m.rec.Begin(obs.PhaseRun)
+		}
+		m.rec.End(obs.PhaseRun)
+	}
+	m.rec.Begin(obs.PhaseFold)
+	res := m.result(cfg, cycle, finished)
+	m.foldObs()
+	m.rec.End(obs.PhaseFold)
+	return res
 }
 
 // Run executes one simulation from fresh allocations.
@@ -714,6 +788,22 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return m.run(cfg), nil
+}
+
+// RunRecorded is Run with a flight recorder attached: the run's engine
+// and controller counters fold into rec.Counters, and the build,
+// warmup, run, and fold phases are stamped onto rec. The Result is
+// bit-identical to Run's — the recorder observes, it never steers —
+// and a nil rec makes this exactly Run.
+func RunRecorded(cfg Config, rec *obs.Recorder) (Result, error) {
+	rec.Begin(obs.PhaseBuild)
+	m, err := newMachine(cfg)
+	rec.End(obs.PhaseBuild)
+	if err != nil {
+		return Result{}, err
+	}
+	m.rec = rec
 	return m.run(cfg), nil
 }
 
@@ -756,6 +846,31 @@ func (p *Pool) Run(cfg Config) (Result, error) {
 	return res, nil
 }
 
+// RunRecorded is Run on a pooled arena with a flight recorder attached
+// (see RunRecorded). Allocation-flat like Run: the recorder is caller-
+// owned, the counters are plain fields, and the phase stamps write into
+// a fixed array. A nil rec is exactly Run.
+func (p *Pool) RunRecorded(cfg Config, rec *obs.Recorder) (Result, error) {
+	if rec == nil {
+		return p.Run(cfg)
+	}
+	st, _ := p.p.Get().(*poolState)
+	if st == nil {
+		st = &poolState{defenses: make(map[string]mitigation.Defense)}
+	}
+	rec.Begin(obs.PhaseBuild)
+	m, err := buildMachine(cfg, st)
+	rec.End(obs.PhaseBuild)
+	if err != nil {
+		p.p.Put(st)
+		return Result{}, err
+	}
+	m.rec = rec
+	res := m.run(cfg)
+	p.p.Put(st)
+	return res, nil
+}
+
 // defaultPool backs PooledRun: one process-wide arena pool shared by
 // every sweep, so consecutive sweeps (and benchmark iterations) stay
 // warm.
@@ -765,3 +880,8 @@ var defaultPool = NewPool()
 // sweep paths (RunFig12/RunFig13, the campaign engine, svard-perf's
 // cache fallback) use. Bit-identical to Run.
 func PooledRun(cfg Config) (Result, error) { return defaultPool.Run(cfg) }
+
+// PooledRunRecorded is RunRecorded on the process-wide state pool.
+func PooledRunRecorded(cfg Config, rec *obs.Recorder) (Result, error) {
+	return defaultPool.RunRecorded(cfg, rec)
+}

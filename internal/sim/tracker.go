@@ -80,6 +80,10 @@ func (t *secTracker) startTemporal(proc temporal.Process, epochCycles uint64) {
 	t.live.start(proc, epochCycles, len(t.cur))
 }
 
+// epochAdvances reports how many epoch edges the live view crossed this
+// run — the flight recorder's temporal counter (0 on static runs).
+func (t *secTracker) epochAdvances() uint64 { return t.live.advances }
+
 // tickEpoch advances the live view to cycle's epoch; the engine loops
 // call it every ticked cycle (a single branch when static).
 func (t *secTracker) tickEpoch(cycle uint64) { t.live.tickEpoch(cycle) }

@@ -59,6 +59,7 @@ type liveView struct {
 	epochLen uint64 // cycles per epoch; 0 = static (no process)
 	epoch    uint64 // current in-run epoch number
 	nextEdge uint64 // first cycle of the next epoch
+	advances uint64 // epoch edges crossed this run (flight-recorder counter)
 
 	// memo caches the live threshold per row for the current epoch:
 	// (epoch+1)<<32 | float32bits(threshold). The tag makes stale
@@ -79,6 +80,7 @@ func (v *liveView) reset(hcBase []float64, factor float64, rows int) {
 	v.epochLen = 0
 	v.epoch = 0
 	v.nextEdge = ^uint64(0)
+	v.advances = 0
 	if v.memo != nil {
 		v.memo.Clear()
 	}
@@ -105,6 +107,7 @@ func (v *liveView) start(proc temporal.Process, epochCycles uint64, n int) {
 func (v *liveView) tickEpoch(cycle uint64) {
 	for v.epochLen != 0 && cycle >= v.nextEdge {
 		v.epoch++
+		v.advances++
 		v.nextEdge += v.epochLen
 	}
 }
