@@ -41,20 +41,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	oldB, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	newB, err := os.ReadFile(flag.Arg(1))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	diffs := benchdiff.Compare(benchdiff.Parse(string(oldB)), benchdiff.Parse(string(newB)))
+	oldS := readSamples(flag.Arg(0), "baseline")
+	newS := readSamples(flag.Arg(1), "current")
+	diffs := benchdiff.Compare(oldS, newS)
 	if len(diffs) == 0 {
-		fmt.Println("svard-benchdiff: no common benchmarks")
-		return
+		// Both inputs parsed but share no benchmark names: the comparison
+		// is vacuous, which in CI means the artifact wiring is wrong —
+		// fail loudly rather than green-wash the gate.
+		fmt.Fprintf(os.Stderr, "svard-benchdiff: %s and %s have no benchmarks in common; nothing was compared\n",
+			flag.Arg(0), flag.Arg(1))
+		os.Exit(1)
 	}
 	fmt.Print(benchdiff.Table(diffs))
 	failed := false
@@ -77,6 +73,24 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// readSamples loads and parses one benchmark file, exiting non-zero
+// with a message naming the file when it is missing or contains no
+// parseable benchmark lines — a silently empty baseline would make
+// every comparison pass vacuously.
+func readSamples(path, role string) []benchdiff.Sample {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svard-benchdiff: %s artifact unreadable: %v\n", role, err)
+		os.Exit(1)
+	}
+	s := benchdiff.Parse(string(b))
+	if len(s) == 0 {
+		fmt.Fprintf(os.Stderr, "svard-benchdiff: %s artifact %s contains no benchmark lines (missing or unparseable)\n", role, path)
+		os.Exit(1)
+	}
+	return s
 }
 
 // parseFailOn maps the -fail-on flag to the metric set that fails the

@@ -7,6 +7,17 @@
 //
 //	svard-served [-addr HOST:PORT] [-cache-dir DIR] [-workers N]
 //	             [-max-jobs N] [-lru N] [-pprof]
+//	             [-fabric URL] [-advertise URL] [-worker-name NAME]
+//	             [-remote-cache URL]
+//
+// With -fabric, the process also joins a svard-fabric coordinator as a
+// dispatch worker: it registers, heartbeats at the coordinator's
+// cadence (so its leases survive long cell computes), and re-registers
+// whenever the coordinator forgets it. With -remote-cache (usually the
+// same coordinator URL), the result cache gains a shared remote layer:
+// results computed anywhere in the fleet are served from it, results
+// computed here are published to it, and any remote failure degrades
+// to local compute — never a failed sweep.
 //
 // Endpoints (see EXPERIMENTS.md, "Campaign service", for the full table
 // and curl examples):
@@ -43,7 +54,9 @@ import (
 	"time"
 
 	"svard/internal/cache"
+	"svard/internal/client"
 	"svard/internal/dram"
+	"svard/internal/fabric"
 	"svard/internal/obs"
 	"svard/internal/server"
 )
@@ -58,12 +71,21 @@ func main() {
 		lru       = flag.Int("lru", 0, "in-memory LRU entries (0 = default)")
 		grace     = flag.Duration("grace", 2*time.Minute, "graceful shutdown budget before exiting anyway")
 		withPprof = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ (profile a live campaign service)")
+
+		fabricURL   = flag.String("fabric", "", "svard-fabric coordinator URL to join as a dispatch worker")
+		advertise   = flag.String("advertise", "", "this worker's base URL as reachable from the coordinator (default http://ADDR)")
+		workerName  = flag.String("worker-name", "", "worker label in coordinator logs (default the advertise URL)")
+		remoteCache = flag.String("remote-cache", "", "shared object-store URL for the cache's remote layer (usually the coordinator)")
 	)
 	flag.Parse()
 
 	store, err := cache.Open(*cacheDir, *lru)
 	if err != nil {
 		fatal(err)
+	}
+	if *remoteCache != "" {
+		store.SetRemote(client.NewCacheRemote(*remoteCache, client.Policy{}), cache.DefaultRemoteTimeout)
+		fmt.Fprintf(os.Stderr, "svard-served: remote cache %s (failures degrade to local compute)\n", *remoteCache)
 	}
 	svc, err := server.New(server.Config{
 		Store:         store,
@@ -107,6 +129,24 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *fabricURL != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + *addr
+		}
+		agent := &fabric.Agent{
+			Fabric:    *fabricURL,
+			Advertise: adv,
+			Name:      *workerName,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}
+		go agent.Run(ctx)
+		fmt.Fprintf(os.Stderr, "svard-served: joining fabric %s as %s\n", *fabricURL, adv)
+	}
+
 	select {
 	case <-ctx.Done():
 	case err := <-errc:

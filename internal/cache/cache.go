@@ -17,6 +17,8 @@ package cache
 import (
 	"container/list"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -47,17 +49,29 @@ type Stats struct {
 	Corrupt  uint64 // on-disk entries that failed to load and were recomputed
 	Writes   uint64 // entries persisted to disk
 
+	// Remote-layer counters (zero unless a Remote backend is attached).
+	// RemoteErrors counts every degraded interaction — a failed or
+	// integrity-rejected Get and a failed Put alike — none of which ever
+	// fail a lookup: the store falls back to local compute.
+	RemoteHits   uint64 // served from the remote backend
+	RemoteMisses uint64 // remote consulted, entry absent
+	RemoteErrors uint64 // remote errors or corrupt responses, degraded to compute
+
 	Entries   uint64 // entries currently on disk (gauge, not a counter)
 	DiskBytes uint64 // bytes those entries occupy (gauge)
 }
 
 // Hits is the total number of lookups served without recomputing.
-func (s Stats) Hits() uint64 { return s.MemHits + s.DiskHits + s.Deduped }
+func (s Stats) Hits() uint64 { return s.MemHits + s.DiskHits + s.Deduped + s.RemoteHits }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%d hits (%d mem, %d disk, %d deduped), %d misses, %d corrupt, %d written; %d entries, %s on disk",
+	str := fmt.Sprintf("%d hits (%d mem, %d disk, %d deduped), %d misses, %d corrupt, %d written; %d entries, %s on disk",
 		s.Hits(), s.MemHits, s.DiskHits, s.Deduped, s.Misses, s.Corrupt, s.Writes,
 		s.Entries, humanBytes(s.DiskBytes))
+	if s.RemoteHits+s.RemoteMisses+s.RemoteErrors > 0 {
+		str += fmt.Sprintf("; remote: %d hits, %d misses, %d errors", s.RemoteHits, s.RemoteMisses, s.RemoteErrors)
+	}
+	return str
 }
 
 // humanBytes renders a byte gauge for the stats footer.
@@ -74,11 +88,33 @@ func humanBytes(n uint64) string {
 	}
 }
 
+// Remote is a pluggable second-level result backend shared across
+// processes — an HTTP object store speaking the 64-hex SHA-256 cache
+// keys as the wire identity (internal/client.CacheRemote is the stock
+// implementation; the svard-fabric coordinator serves the other end).
+//
+// The store treats the remote as strictly best-effort: a Get error, a
+// response failing integrity checks, or a Put failure degrade to local
+// compute and a Stats counter, never to a failed lookup. Implementations
+// own their transport-level retries and timeouts; the store calls them
+// synchronously on the lookup path.
+type Remote interface {
+	// Get returns the remote entry for key, reporting found=false for a
+	// clean miss. An error covers everything else — transport failures,
+	// 5xx responses, and integrity-rejected payloads alike.
+	Get(ctx context.Context, key string) (res sim.Result, found bool, err error)
+	// Put publishes a computed result under key, best-effort.
+	Put(ctx context.Context, key string, res sim.Result) error
+}
+
 // Store is a content-addressed sim.Result store. The zero value is not
 // usable; construct with Open.
 type Store struct {
 	dir    string // "" disables the disk layer
 	lruMax int
+
+	remote        Remote
+	remoteTimeout time.Duration
 
 	memHits  atomic.Uint64
 	diskHits atomic.Uint64
@@ -86,6 +122,10 @@ type Store struct {
 	deduped  atomic.Uint64
 	corrupt  atomic.Uint64
 	writes   atomic.Uint64
+
+	remoteHits   atomic.Uint64
+	remoteMisses atomic.Uint64
+	remoteErrors atomic.Uint64
 
 	entries   atomic.Int64 // on-disk entries (gauge; seeded by the Open scan)
 	diskBytes atomic.Int64 // bytes those entries occupy
@@ -193,6 +233,58 @@ func (s *Store) scanDisk() {
 // Dir returns the store's on-disk directory ("" for memory-only stores).
 func (s *Store) Dir() string { return s.dir }
 
+// DefaultRemoteTimeout bounds each remote Get/Put when SetRemote is
+// given no explicit timeout: long enough for a cold object store, short
+// enough that a black-holed remote cannot stall a sweep cell for long.
+const DefaultRemoteTimeout = 10 * time.Second
+
+// SetRemote attaches (or, with nil, detaches) a remote backend. timeout
+// bounds each remote call (<= 0: DefaultRemoteTimeout). Call before the
+// store is shared across goroutines — the field is not synchronized, by
+// the same construction-time contract as Open's parameters.
+func (s *Store) SetRemote(r Remote, timeout time.Duration) {
+	if timeout <= 0 {
+		timeout = DefaultRemoteTimeout
+	}
+	s.remote = r
+	s.remoteTimeout = timeout
+}
+
+// remoteGet consults the remote backend (if any), degrading every
+// failure to a counted miss. A hit is persisted locally so the next
+// lookup never leaves the process.
+func (s *Store) remoteGet(key string) (sim.Result, bool) {
+	if s.remote == nil {
+		return sim.Result{}, false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.remoteTimeout)
+	defer cancel()
+	res, found, err := s.remote.Get(ctx, key)
+	switch {
+	case err != nil:
+		s.remoteErrors.Add(1)
+		return sim.Result{}, false
+	case !found:
+		s.remoteMisses.Add(1)
+		return sim.Result{}, false
+	}
+	s.remoteHits.Add(1)
+	s.persist(key, res)
+	return res, true
+}
+
+// remotePut publishes a freshly computed result, best-effort.
+func (s *Store) remotePut(key string, res sim.Result) {
+	if s.remote == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.remoteTimeout)
+	defer cancel()
+	if err := s.remote.Put(ctx, key, res); err != nil {
+		s.remoteErrors.Add(1)
+	}
+}
+
 // rescanInterval paces how often Stats refreshes the disk gauges with a
 // real directory walk. The gauges track this process's writes exactly,
 // but the directory may be shared with other processes (svard-served
@@ -205,14 +297,17 @@ const rescanInterval = 5 * time.Minute
 func (s *Store) Stats() Stats {
 	s.maybeRescan()
 	return Stats{
-		MemHits:   s.memHits.Load(),
-		DiskHits:  s.diskHits.Load(),
-		Misses:    s.misses.Load(),
-		Deduped:   s.deduped.Load(),
-		Corrupt:   s.corrupt.Load(),
-		Writes:    s.writes.Load(),
-		Entries:   clampUint(s.entries.Load()),
-		DiskBytes: clampUint(s.diskBytes.Load()),
+		MemHits:      s.memHits.Load(),
+		DiskHits:     s.diskHits.Load(),
+		Misses:       s.misses.Load(),
+		Deduped:      s.deduped.Load(),
+		Corrupt:      s.corrupt.Load(),
+		Writes:       s.writes.Load(),
+		RemoteHits:   s.remoteHits.Load(),
+		RemoteMisses: s.remoteMisses.Load(),
+		RemoteErrors: s.remoteErrors.Load(),
+		Entries:      clampUint(s.entries.Load()),
+		DiskBytes:    clampUint(s.diskBytes.Load()),
 	}
 }
 
@@ -283,11 +378,19 @@ func (s *Store) GetOrCompute(cfg sim.Config, compute func(sim.Config) (sim.Resul
 
 	res, fromDisk, err := s.load(key)
 	if err != nil {
-		// No valid entry anywhere: this caller computes for everyone.
-		res, err = compute(cfg)
-		if err == nil {
-			s.misses.Add(1)
-			s.persist(key, res)
+		// No valid local entry: try the remote pool, then compute. A
+		// remote failure of any kind degrades to compute — the remote is
+		// an accelerator, exactly like the disk layer, and must never
+		// fail a sweep.
+		if rres, ok := s.remoteGet(key); ok {
+			res, err = rres, nil
+		} else {
+			res, err = compute(cfg)
+			if err == nil {
+				s.misses.Add(1)
+				s.persist(key, res)
+				s.remotePut(key, res)
+			}
 		}
 	} else if fromDisk {
 		s.diskHits.Add(1)
@@ -360,13 +463,54 @@ func (s *Store) remember(key string, res sim.Result) {
 	}
 }
 
-// envelope is the on-disk format. Schema and Key are verified on load so
-// a file that was truncated, hand-edited, or written by an incompatible
+// envelope is the on-disk format, shared verbatim with the remote
+// object-store wire (client.CacheRemote ships and verifies the same
+// bytes). Schema, Key, and Sum are verified on load so a file that was
+// truncated, hand-edited, bit-flipped, or written by an incompatible
 // simulator version registers as corrupt and is recomputed.
 type envelope struct {
 	Schema string     `json:"schema"`
 	Key    string     `json:"key"`
+	Sum    string     `json:"sum"` // resultSum over the canonical Result JSON
 	Result sim.Result `json:"result"`
+}
+
+// resultSum is the entry's integrity checksum: a hex SHA-256 over the
+// result's canonical JSON bytes. The key cannot play this role — it
+// hashes the *configuration* — so without a content sum a torn or
+// bit-flipped entry that still parses as JSON would read back as valid.
+func resultSum(res sim.Result) string {
+	b, err := json.Marshal(res)
+	if err != nil {
+		// sim.Result is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("cache: result sum: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Seal wraps a result in its canonical wire envelope (the exact bytes
+// persist writes and the remote object store serves).
+func Seal(key string, res sim.Result) ([]byte, error) {
+	return json.Marshal(envelope{Schema: SchemaVersion, Key: key, Sum: resultSum(res), Result: res})
+}
+
+// OpenEnvelope parses and integrity-checks one wire envelope against the
+// key it was requested under: schema, key, and content sum must all
+// match. It is the single verification path for both disk reads and
+// remote responses.
+func OpenEnvelope(key string, b []byte) (sim.Result, error) {
+	var env envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return sim.Result{}, fmt.Errorf("cache: entry %s: %w", key, err)
+	}
+	if env.Schema != SchemaVersion || env.Key != key {
+		return sim.Result{}, fmt.Errorf("cache: entry %s: schema %q key %q mismatch", key, env.Schema, env.Key)
+	}
+	if sum := resultSum(env.Result); env.Sum != sum {
+		return sim.Result{}, fmt.Errorf("cache: entry %s: content sum %q, want %q", key, env.Sum, sum)
+	}
+	return env.Result, nil
 }
 
 // path shards entries by the first byte of the key so no single
@@ -388,14 +532,7 @@ func (s *Store) read(key string) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
-	var env envelope
-	if err := json.Unmarshal(b, &env); err != nil {
-		return sim.Result{}, fmt.Errorf("cache: entry %s: %w", key, err)
-	}
-	if env.Schema != SchemaVersion || env.Key != key {
-		return sim.Result{}, fmt.Errorf("cache: entry %s: schema %q key %q mismatch", key, env.Schema, env.Key)
-	}
-	return env.Result, nil
+	return OpenEnvelope(key, b)
 }
 
 // load wraps read with the corrupt-entry policy: a missing file is a
@@ -412,16 +549,21 @@ func (s *Store) load(key string) (res sim.Result, fromDisk bool, err error) {
 	return sim.Result{}, false, err
 }
 
-// persist writes an entry atomically (temp file + rename), so a crash
-// mid-write leaves at worst a stray temp file, never a torn entry read
-// back as valid. Write failures are deliberately swallowed: the cache
-// is an accelerator, and a read-only or full disk must not fail a sweep
-// whose computation already succeeded.
+// persist writes an entry atomically (temp file + fsync + rename), so a
+// crash mid-write leaves at worst a stray temp file, never a torn entry
+// read back as valid: the fsync forces the temp file's bytes to stable
+// storage *before* the rename publishes the name, closing the window in
+// which a power loss could leave a renamed-but-empty (or partially
+// written) entry — the classic torn-write-through-rename hazard. The
+// content sum in the envelope is the second line of defense, catching
+// whatever slips past. Write failures are deliberately swallowed: the
+// cache is an accelerator, and a read-only or full disk must not fail a
+// sweep whose computation already succeeded.
 func (s *Store) persist(key string, res sim.Result) {
 	if s.dir == "" || len(key) < 2 {
 		return
 	}
-	b, err := json.Marshal(envelope{Schema: SchemaVersion, Key: key, Result: res})
+	b, err := Seal(key, res)
 	if err != nil {
 		return
 	}
@@ -440,14 +582,32 @@ func (s *Store) persist(key string, res sim.Result) {
 		return
 	}
 	_, werr := tmp.Write(b)
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil || os.Rename(tmp.Name(), p) != nil {
+	if werr != nil || serr != nil || cerr != nil || os.Rename(tmp.Name(), p) != nil {
 		os.Remove(tmp.Name())
 		return
 	}
 	s.writes.Add(1)
 	s.entries.Add(isNew)
 	s.diskBytes.Add(int64(len(b)) - oldSize)
+}
+
+// Put inserts a result computed elsewhere under its content-addressed
+// key — the fabric coordinator stores worker-computed cells through it,
+// and the coordinator's object-store PUT endpoint lands here. The entry
+// enters the in-memory LRU unconditionally and the disk layer
+// best-effort (same swallowed-write policy as persist). Only the exact
+// key shape Key produces is accepted.
+func (s *Store) Put(key string, res sim.Result) error {
+	if !wellFormedKey(key) {
+		return fmt.Errorf("cache: malformed key %q: want 64 lowercase hex chars", key)
+	}
+	s.mu.Lock()
+	s.remember(key, res)
+	s.mu.Unlock()
+	s.persist(key, res)
+	return nil
 }
 
 // wellFormedKey reports whether key is 64 lowercase hex chars.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -580,5 +581,263 @@ func TestResultAliasingIsolation(t *testing.T) {
 	}
 	if second.IPC[0] != want {
 		t.Errorf("cached result was mutated through a returned slice: %v", second.IPC[0])
+	}
+}
+
+// TestCrashTruncatedWriteRecomputes simulates a crash that publishes a
+// partial entry: the stored file is truncated at several points mid-way
+// (as if the rename landed but the data did not all reach the platter),
+// and every prefix must register as corrupt and recompute — never be
+// served, never surface as an error. The fsync-before-rename in persist
+// makes this window vanishingly small; the read-side verification is
+// the backstop this test pins.
+func TestCrashTruncatedWriteRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	var calls atomic.Int64
+	cold, err := s.GetOrCompute(testCfg(96), fakeCompute(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.path(Key(testCfg(96)))
+	whole, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, len(whole) / 4, len(whole) / 2, len(whole) - 1} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			if err := os.WriteFile(p, whole[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s2, _ := Open(dir, 0)
+			before := calls.Load()
+			got, err := s2.GetOrCompute(testCfg(96), fakeCompute(&calls))
+			if err != nil {
+				t.Fatalf("truncated entry surfaced as error: %v", err)
+			}
+			sameResult(t, cold, got)
+			if calls.Load() != before+1 {
+				t.Errorf("compute ran %d times, want %d (truncated entry must recompute)", calls.Load(), before+1)
+			}
+			if st := s2.Stats(); st.Corrupt != 1 {
+				t.Errorf("stats = %v, want Corrupt=1", st)
+			}
+		})
+	}
+}
+
+// TestContentSumCatchesBitFlips pins the integrity sum: an entry whose
+// result bytes were mutated — still valid JSON, schema and key intact,
+// exactly what a torn sector or bit flip can produce — must fail the
+// sum check and recompute, not serve the mutated numbers.
+func TestContentSumCatchesBitFlips(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	var calls atomic.Int64
+	cold, err := s.GetOrCompute(testCfg(97), fakeCompute(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(testCfg(97))
+	p := s.path(key)
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the violation count inside the result payload; everything
+	// else (schema, key, sum fields) stays byte-identical.
+	mutated := []byte(strings.Replace(string(b), `"Violations":7`, `"Violations":8`, 1))
+	if string(mutated) == string(b) {
+		t.Fatal("test setup: Violations field not found in entry")
+	}
+	if err := os.WriteFile(p, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := Open(dir, 0)
+	got, err := s2.GetOrCompute(testCfg(97), fakeCompute(&calls))
+	if err != nil {
+		t.Fatalf("bit-flipped entry surfaced as error: %v", err)
+	}
+	sameResult(t, cold, got)
+	if calls.Load() != 2 {
+		t.Errorf("compute ran %d times, want 2 (mutated entry must recompute)", calls.Load())
+	}
+	if st := s2.Stats(); st.Corrupt != 1 {
+		t.Errorf("stats = %v, want the mutated entry counted corrupt", st)
+	}
+}
+
+// TestPutServesWithoutCompute: results inserted via Put (the fabric
+// coordinator's path for worker-computed cells) serve later lookups
+// without invoking compute, in-process and across store reopenings.
+func TestPutServesWithoutCompute(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	cfg := testCfg(2048)
+	key := Key(cfg)
+	want, _ := fakeCompute(nil)(cfg)
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	got, err := s.GetOrCompute(cfg, fakeCompute(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, got)
+	if calls.Load() != 0 {
+		t.Errorf("compute ran %d times after Put, want 0", calls.Load())
+	}
+
+	s2, _ := Open(dir, 0)
+	got2, err := s2.GetOrCompute(cfg, fakeCompute(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, got2)
+	if calls.Load() != 0 {
+		t.Errorf("compute ran %d times across stores after Put, want 0", calls.Load())
+	}
+
+	if err := s.Put("not-a-key", want); err == nil {
+		t.Error("Put accepted a malformed key")
+	}
+	if err := s.Put("../"+key[:61], want); err == nil {
+		t.Error("Put accepted a traversal-shaped key")
+	}
+}
+
+// mapRemote is an in-memory Remote for tests: a shared map plus
+// injectable failures.
+type mapRemote struct {
+	mu      sync.Mutex
+	entries map[string]sim.Result
+	getErr  error
+	putErr  error
+	gets    atomic.Int64
+	puts    atomic.Int64
+}
+
+func newMapRemote() *mapRemote { return &mapRemote{entries: map[string]sim.Result{}} }
+
+func (r *mapRemote) Get(ctx context.Context, key string) (sim.Result, bool, error) {
+	r.gets.Add(1)
+	if r.getErr != nil {
+		return sim.Result{}, false, r.getErr
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, ok := r.entries[key]
+	return res, ok, nil
+}
+
+func (r *mapRemote) Put(ctx context.Context, key string, res sim.Result) error {
+	r.puts.Add(1)
+	if r.putErr != nil {
+		return r.putErr
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[key] = res
+	return nil
+}
+
+// TestRemoteLayerSharesResults: a computed result is published to the
+// remote, and a second store (fresh process, fresh directory — another
+// fleet worker) serves it from the remote without recomputing, then
+// persists it locally so the next lookup never leaves the process.
+func TestRemoteLayerSharesResults(t *testing.T) {
+	remote := newMapRemote()
+	cfg := testCfg(384)
+
+	s1, _ := Open(t.TempDir(), 0)
+	s1.SetRemote(remote, 0)
+	var calls atomic.Int64
+	cold, err := s1.GetOrCompute(cfg, fakeCompute(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s1.Stats(); st.Misses != 1 || st.RemoteMisses != 1 {
+		t.Errorf("first store stats = %v, want one miss local and remote", st)
+	}
+	if remote.puts.Load() != 1 {
+		t.Errorf("remote received %d puts, want 1", remote.puts.Load())
+	}
+
+	dir2 := t.TempDir()
+	s2, _ := Open(dir2, 0)
+	s2.SetRemote(remote, 0)
+	warm, err := s2.GetOrCompute(cfg, fakeCompute(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, cold, warm)
+	if calls.Load() != 1 {
+		t.Errorf("compute ran %d times across workers, want 1 (remote must serve)", calls.Load())
+	}
+	if st := s2.Stats(); st.RemoteHits != 1 || st.Misses != 0 {
+		t.Errorf("second store stats = %v, want the cell served from remote", st)
+	}
+	// The remote hit was persisted locally: a reopen serves from disk.
+	s3, _ := Open(dir2, 0)
+	if _, err := s3.GetOrCompute(cfg, fakeCompute(&calls)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s3.Stats(); st.DiskHits != 1 {
+		t.Errorf("reopened store stats = %v, want the remote hit served from disk", st)
+	}
+}
+
+// TestRemoteDegradesGracefully: a remote that fails every call (a
+// partitioned or misconfigured object store) must never fail a lookup —
+// the store computes locally and counts the degradation.
+func TestRemoteDegradesGracefully(t *testing.T) {
+	remote := newMapRemote()
+	remote.getErr = errors.New("faultinject: 503")
+	remote.putErr = errors.New("faultinject: connection reset")
+
+	s, _ := Open(t.TempDir(), 0)
+	s.SetRemote(remote, 0)
+	var calls atomic.Int64
+	got, err := s.GetOrCompute(testCfg(48), fakeCompute(&calls))
+	if err != nil {
+		t.Fatalf("remote failure surfaced as error: %v", err)
+	}
+	want, _ := fakeCompute(nil)(testCfg(48))
+	sameResult(t, want, got)
+	if calls.Load() != 1 {
+		t.Errorf("compute ran %d times, want 1", calls.Load())
+	}
+	if st := s.Stats(); st.RemoteErrors != 2 || st.Misses != 1 {
+		t.Errorf("stats = %v, want RemoteErrors=2 (failed get + failed put), Misses=1", st)
+	}
+}
+
+// TestSealOpenEnvelopeRoundTrip pins the wire format both the disk and
+// the remote object store speak, and its integrity rejections.
+func TestSealOpenEnvelopeRoundTrip(t *testing.T) {
+	cfg := testCfg(112)
+	key := Key(cfg)
+	res, _ := fakeCompute(nil)(cfg)
+	b, err := Seal(key, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenEnvelope(key, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, res, got)
+
+	otherKey := Key(testCfg(113))
+	if _, err := OpenEnvelope(otherKey, b); err == nil {
+		t.Error("envelope accepted under the wrong key")
+	}
+	if _, err := OpenEnvelope(key, b[:len(b)-2]); err == nil {
+		t.Error("truncated envelope accepted")
+	}
+	flipped := []byte(strings.Replace(string(b), `"Violations":7`, `"Violations":9`, 1))
+	if _, err := OpenEnvelope(key, flipped); err == nil {
+		t.Error("bit-flipped envelope passed the content sum")
 	}
 }

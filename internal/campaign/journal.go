@@ -108,3 +108,42 @@ func (j *journal) close() {
 		j.f = nil
 	}
 }
+
+// has reports whether key is already journaled.
+func (j *journal) has(key string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seen[key]
+}
+
+// Journal is the exported view of a campaign checkpoint, for layers
+// above the engine: the distributed fabric journals its dispatch-phase
+// completions through it, so a restarted coordinator resumes a
+// campaign instead of re-dispatching finished cells. It shares the
+// engine's on-disk format and path scheme — a campaign interrupted
+// under the fabric resumes under a local engine run and vice versa.
+type Journal struct{ j *journal }
+
+// OpenJournal opens (resume) or creates the journal for a campaign
+// fingerprint under the cache directory. An empty dir keeps the
+// journal in memory only.
+func OpenJournal(dir, fingerprint string, total int, resume bool) (*Journal, error) {
+	j, err := openJournal(dir, fingerprint, total, resume)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{j: j}, nil
+}
+
+// Done records one completed cell key (idempotent).
+func (j *Journal) Done(key string) { j.j.done(key) }
+
+// Seen reports whether key is recorded as completed.
+func (j *Journal) Seen(key string) bool { return j.j.has(key) }
+
+// Resumed returns how many cells were already journaled at open.
+func (j *Journal) Resumed() int { return j.j.resumed() }
+
+// Close releases the journal file; the record stays on disk for the
+// next resume.
+func (j *Journal) Close() { j.j.close() }

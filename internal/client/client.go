@@ -11,12 +11,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"svard/internal/cache"
@@ -33,11 +35,31 @@ type Client struct {
 	// calls hold a connection open for the job's lifetime; configure
 	// timeouts via the context, not the transport.
 	HTTP *http.Client
+	// Retry, when set, retries failed unary calls (not Events streams —
+	// Wait owns stream reconnection) under the policy's attempt bound,
+	// per-attempt timeouts, and jittered backoff. Nil means one attempt.
+	Retry *Policy
+	// Breaker, when set, fail-fasts unary calls against an endpoint
+	// that keeps failing (one breaker per Client = per endpoint). Nil
+	// means no breaking.
+	Breaker *Breaker
+
+	retrySeq atomic.Uint64 // jitter-draw counter shared across calls
 }
 
 // New returns a client for the service at baseURL.
 func New(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// NewResilient returns a client with retry policy p and a default
+// circuit breaker — the configuration fabric coordinators use per
+// worker endpoint.
+func NewResilient(baseURL string, p Policy) *Client {
+	c := New(baseURL)
+	c.Retry = &p
+	c.Breaker = &Breaker{}
+	return c
 }
 
 func (c *Client) http() *http.Client {
@@ -111,6 +133,16 @@ func (c *Client) Key(ctx context.Context, cfg sim.Config) (server.KeyResponse, e
 // LocalKey derives a config's cache key without a round-trip.
 func LocalKey(cfg sim.Config) string { return cache.Key(cfg) }
 
+// Compute runs a batch of raw cells synchronously on the worker and
+// reports per-cell outcomes — the fabric coordinator's dispatch call.
+// Callers stream large campaigns as many small batches; the worker
+// computes each batch through its shared slots and cache.
+func (c *Client) Compute(ctx context.Context, cfgs []sim.Config) (server.ComputeResponse, error) {
+	var resp server.ComputeResponse
+	err := c.call(ctx, http.MethodPost, "/api/v1/compute", server.ComputeRequest{Configs: cfgs}, &resp)
+	return resp, err
+}
+
 // Health probes /healthz.
 func (c *Client) Health(ctx context.Context) error {
 	return c.call(ctx, http.MethodGet, "/healthz", nil, &struct {
@@ -166,10 +198,13 @@ func (c *Client) Events(ctx context.Context, id string, from int, fn func(server
 // server-side regardless of our socket.
 func (c *Client) Wait(ctx context.Context, id string, fn func(server.Event) error) (server.JobInfo, error) {
 	from := 0
+	idle := 0 // consecutive reconnects that yielded no events
 	for {
 		var cbErr error
+		progressed := false
 		streamErr := c.Events(ctx, id, from, func(ev server.Event) error {
 			from = ev.Seq + 1
+			progressed = true
 			if fn != nil {
 				if err := fn(ev); err != nil {
 					cbErr = err
@@ -197,31 +232,82 @@ func (c *Client) Wait(ctx context.Context, id string, fn func(server.Event) erro
 		if info.State.Terminal() {
 			return info, nil
 		}
-		// Still running: reconnect from the last seen event, pacing
-		// reconnects so a flapping stream does not hot-loop.
+		// Still running: reconnect from the last seen event, backing
+		// off while reconnects yield nothing so a flapping stream does
+		// not hammer a recovering daemon. Any received event resets
+		// the pace to the floor.
+		if progressed {
+			idle = 0
+		} else {
+			idle++
+		}
 		select {
 		case <-ctx.Done():
 			return info, context.Cause(ctx)
-		case <-time.After(200 * time.Millisecond):
+		case <-time.After(waitDelay(idle)):
 		}
 	}
 }
 
-// call performs one JSON request/response round-trip.
+// Wait's reconnect pacing: exponential from the floor while the stream
+// yields nothing, capped so a long outage still polls.
+const (
+	waitBaseDelay = 100 * time.Millisecond
+	waitMaxDelay  = 3 * time.Second
+)
+
+// waitDelay is the reconnect pause after `idle` consecutive
+// event-free reconnects (0 means the last stream made progress).
+func waitDelay(idle int) time.Duration {
+	d := waitBaseDelay
+	for i := 0; i < idle && d < waitMaxDelay; i++ {
+		d *= 2
+	}
+	if d > waitMaxDelay {
+		d = waitMaxDelay
+	}
+	return d
+}
+
+// call performs a JSON request/response round-trip, retried under
+// c.Retry and gated by c.Breaker when those are configured.
 func (c *Client) call(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var b []byte
 	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if b, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(b)
+	}
+	attempt := func(actx context.Context) error {
+		if c.Breaker != nil {
+			if err := c.Breaker.Allow(); err != nil {
+				return err
+			}
+		}
+		err := c.once(actx, method, path, b, body != nil, out)
+		if c.Breaker != nil && !errors.Is(err, ErrBreakerOpen) {
+			c.Breaker.Record(endpointFailure(err))
+		}
+		return err
+	}
+	if c.Retry == nil {
+		return attempt(ctx)
+	}
+	return retryDo(ctx, *c.Retry, &c.retrySeq, attempt)
+}
+
+// once performs a single request/response exchange.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, hasBody bool, out any) error {
+	var rd io.Reader
+	if hasBody {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
 		return err
 	}
-	if body != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http().Do(req)
@@ -238,15 +324,16 @@ func (c *Client) call(ctx context.Context, method, path string, body, out any) e
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// decodeError surfaces the server's JSON error message, falling back to
-// the raw body.
+// decodeError surfaces the server's JSON error message (falling back
+// to the raw body) as an *APIError carrying the status code.
 func decodeError(resp *http.Response) error {
 	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var eb struct {
 		Error string `json:"error"`
 	}
+	msg := string(bytes.TrimSpace(b))
 	if json.Unmarshal(b, &eb) == nil && eb.Error != "" {
-		return fmt.Errorf("client: %s: %s", resp.Status, eb.Error)
+		msg = eb.Error
 	}
-	return fmt.Errorf("client: %s: %s", resp.Status, bytes.TrimSpace(b))
+	return &APIError{StatusCode: resp.StatusCode, Message: msg}
 }

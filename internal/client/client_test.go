@@ -1,0 +1,409 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"svard/internal/cache"
+	"svard/internal/faultinject"
+	"svard/internal/server"
+	"svard/internal/sim"
+)
+
+// fastPolicy keeps retry tests snappy.
+func fastPolicy() Policy {
+	return Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Seed: 1}
+}
+
+// TestRetryRecoversFrom5xxBurst: a unary call rides out transient 500s
+// within the attempt budget; without a policy the first 500 surfaces.
+func TestRetryRecoversFrom5xxBurst(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"transient"}`, http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	}))
+	defer srv.Close()
+
+	bare := New(srv.URL)
+	if err := bare.Health(context.Background()); err == nil {
+		t.Fatal("policy-free client swallowed a 500")
+	}
+	calls.Store(0)
+
+	c := New(srv.URL)
+	p := fastPolicy()
+	c.Retry = &p
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("retrying client failed across a 2-deep 500 burst: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two 500s + success)", got)
+	}
+}
+
+// TestRetrySkips4xx: application errors are not retried — hammering a
+// server with a request it already rejected is pure load.
+func TestRetrySkips4xx(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	p := fastPolicy()
+	c.Retry = &p
+	_, err := c.Job(context.Background(), "nope")
+	if err == nil {
+		t.Fatal("404 did not surface")
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+		t.Fatalf("error = %v, want APIError 404", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls for a 404, want 1", got)
+	}
+}
+
+// TestBreakerTripsAndRecloses: consecutive endpoint failures trip the
+// breaker (calls fail fast, no network), the cooldown admits one probe,
+// and a healthy probe recloses it.
+func TestBreakerTripsAndRecloses(t *testing.T) {
+	var calls atomic.Int64
+	healthy := atomic.Bool{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if !healthy.Load() {
+			http.Error(w, `{"error":"dying"}`, http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	}))
+	defer srv.Close()
+
+	now := time.Now()
+	var nowMu sync.Mutex
+	clock := func() time.Time { nowMu.Lock(); defer nowMu.Unlock(); return now }
+	advance := func(d time.Duration) { nowMu.Lock(); now = now.Add(d); nowMu.Unlock() }
+
+	c := New(srv.URL)
+	c.Breaker = &Breaker{Threshold: 3, Cooldown: time.Minute, now: clock}
+
+	for i := 0; i < 3; i++ {
+		if err := c.Health(context.Background()); err == nil {
+			t.Fatal("500 did not surface")
+		}
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls before trip, want 3", got)
+	}
+	err := c.Health(context.Background())
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker returned %v, want ErrBreakerOpen", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("open breaker still hit the server (%d calls)", got)
+	}
+
+	healthy.Store(true)
+	advance(2 * time.Minute)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("reclosed breaker rejected a call: %v", err)
+	}
+}
+
+// TestBreakerReopensOnFailedProbe: a failing half-open probe goes
+// straight back to open — no burst of traffic at a still-down backend.
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	now := time.Now()
+	b := &Breaker{Threshold: 1, Cooldown: time.Minute, now: func() time.Time { return now }}
+	b.Record(true) // trip
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Allow during cooldown = %v, want open", err)
+	}
+	now = now.Add(2 * time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted after cooldown: %v", err)
+	}
+	b.Record(true) // probe failed
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Allow after failed probe = %v, want open", err)
+	}
+}
+
+func TestWaitDelayCapsAndResets(t *testing.T) {
+	if d := waitDelay(0); d != waitBaseDelay {
+		t.Fatalf("waitDelay(0) = %v, want %v", d, waitBaseDelay)
+	}
+	prev := time.Duration(0)
+	for i := 1; i < 12; i++ {
+		d := waitDelay(i)
+		if d < prev {
+			t.Fatalf("waitDelay(%d) = %v < waitDelay(%d) = %v", i, d, i-1, prev)
+		}
+		if d > waitMaxDelay {
+			t.Fatalf("waitDelay(%d) = %v exceeds cap %v", i, d, waitMaxDelay)
+		}
+		prev = d
+	}
+	if waitDelay(11) != waitMaxDelay {
+		t.Fatalf("waitDelay(11) = %v, want cap %v", waitDelay(11), waitMaxDelay)
+	}
+}
+
+// eventServer fakes the two endpoints Wait touches: a chunked events
+// stream that tears the connection after a few events, and the job
+// endpoint that turns done only once the stream has served everything.
+type eventServer struct {
+	total   int // cell events before the terminal state event
+	perConn int // events served per connection before tearing
+
+	mu       sync.Mutex
+	froms    []int // ?from offset of every events request
+	maxServe int   // highest seq served so far
+}
+
+func (s *eventServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/jobs/j1/events", func(w http.ResponseWriter, r *http.Request) {
+		from := 0
+		fmt.Sscanf(r.URL.Query().Get("from"), "%d", &from)
+		s.mu.Lock()
+		s.froms = append(s.froms, from)
+		s.mu.Unlock()
+		enc := json.NewEncoder(w)
+		for i, n := from, 0; i <= s.total && n < s.perConn; i, n = i+1, n+1 {
+			ev := server.Event{Seq: i, Type: "cell", Done: i + 1, Total: s.total}
+			if i == s.total {
+				ev = server.Event{Seq: i, Type: "state", State: server.StateDone, Done: s.total, Total: s.total}
+			}
+			enc.Encode(ev)
+			s.mu.Lock()
+			if i > s.maxServe {
+				s.maxServe = i
+			}
+			s.mu.Unlock()
+		}
+		// Connection ends here; a client mid-stream sees a clean EOF
+		// with the job still running and must reconnect from its offset.
+	})
+	mux.HandleFunc("GET /api/v1/jobs/j1", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		done := s.maxServe >= s.total
+		s.mu.Unlock()
+		info := server.JobInfo{ID: "j1", State: server.StateRunning, Total: s.total}
+		if done {
+			info.State = server.StateDone
+			info.Done = s.total
+		}
+		json.NewEncoder(w).Encode(info)
+	})
+	return mux
+}
+
+// TestWaitResumesFromOffsetUnderDrops is the reconnect regression test:
+// Wait must ride out torn streams AND injected transport drops, resume
+// each reconnect from the last seen offset (never from zero), deliver
+// every event exactly once in order, and land on the terminal state.
+func TestWaitResumesFromOffsetUnderDrops(t *testing.T) {
+	es := &eventServer{total: 12, perConn: 3}
+	srv := httptest.NewServer(es.handler())
+	defer srv.Close()
+
+	tr := &faultinject.Transport{Plan: faultinject.Plan{Seed: 11, Drop: 0.25}}
+	c := New(srv.URL)
+	p := fastPolicy()
+	p.MaxAttempts = 6
+	c.Retry = &p
+	c.HTTP = &http.Client{Transport: tr}
+
+	var seqs []int
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	info, err := c.Wait(ctx, "j1", func(ev server.Event) error {
+		seqs = append(seqs, ev.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Wait under drops: %v (faults: %v)", err, tr.Stats())
+	}
+	if info.State != server.StateDone {
+		t.Fatalf("final state = %s, want done", info.State)
+	}
+	if len(seqs) != es.total+1 {
+		t.Fatalf("delivered %d events, want %d: %v", len(seqs), es.total+1, seqs)
+	}
+	for i, seq := range seqs {
+		if seq != i {
+			t.Fatalf("event %d has seq %d — duplicate or gap: %v", i, seq, seqs)
+		}
+	}
+	if st := tr.Stats(); st.Dropped == 0 {
+		t.Fatalf("fault plan injected no drops (%v); the test proved nothing", st)
+	}
+
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	if len(es.froms) < 2 {
+		t.Fatalf("stream never reconnected (froms=%v)", es.froms)
+	}
+	for i := 1; i < len(es.froms); i++ {
+		if es.froms[i] < es.froms[i-1] {
+			t.Fatalf("reconnect offsets regressed: %v", es.froms)
+		}
+	}
+	if es.froms[len(es.froms)-1] == 0 {
+		t.Fatalf("final reconnect restarted from zero: %v", es.froms)
+	}
+}
+
+// objectStore is an in-memory /api/v1/objects/{key} backend.
+type objectStore struct {
+	mu      sync.Mutex
+	objects map[string][]byte
+	gets    atomic.Int64
+	fail5xx atomic.Int64 // GETs to fail with 500 before serving
+}
+
+func (o *objectStore) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/objects/{key}", func(w http.ResponseWriter, r *http.Request) {
+		o.gets.Add(1)
+		if o.fail5xx.Load() > 0 {
+			o.fail5xx.Add(-1)
+			http.Error(w, `{"error":"store overloaded"}`, http.StatusInternalServerError)
+			return
+		}
+		o.mu.Lock()
+		b, ok := o.objects[r.PathValue("key")]
+		o.mu.Unlock()
+		if !ok {
+			http.Error(w, `{"error":"no such object"}`, http.StatusNotFound)
+			return
+		}
+		w.Write(b)
+	})
+	mux.HandleFunc("PUT /api/v1/objects/{key}", func(w http.ResponseWriter, r *http.Request) {
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, `{"error":"bad body"}`, http.StatusBadRequest)
+			return
+		}
+		o.mu.Lock()
+		if o.objects == nil {
+			o.objects = map[string][]byte{}
+		}
+		o.objects[r.PathValue("key")] = b
+		o.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+// TestCacheRemoteRoundTrip: Put publishes a sealed envelope a fresh
+// CacheRemote can Get back verified, riding out a 5xx burst; a missing
+// key is a clean miss; a corrupt stored object is an error and is NOT
+// refetched (retrying cannot heal a corrupt store).
+func TestCacheRemoteRoundTrip(t *testing.T) {
+	store := &objectStore{}
+	srv := httptest.NewServer(store.handler())
+	defer srv.Close()
+
+	cfg := sim.DefaultConfig()
+	key := cache.Key(cfg)
+	res := sim.Result{IPC: []float64{1.25}, Cycles: 77, Violations: 3, Finished: true}
+
+	rc := NewCacheRemote(srv.URL, fastPolicy())
+	ctx := context.Background()
+	if err := rc.Put(ctx, key, res); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	if _, found, err := rc.Get(ctx, "deadbeef"+key[8:]); err != nil || found {
+		t.Fatalf("absent key: found=%v err=%v, want clean miss", found, err)
+	}
+
+	store.fail5xx.Store(2)
+	got, found, err := rc.Get(ctx, key)
+	if err != nil || !found {
+		t.Fatalf("Get across 5xx burst: found=%v err=%v", found, err)
+	}
+	if got.Cycles != res.Cycles || got.Violations != res.Violations || !got.Finished {
+		t.Fatalf("round-trip mismatch: got %+v want %+v", got, res)
+	}
+
+	// Corrupt the stored envelope: one flipped bit inside the payload.
+	store.mu.Lock()
+	store.objects[key][len(store.objects[key])-20] ^= 1
+	store.mu.Unlock()
+	store.gets.Store(0)
+	if _, found, err := rc.Get(ctx, key); err == nil {
+		t.Fatalf("corrupt object served as found=%v", found)
+	}
+	if got := store.gets.Load(); got != 1 {
+		t.Fatalf("corrupt object fetched %d times, want 1 (no retry)", got)
+	}
+}
+
+// TestStoreWithCacheRemoteEndToEnd: the disk cache wired to a real
+// HTTP object store shares results across stores with distinct dirs —
+// the wire envelope and the disk envelope are the same sealed bytes.
+func TestStoreWithCacheRemoteEndToEnd(t *testing.T) {
+	osrv := httptest.NewServer((&objectStore{}).handler())
+	defer osrv.Close()
+
+	cfg := sim.DefaultConfig()
+	cfg.NRH = 512
+	want := sim.Result{IPC: []float64{0.5, 0.75}, Cycles: 123, Finished: true}
+	var computes atomic.Int64
+	runner := func(sim.Config) (sim.Result, error) {
+		computes.Add(1)
+		return want, nil
+	}
+
+	s1, err := cache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.SetRemote(NewCacheRemote(osrv.URL, fastPolicy()), 0)
+	if _, err := s1.GetOrCompute(cfg, runner); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := cache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.SetRemote(NewCacheRemote(osrv.URL, fastPolicy()), 0)
+	got, err := s2.GetOrCompute(cfg, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != want.Cycles {
+		t.Fatalf("remote-served result differs: %+v", got)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times across two stores sharing a remote, want 1", n)
+	}
+	if st := s2.Stats(); st.RemoteHits != 1 {
+		t.Fatalf("second store RemoteHits = %d, want 1 (%v)", st.RemoteHits, st)
+	}
+}

@@ -1,0 +1,261 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"svard/internal/rng"
+)
+
+// Policy bounds how a client retries a failed round-trip: up to
+// MaxAttempts tries, each under its own AttemptTimeout, with
+// decorrelated-jitter exponential backoff between them (sleep drawn
+// uniformly from [BaseDelay, 3×previous sleep], capped at MaxDelay).
+// The jitter stream derives from Seed and a per-client attempt counter
+// through internal/rng, so a test's retry timing is reproducible.
+// The zero Policy means the defaults below.
+type Policy struct {
+	MaxAttempts    int           // total tries including the first (default 4)
+	BaseDelay      time.Duration // backoff floor (default 50ms)
+	MaxDelay       time.Duration // backoff ceiling (default 2s)
+	AttemptTimeout time.Duration // per-attempt deadline (default 30s; <0 disables)
+	Seed           uint64        // jitter stream identity
+}
+
+// Policy defaults.
+const (
+	DefaultMaxAttempts    = 4
+	DefaultBaseDelay      = 50 * time.Millisecond
+	DefaultMaxDelay       = 2 * time.Second
+	DefaultAttemptTimeout = 30 * time.Second
+)
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultBaseDelay
+	}
+	if p.MaxDelay < p.BaseDelay {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	if p.AttemptTimeout == 0 {
+		p.AttemptTimeout = DefaultAttemptTimeout
+	}
+	return p
+}
+
+// backoff draws the next decorrelated-jitter sleep after prev, using
+// draw i of the policy's jitter stream.
+func (p Policy) backoff(prev time.Duration, i uint64) time.Duration {
+	span := 3*prev - p.BaseDelay
+	if span <= 0 {
+		return p.BaseDelay
+	}
+	d := p.BaseDelay + time.Duration(rng.UniformAt(p.Seed, 0x6a17, i)*float64(span))
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// APIError is a non-2xx response from the service, preserving the
+// status code so callers (and the retry loop) can tell a crashed
+// backend (5xx, retryable) from a rejected request (4xx, not).
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// Temporary reports whether retrying the same request can help.
+func (e *APIError) Temporary() bool {
+	return e.StatusCode >= 500 || e.StatusCode == http.StatusTooManyRequests
+}
+
+// retryable reports whether err is worth another attempt: transport
+// errors and 5xx/429 are; application-level 4xx, an explicit no-retry
+// wrap, and an open breaker are not. Context errors are resolved by
+// the caller against the parent context.
+func retryable(err error) bool {
+	var nr *noRetryError
+	if errors.As(err, &nr) {
+		return false
+	}
+	if errors.Is(err, ErrBreakerOpen) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Temporary()
+	}
+	return true
+}
+
+// retryDo runs op under p: per-attempt timeouts, backoff between
+// retryable failures, stopping as soon as ctx (the parent) is done.
+// seq is the caller's jitter-draw counter, shared across calls so
+// concurrent retries decorrelate.
+func retryDo(ctx context.Context, p Policy, seq *atomic.Uint64, op func(context.Context) error) error {
+	p = p.withDefaults()
+	var lastErr error
+	sleep := p.BaseDelay
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			sleep = p.backoff(sleep, seq.Add(1))
+			select {
+			case <-ctx.Done():
+				return context.Cause(ctx)
+			case <-time.After(sleep):
+			}
+		}
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if p.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+		}
+		err := op(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The parent gave up; an attempt-timeout alone would retry.
+			return context.Cause(ctx)
+		}
+		if !retryable(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("client: %d attempts exhausted: %w", p.MaxAttempts, lastErr)
+}
+
+// ErrBreakerOpen is returned (without touching the network) while a
+// circuit breaker is cooling down after consecutive endpoint failures.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// Breaker is a per-endpoint circuit breaker. Closed, it passes calls
+// through and counts consecutive endpoint failures (transport errors
+// and 5xx — a 4xx proves the endpoint alive and resets the count);
+// Threshold failures trip it open, failing calls fast for Cooldown;
+// then one half-open probe decides: success recloses, failure reopens.
+type Breaker struct {
+	Threshold int           // consecutive failures to trip (default 5)
+	Cooldown  time.Duration // open period before a probe (default 5s)
+
+	now func() time.Time // test hook; nil means time.Now
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Breaker defaults.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 5 * time.Second
+)
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return DefaultBreakerThreshold
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return DefaultBreakerCooldown
+	}
+	return b.Cooldown
+}
+
+// Allow reports whether a call may proceed, reserving the half-open
+// probe slot when the cooldown has elapsed.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.clock().Sub(b.openedAt) < b.cooldown() {
+			return ErrBreakerOpen
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record reports a call's outcome. endpointFailure means the endpoint
+// itself misbehaved (transport error or 5xx), not that the request was
+// merely rejected.
+func (b *Breaker) Record(endpointFailure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if !endpointFailure {
+		b.state = breakerClosed
+		b.fails = 0
+		return
+	}
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+		b.openedAt = b.clock()
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold() {
+		b.state = breakerOpen
+		b.openedAt = b.clock()
+	}
+}
+
+// endpointFailure classifies err for the breaker: did the endpoint
+// fail, as opposed to rejecting a well-formed-but-wrong request?
+func endpointFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode >= 500
+	}
+	if errors.Is(err, context.Canceled) {
+		return false // our side hung up
+	}
+	return true
+}

@@ -1,0 +1,533 @@
+// Tests of the distributed campaign fabric against real HTTP stacks:
+// exactly-once attribution across worker failures, lease expiry and
+// stale completions, journal-based coordinator restart, and the chaos
+// end-to-end — a golden sweep sharded across two workers staying
+// byte-identical while one worker is killed mid-campaign and the
+// remote cache serves a 5xx/truncated/corrupt mix.
+package fabric_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"svard/internal/cache"
+	"svard/internal/campaign"
+	"svard/internal/client"
+	"svard/internal/fabric"
+	"svard/internal/faultinject"
+	"svard/internal/server"
+	"svard/internal/sim"
+)
+
+// fastRetry keeps test-time backoff in the milliseconds.
+func fastRetry() client.Policy {
+	return client.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Seed: 1}
+}
+
+// fakeSim derives a deterministic result from the config without
+// simulating anything (mirrors the server test harness).
+func fakeSim(cfg sim.Config) (sim.Result, error) {
+	ipc := make([]float64, cfg.Cores)
+	for i := range ipc {
+		ipc[i] = 1 + float64(i)*0.25 + cfg.NRH/1e6
+	}
+	return sim.Result{IPC: ipc, Cycles: 1000, Finished: true}, nil
+}
+
+// tinySpec is the 5-cell Fig. 12 campaign the server tests use.
+func tinySpec(nrhs ...float64) campaign.Spec {
+	if len(nrhs) == 0 {
+		nrhs = []float64{64, 128}
+	}
+	base := sim.DefaultConfig()
+	base.Cores = 2
+	return campaign.Spec{
+		Figures:  []string{campaign.Fig12},
+		Base:     base,
+		Mixes:    [][]string{{"mcf06", "lbm06"}},
+		NRHs:     nrhs,
+		Defenses: []string{"para"},
+		Profiles: []string{"S0"},
+	}
+}
+
+// fig12GoldenFile mirrors internal/sim's fixture layout.
+type fig12GoldenFile struct {
+	Base     sim.Config
+	Mixes    [][]string
+	NRHs     []float64
+	Defenses []string
+	Profiles []string
+	Cells    []sim.Fig12Cell
+}
+
+func goldenSpec(t *testing.T) (campaign.Spec, []sim.Fig12Cell) {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "sim", "testdata", "fig12_golden.json"))
+	if err != nil {
+		t.Fatalf("%v (generate with: go test ./internal/sim/ -run Golden -update)", err)
+	}
+	var g fig12GoldenFile
+	if err := json.Unmarshal(b, &g); err != nil {
+		t.Fatal(err)
+	}
+	return campaign.Spec{
+		Figures:  []string{campaign.Fig12},
+		Base:     g.Base,
+		Mixes:    g.Mixes,
+		NRHs:     g.NRHs,
+		Defenses: g.Defenses,
+		Profiles: g.Profiles,
+	}, g.Cells
+}
+
+// newCoordinator stands up a coordinator over a fresh store and serves
+// its handler, returning the coordinator and its base URL.
+func newCoordinator(t *testing.T, dir string, cfg fabric.Config) (*fabric.Coordinator, string) {
+	t.Helper()
+	store, err := cache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = store
+	if cfg.Retry.MaxAttempts == 0 {
+		cfg.Retry = fastRetry()
+	}
+	coord, err := fabric.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	t.Cleanup(ts.Close)
+	return coord, ts.URL
+}
+
+// newWorker stands up a svard-served worker over its own store. When
+// remote is non-nil it becomes the store's remote cache layer. The
+// listener is wrapped with the faultinject kill switch so tests can
+// sever the worker mid-run.
+func newWorker(t *testing.T, runner sim.Runner, remote cache.Remote) (*httptest.Server, *faultinject.Listener, *cache.Store) {
+	t.Helper()
+	store, err := cache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote != nil {
+		store.SetRemote(remote, 5*time.Second)
+	}
+	svc, err := server.New(server.Config{Store: store, Workers: 4, Sim: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(svc.Handler())
+	lst := faultinject.Wrap(ts.Listener)
+	ts.Listener = lst
+	ts.Start()
+	t.Cleanup(func() {
+		if !lst.Severed() {
+			ts.Close()
+		}
+	})
+	return ts, lst, store
+}
+
+// register announces a worker to the coordinator directly (tests that
+// do not need heartbeats).
+func register(t *testing.T, coordURL, name, workerURL string) {
+	t.Helper()
+	b, _ := json.Marshal(fabric.RegisterRequest{Name: name, URL: workerURL})
+	resp, err := http.Post(coordURL+"/api/v1/workers", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register %s: %d", name, resp.StatusCode)
+	}
+}
+
+// startAgent runs a worker's heartbeat loop until the test (or the
+// returned cancel) stops it.
+func startAgent(t *testing.T, coordURL, name, workerURL string, beat time.Duration) context.CancelFunc {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	a := &fabric.Agent{Fabric: coordURL, Advertise: workerURL, Name: name, Heartbeat: beat}
+	go func() {
+		defer close(done)
+		a.Run(ctx)
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+	return cancel
+}
+
+// mustJSON marshals for byte-level figure comparison.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// localReference folds the same spec through a plain local engine over
+// a fresh store — the bit-identity baseline.
+func localReference(t *testing.T, spec campaign.Spec, runner sim.Runner) *campaign.Outcome {
+	t.Helper()
+	store, err := cache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &campaign.Engine{Store: store, Workers: 2, Sim: runner}
+	out, err := eng.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestFabricShardsAcrossWorkers: a clean two-worker run computes every
+// cell exactly once across the fleet and folds bit-identically to a
+// local engine run.
+func TestFabricShardsAcrossWorkers(t *testing.T) {
+	var w1calls, w2calls atomic.Int64
+	ts1, _, _ := newWorker(t, func(cfg sim.Config) (sim.Result, error) { w1calls.Add(1); return fakeSim(cfg) }, nil)
+	ts2, _, _ := newWorker(t, func(cfg sim.Config) (sim.Result, error) { w2calls.Add(1); return fakeSim(cfg) }, nil)
+
+	coord, coordURL := newCoordinator(t, t.TempDir(), fabric.Config{
+		BatchSize: 2, LeaseTTL: 5 * time.Second, MinWorkers: 2, Logf: t.Logf,
+	})
+	register(t, coordURL, "w1", ts1.URL)
+	register(t, coordURL, "w2", ts2.URL)
+
+	spec := tinySpec()
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(jobs)
+
+	out, err := coord.RunCtx(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Total != total || out.Computed != total || out.Served != 0 || out.Resumed != 0 {
+		t.Fatalf("attribution total=%d computed=%d served=%d resumed=%d, want %d/%d/0/0",
+			out.Total, out.Computed, out.Served, out.Resumed, total, total)
+	}
+	if got := w1calls.Load() + w2calls.Load(); got != int64(total) {
+		t.Fatalf("fleet ran the simulator %d times for %d cells (a cell was computed twice or lost)", got, total)
+	}
+	if w1calls.Load() == 0 || w2calls.Load() == 0 {
+		t.Fatalf("work was not sharded: w1=%d w2=%d", w1calls.Load(), w2calls.Load())
+	}
+	if out.Dispatch.Workers != 2 {
+		t.Fatalf("dispatch saw %d workers, want 2", out.Dispatch.Workers)
+	}
+
+	ref := localReference(t, spec, fakeSim)
+	if !bytes.Equal(mustJSON(t, out.Fig12), mustJSON(t, ref.Fig12)) {
+		t.Fatal("fabric fold differs from local engine fold")
+	}
+}
+
+// TestWorkerDiesMidBatch: severing a worker mid-compute re-dispatches
+// its cells; the campaign completes with exactly-once attribution and
+// an identical fold.
+func TestWorkerDiesMidBatch(t *testing.T) {
+	started := make(chan struct{})
+	var once sync.Once
+	slowSim := func(cfg sim.Config) (sim.Result, error) {
+		once.Do(func() { close(started) })
+		time.Sleep(150 * time.Millisecond)
+		return fakeSim(cfg)
+	}
+	var w2calls atomic.Int64
+	ts1, lst1, _ := newWorker(t, slowSim, nil)
+	ts2, _, _ := newWorker(t, func(cfg sim.Config) (sim.Result, error) { w2calls.Add(1); return fakeSim(cfg) }, nil)
+
+	coord, coordURL := newCoordinator(t, t.TempDir(), fabric.Config{
+		BatchSize: 2, LeaseTTL: 300 * time.Millisecond, MinWorkers: 2, MaxCellAttempts: 8, Logf: t.Logf,
+	})
+	cancel1 := startAgent(t, coordURL, "w1", ts1.URL, 50*time.Millisecond)
+	startAgent(t, coordURL, "w2", ts2.URL, 50*time.Millisecond)
+
+	go func() {
+		<-started
+		cancel1() // heartbeats stop...
+		lst1.Sever()
+	}()
+
+	spec := tinySpec()
+	jobs, _ := spec.Jobs()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	out, err := coord.RunCtx(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Computed + out.Served + out.Resumed; got != len(jobs) {
+		t.Fatalf("attribution %d+%d+%d != %d cells", out.Computed, out.Served, out.Resumed, len(jobs))
+	}
+	if out.Dispatch.Redispatched == 0 {
+		t.Fatal("the killed worker's batch was never re-dispatched")
+	}
+	if w2calls.Load() == 0 {
+		t.Fatal("the surviving worker computed nothing")
+	}
+	ref := localReference(t, spec, fakeSim)
+	if !bytes.Equal(mustJSON(t, out.Fig12), mustJSON(t, ref.Fig12)) {
+		t.Fatal("fold after worker death differs from local engine fold")
+	}
+}
+
+// TestStaleCompletionAcceptedAsServed: a worker that outlives its lease
+// (no heartbeats) still gets its delivery accepted — but as Served,
+// never Computed, so re-dispatch races can never double-count.
+func TestStaleCompletionAcceptedAsServed(t *testing.T) {
+	gate := make(chan struct{})
+	gatedSim := func(cfg sim.Config) (sim.Result, error) {
+		<-gate
+		return fakeSim(cfg)
+	}
+	ts1, _, _ := newWorker(t, gatedSim, nil)
+
+	coord, coordURL := newCoordinator(t, t.TempDir(), fabric.Config{
+		BatchSize: 16, LeaseTTL: 120 * time.Millisecond, MaxCellAttempts: 50, Logf: t.Logf,
+	})
+	register(t, coordURL, "w1", ts1.URL) // no agent: the lease will expire
+
+	// Release the gate only after the lease must have expired.
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		close(gate)
+	}()
+
+	spec := tinySpec()
+	jobs, _ := spec.Jobs()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	out, err := coord.RunCtx(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dispatch.ExpiredLeases == 0 {
+		t.Fatal("the lease never expired; the test proved nothing")
+	}
+	if out.Dispatch.AcceptedLate != len(jobs) {
+		t.Fatalf("accepted late %d cells, want %d", out.Dispatch.AcceptedLate, len(jobs))
+	}
+	if out.Computed != 0 || out.Served != len(jobs) {
+		t.Fatalf("stale completions attributed computed=%d served=%d, want 0/%d", out.Computed, out.Served, len(jobs))
+	}
+}
+
+// TestCoordinatorRestartResumes: a coordinator killed mid-campaign
+// resumes from the campaign journal — journaled cells are never
+// re-dispatched.
+func TestCoordinatorRestartResumes(t *testing.T) {
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	partialSim := func(cfg sim.Config) (sim.Result, error) {
+		if calls.Add(1) > 3 {
+			<-gate
+		}
+		return fakeSim(cfg)
+	}
+	ts1, _, _ := newWorker(t, partialSim, nil)
+
+	dir := t.TempDir()
+	spec := tinySpec(64, 128, 256)
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) < 5 {
+		t.Fatalf("spec too small to interrupt meaningfully: %d jobs", len(jobs))
+	}
+
+	coord1, coordURL1 := newCoordinator(t, dir, fabric.Config{
+		BatchSize: 1, LeaseTTL: 5 * time.Second, Logf: t.Logf,
+	})
+	register(t, coordURL1, "w1", ts1.URL)
+
+	// Cancel the first run once three cells are journaled (the fourth
+	// compute is gated).
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	go func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for calls.Load() < 4 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		cancel1()
+	}()
+	if _, err := coord1.RunCtx(ctx1, spec); err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	close(gate) // let the in-flight cell finish so the worker drains
+
+	coord2, coordURL2 := newCoordinator(t, dir, fabric.Config{
+		BatchSize: 1, LeaseTTL: 5 * time.Second, Resume: true, Logf: t.Logf,
+	})
+	register(t, coordURL2, "w1", ts1.URL)
+	out, err := coord2.RunCtx(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Resumed != 3 {
+		t.Fatalf("resumed %d cells, want 3 (the journaled prefix)", out.Resumed)
+	}
+	if got := out.Computed + out.Served + out.Resumed; got != len(jobs) {
+		t.Fatalf("attribution %d+%d+%d != %d cells", out.Computed, out.Served, out.Resumed, len(jobs))
+	}
+	ref := localReference(t, spec, fakeSim)
+	if !bytes.Equal(mustJSON(t, out.Fig12), mustJSON(t, ref.Fig12)) {
+		t.Fatal("resumed fold differs from local engine fold")
+	}
+}
+
+// TestChaosGoldenByteIdentical is the acceptance end-to-end: the golden
+// Fig. 12 sweep sharded across two real-simulator workers stays
+// byte-identical to the committed fixture while one worker is killed
+// mid-campaign and every remote-cache exchange risks a 5xx, truncated,
+// or corrupted response — and the attribution shows no cell computed
+// twice and no cell lost.
+func TestChaosGoldenByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e runs real simulations")
+	}
+	spec, golden := goldenSpec(t)
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, coordURL := newCoordinator(t, t.TempDir(), fabric.Config{
+		BatchSize: 3, LeaseTTL: 500 * time.Millisecond, MinWorkers: 2, MaxCellAttempts: 10, Logf: t.Logf,
+	})
+
+	// Both workers publish and fetch results through the coordinator's
+	// object store — through a transport that injects a deterministic
+	// mix of 5xx, truncated, and corrupted responses.
+	faulty := &faultinject.Transport{Plan: faultinject.Plan{
+		Seed: 99, Err5xx: 0.25, Truncate: 0.15, Corrupt: 0.15,
+	}}
+	remote := func() cache.Remote {
+		r := client.NewCacheRemote(coordURL, fastRetry())
+		r.HTTP = &http.Client{Transport: faulty}
+		return r
+	}
+
+	killAtCall := int64(3)
+	var w1calls atomic.Int64
+	killReady := make(chan struct{})
+	var killOnce sync.Once
+	w1sim := func(cfg sim.Config) (sim.Result, error) {
+		if w1calls.Add(1) >= killAtCall {
+			killOnce.Do(func() { close(killReady) })
+		}
+		return sim.Run(cfg)
+	}
+	ts1, lst1, _ := newWorker(t, w1sim, remote())
+	ts2, _, _ := newWorker(t, sim.Run, remote())
+
+	cancel1 := startAgent(t, coordURL, "w1", ts1.URL, 80*time.Millisecond)
+	startAgent(t, coordURL, "w2", ts2.URL, 80*time.Millisecond)
+
+	go func() {
+		<-killReady
+		cancel1()
+		lst1.Sever()
+		t.Log("chaos: worker w1 severed mid-campaign")
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	out, err := coord.RunCtx(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No cell lost, none double-counted.
+	if got := out.Computed + out.Served + out.Resumed; got != len(jobs) || out.Total != len(jobs) {
+		t.Fatalf("attribution computed=%d served=%d resumed=%d total=%d, want sum %d",
+			out.Computed, out.Served, out.Resumed, out.Total, len(jobs))
+	}
+	if out.Computed > len(jobs) {
+		t.Fatalf("computed=%d exceeds %d cells", out.Computed, len(jobs))
+	}
+
+	// The worker actually died mid-run and faults actually flew.
+	if !lst1.Severed() {
+		t.Fatal("w1 was never severed; the campaign finished too fast to test anything")
+	}
+	if st := faulty.Stats(); st.Faults() == 0 {
+		t.Fatalf("fault injector never fired: %v", st)
+	} else {
+		t.Logf("chaos: %v; dispatch: %v", st, out.Dispatch)
+	}
+
+	// And for all that: byte-identical figures.
+	if !bytes.Equal(mustJSON(t, out.Fig12), mustJSON(t, golden)) {
+		t.Fatal("chaos fold differs from the golden fixture")
+	}
+}
+
+// BenchmarkFabricDispatch measures the fabric's per-campaign dispatch
+// overhead: a 5-cell campaign sharded over two loopback workers with a
+// free simulator, so the time is leases, HTTP, and fold.
+func BenchmarkFabricDispatch(b *testing.B) {
+	store, err := cache.Open(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newBenchWorker := func() *httptest.Server {
+		ws, err := cache.Open(b.TempDir(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc, err := server.New(server.Config{Store: ws, Workers: 4, Sim: fakeSim})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(svc.Handler())
+		b.Cleanup(ts.Close)
+		return ts
+	}
+	coord, err := fabric.New(fabric.Config{
+		Store: store, BatchSize: 2, LeaseTTL: 10 * time.Minute, MinWorkers: 2, Retry: fastRetry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	b.Cleanup(ts.Close)
+	for i, w := range []*httptest.Server{newBenchWorker(), newBenchWorker()} {
+		body, _ := json.Marshal(fabric.RegisterRequest{Name: "bench", URL: w.URL})
+		resp, err := http.Post(ts.URL+"/api/v1/workers", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatalf("register worker %d: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A distinct spec per iteration: every campaign dispatches fresh
+		// cells instead of replaying the cache.
+		spec := tinySpec(float64(1000+i), float64(100000+i))
+		if _, err := coord.RunCtx(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// okHandler returns a fixed body so corruption/truncation are observable.
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"status":"ok","payload":"0123456789abcdef"}`)
+	})
+}
+
+// schedule replays the transport's per-request outcomes against srv for
+// n requests and returns a compact outcome string per request.
+func schedule(t *testing.T, tr *Transport, url string, n int) []string {
+	t.Helper()
+	client := &http.Client{Transport: tr}
+	var out []string
+	for i := 0; i < n; i++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			out = append(out, "drop")
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusInternalServerError:
+			out = append(out, "5xx")
+		case rerr != nil:
+			out = append(out, "trunc")
+		case strings.Contains(string(body), `"status":"ok"`) && strings.Contains(string(body), "0123456789abcdef"):
+			out = append(out, "ok")
+		default:
+			out = append(out, "corrupt")
+		}
+	}
+	return out
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	srv := httptest.NewServer(okHandler())
+	defer srv.Close()
+
+	plan := Plan{Seed: 42, Drop: 0.2, Err5xx: 0.2, Truncate: 0.2, Corrupt: 0.2}
+	first := schedule(t, &Transport{Plan: plan}, srv.URL, 40)
+	second := schedule(t, &Transport{Plan: plan}, srv.URL, 40)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("request %d: schedule diverged: %q vs %q\nfirst:  %v\nsecond: %v",
+				i, first[i], second[i], first, second)
+		}
+	}
+
+	kinds := map[string]bool{}
+	for _, k := range first {
+		kinds[k] = true
+	}
+	for _, want := range []string{"ok", "drop", "5xx"} {
+		if !kinds[want] {
+			t.Fatalf("40-request schedule at p=0.2 each never produced %q: %v", want, first)
+		}
+	}
+	if !kinds["trunc"] && !kinds["corrupt"] {
+		t.Fatalf("schedule never produced a body fault: %v", first)
+	}
+
+	other := schedule(t, &Transport{Plan: Plan{Seed: 43, Drop: 0.2, Err5xx: 0.2, Truncate: 0.2, Corrupt: 0.2}}, srv.URL, 40)
+	same := true
+	for i := range first {
+		if first[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 40-request schedules")
+	}
+}
+
+func TestZeroPlanIsTransparent(t *testing.T) {
+	srv := httptest.NewServer(okHandler())
+	defer srv.Close()
+
+	tr := &Transport{}
+	for i, got := range schedule(t, tr, srv.URL, 10) {
+		if got != "ok" {
+			t.Fatalf("zero plan request %d: got %q, want ok", i, got)
+		}
+	}
+	st := tr.Stats()
+	if st.Requests != 10 || st.Faults() != 0 {
+		t.Fatalf("zero plan stats: %v", st)
+	}
+}
+
+func TestAfterExemptsSetupRequests(t *testing.T) {
+	srv := httptest.NewServer(okHandler())
+	defer srv.Close()
+
+	tr := &Transport{Plan: Plan{Seed: 7, Drop: 1.0, After: 3}}
+	got := schedule(t, tr, srv.URL, 6)
+	want := []string{"ok", "ok", "ok", "drop", "drop", "drop"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("request %d: got %q, want %q (%v)", i, got[i], want[i], got)
+		}
+	}
+	if st := tr.Stats(); st.Dropped != 3 {
+		t.Fatalf("Dropped = %d, want 3 (%v)", st.Dropped, st)
+	}
+}
+
+func TestTruncatedBodySurfacesUnexpectedEOF(t *testing.T) {
+	srv := httptest.NewServer(okHandler())
+	defer srv.Close()
+
+	tr := &Transport{Plan: Plan{Seed: 1, Truncate: 1.0}}
+	resp, err := (&http.Client{Transport: tr}).Get(srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	defer resp.Body.Close()
+	b, rerr := io.ReadAll(resp.Body)
+	if rerr == nil {
+		t.Fatalf("truncated body read succeeded with %d bytes", len(b))
+	}
+	if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated body error = %v, want ErrUnexpectedEOF", rerr)
+	}
+	full := `{"status":"ok","payload":"0123456789abcdef"}`
+	if len(b) >= len(full) {
+		t.Fatalf("truncated body returned %d bytes, want < %d", len(b), len(full))
+	}
+}
+
+func TestCorruptFlipsExactlyOneByte(t *testing.T) {
+	srv := httptest.NewServer(okHandler())
+	defer srv.Close()
+
+	tr := &Transport{Plan: Plan{Seed: 9, Corrupt: 1.0}}
+	resp, err := (&http.Client{Transport: tr}).Get(srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	b, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		t.Fatalf("ReadAll: %v", rerr)
+	}
+	full := `{"status":"ok","payload":"0123456789abcdef"}`
+	if len(b) != len(full) {
+		t.Fatalf("corrupt body length %d, want %d", len(b), len(full))
+	}
+	diff := 0
+	for i := range b {
+		if b[i] != full[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt flipped %d bytes, want exactly 1: %q", diff, b)
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	srv := httptest.NewServer(okHandler())
+	defer srv.Close()
+
+	tr := &Transport{Plan: Plan{Seed: 3, Latency: 1.0, Delay: 20 * time.Millisecond}}
+	start := time.Now()
+	resp, err := (&http.Client{Transport: tr}).Get(srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delayed request completed in %v, want >= 20ms", d)
+	}
+	if st := tr.Stats(); st.Delayed != 1 {
+		t.Fatalf("Delayed = %d, want 1", st.Delayed)
+	}
+}
+
+func TestSeverKillsWorker(t *testing.T) {
+	srv := httptest.NewUnstartedServer(okHandler())
+	lis := Wrap(srv.Listener)
+	srv.Listener = lis
+	srv.Start()
+	// Not deferred srv.Close(): Sever already closed the listener, and
+	// httptest.Close would double-close; close the client side instead.
+
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("pre-sever Get: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	lis.Sever()
+	if !lis.Severed() {
+		t.Fatal("Severed() = false after Sever")
+	}
+	lis.Sever() // idempotent
+
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("post-sever Get succeeded, want connection failure")
+	}
+	client.CloseIdleConnections()
+}

@@ -1,0 +1,131 @@
+// Tests for the fabric worker surface: POST /api/v1/compute runs raw
+// cell batches through the shared slots and cache with per-cell
+// Computed/Served attribution — the primitive the coordinator's
+// exactly-once accounting is built on.
+package server_test
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"svard/internal/cache"
+	"svard/internal/server"
+	"svard/internal/sim"
+)
+
+// TestComputeBatchAttribution: a fresh batch is Computed; the same
+// batch again is Served (cache hits), with zero extra simulator calls.
+func TestComputeBatchAttribution(t *testing.T) {
+	var calls atomic.Int64
+	counting := func(cfg sim.Config) (sim.Result, error) {
+		calls.Add(1)
+		return fakeSim(cfg)
+	}
+	_, c := newService(t, t.TempDir(), server.Config{Workers: 2, Sim: counting})
+	ctx := context.Background()
+
+	spec := tinySpec()
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]sim.Config, len(jobs))
+	for i, j := range jobs {
+		cfgs[i] = j.Config
+	}
+
+	resp, err := c.Compute(ctx, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Computed != len(cfgs) || resp.Served != 0 || resp.Failed != 0 {
+		t.Fatalf("fresh batch: computed=%d served=%d failed=%d, want %d/0/0",
+			resp.Computed, resp.Served, resp.Failed, len(cfgs))
+	}
+	for i, cell := range resp.Cells {
+		if cell.Key != cache.Key(cfgs[i]) {
+			t.Fatalf("cell %d key %s, want %s (index order must hold)", i, cell.Key, cache.Key(cfgs[i]))
+		}
+		if !cell.Computed || cell.Error != "" {
+			t.Fatalf("fresh cell %d: %+v", i, cell)
+		}
+	}
+	if got := calls.Load(); got != int64(len(cfgs)) {
+		t.Fatalf("simulator ran %d times, want %d", got, len(cfgs))
+	}
+
+	again, err := c.Compute(ctx, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Computed != 0 || again.Served != len(cfgs) {
+		t.Fatalf("replayed batch: computed=%d served=%d, want 0/%d", again.Computed, again.Served, len(cfgs))
+	}
+	if got := calls.Load(); got != int64(len(cfgs)) {
+		t.Fatalf("replayed batch re-ran the simulator (%d calls)", got)
+	}
+}
+
+// TestComputeBatchPerCellFailure: one failing cell is reported in place
+// while the rest of the batch completes.
+func TestComputeBatchPerCellFailure(t *testing.T) {
+	failing := func(cfg sim.Config) (sim.Result, error) {
+		if cfg.NRH == 64 {
+			return sim.Result{}, context.DeadlineExceeded
+		}
+		return fakeSim(cfg)
+	}
+	_, c := newService(t, t.TempDir(), server.Config{Workers: 2, Sim: failing})
+
+	jobs, err := tinySpec(64, 128).Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]sim.Config, len(jobs))
+	nrh64 := 0
+	for i, j := range jobs {
+		cfgs[i] = j.Config
+		if j.Config.NRH == 64 {
+			nrh64++
+		}
+	}
+	resp, err := c.Compute(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Failed != nrh64 {
+		t.Fatalf("failed=%d, want %d (the nrh=64 cells)", resp.Failed, nrh64)
+	}
+	if resp.Computed != len(cfgs)-nrh64 {
+		t.Fatalf("computed=%d, want %d", resp.Computed, len(cfgs)-nrh64)
+	}
+	for _, cell := range resp.Cells {
+		wantErr := false
+		for i, cfg := range cfgs {
+			if cell.Key == cache.Key(cfg) {
+				wantErr = cfgs[i].NRH == 64
+			}
+		}
+		if (cell.Error != "") != wantErr {
+			t.Fatalf("cell %+v: error presence mismatch", cell)
+		}
+	}
+}
+
+// TestComputeBatchRejectsBadInput: empty batches and invalid configs
+// are 400s, not half-run batches.
+func TestComputeBatchRejectsBadInput(t *testing.T) {
+	_, c := newService(t, t.TempDir(), server.Config{Workers: 1, Sim: fakeSim})
+	ctx := context.Background()
+
+	if _, err := c.Compute(ctx, nil); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("empty batch: %v, want 400", err)
+	}
+	bad := sim.DefaultConfig()
+	bad.Backend = "lpddr9"
+	if _, err := c.Compute(ctx, []sim.Config{bad}); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("invalid config: %v, want 400", err)
+	}
+}

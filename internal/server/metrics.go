@@ -48,9 +48,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m(`svard_cache_hits_total{layer="mem"} %d`, st.MemHits)
 	m(`svard_cache_hits_total{layer="disk"} %d`, st.DiskHits)
 	m(`svard_cache_hits_total{layer="dedup"} %d`, st.Deduped)
+	m(`svard_cache_hits_total{layer="remote"} %d`, st.RemoteHits)
 	m("# HELP svard_cache_misses_total Lookups that computed a fresh cell.")
 	m("# TYPE svard_cache_misses_total counter")
 	m("svard_cache_misses_total %d", st.Misses)
+	m("# HELP svard_cache_remote_misses_total Remote object-store lookups that found nothing.")
+	m("# TYPE svard_cache_remote_misses_total counter")
+	m("svard_cache_remote_misses_total %d", st.RemoteMisses)
+	m("# HELP svard_cache_remote_errors_total Remote object-store operations that failed (the store degraded to local compute).")
+	m("# TYPE svard_cache_remote_errors_total counter")
+	m("svard_cache_remote_errors_total %d", st.RemoteErrors)
 	m("# HELP svard_cache_corrupt_total On-disk entries that failed to load and were recomputed.")
 	m("# TYPE svard_cache_corrupt_total counter")
 	m("svard_cache_corrupt_total %d", st.Corrupt)

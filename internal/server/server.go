@@ -66,6 +66,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /api/v1/cells/{key}", s.handleCell)
 	s.mux.HandleFunc("POST /api/v1/key", s.handleKey)
+	s.mux.HandleFunc("POST /api/v1/compute", s.handleCompute)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
